@@ -1,0 +1,76 @@
+// Ablation A1 — cut-value tuning.
+//
+// The paper: "The cut values ci can be selected so as to optimize the
+// performance with respect to particular applications." This bench sweeps
+// the level-1 cut c1 and the geometric growth ratio r and reports the
+// single-instance update rate plus cascade statistics, exposing the
+// trade-off: tiny cuts fold constantly (merge-bound), huge cuts defer all
+// work to one giant fold (memory-bound and latency-spiky).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+
+namespace {
+
+struct Sample {
+  double rate;
+  std::uint64_t l1_folds;
+  std::size_t mem_bytes;
+};
+
+Sample measure(std::size_t c1, std::size_t ratio) {
+  cluster::WorkloadSpec w;
+  w.sets = 20;
+  w.set_size = 100000;
+  w.scale = 17;
+  w.seed = 7;
+
+  // run_hier_gbx hides the instance, so run directly here to read stats.
+  gen::PowerLawParams pp;
+  pp.scale = w.scale;
+  pp.alpha = w.alpha;
+  pp.dim = w.dim;
+  pp.seed = w.seed;
+  gen::PowerLawGenerator g(pp);
+  hier::HierMatrix<double> h(w.dim, w.dim,
+                             hier::CutPolicy::geometric(4, c1, ratio));
+  gbx::Tuples<double> batch;
+  double busy = 0;
+  for (std::size_t s = 0; s < w.sets; ++s) {
+    batch.clear();
+    g.batch(w.set_size, batch);
+    const double t0 = omp_get_wtime();
+    h.update(batch);
+    busy += omp_get_wtime() - t0;
+  }
+  return {static_cast<double>(w.entries_per_instance()) / busy,
+          h.stats().level[0].folds, h.memory_bytes()};
+}
+
+}  // namespace
+
+int main() {
+  // Single-threaded, like one of the paper's processes: keeps the sweep
+  // free of OpenMP scheduling noise so cut effects are visible.
+  omp_set_num_threads(1);
+  benchutil::header(
+      "A1 — cut-value tuning ablation",
+      "single instance (single-threaded), 2M-entry power-law stream "
+      "(20 x 100K sets); update rate vs level-1 cut c1 and ratio r (4 levels)");
+
+  std::printf("c1\tratio\tupdates_per_s\tL1_folds\tmemory_MB\n");
+  for (std::size_t c1 : {1u << 8, 1u << 11, 1u << 13, 1u << 15, 1u << 18, 1u << 21}) {
+    for (std::size_t ratio : {2u, 8u, 32u}) {
+      auto s = measure(c1, ratio);
+      std::printf("%zu\t%zu\t%s\t%llu\t%.1f\n", c1, ratio,
+                  benchutil::rate(s.rate).c_str(),
+                  static_cast<unsigned long long>(s.l1_folds),
+                  static_cast<double>(s.mem_bytes) / 1048576.0);
+    }
+  }
+  benchutil::note(
+      "expected shape: rate rises with c1 until folds become rare, then "
+      "plateaus; ratio mainly moves memory and deep-level fold counts.");
+  return 0;
+}

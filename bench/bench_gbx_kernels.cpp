@@ -1,0 +1,117 @@
+// Ablation A3 — substrate kernel micro-benchmarks (google-benchmark).
+//
+// The kernels the cascade is built from: pending append, sort+dedup fold,
+// DCSR eWiseAdd merge, mxm, reduce, transpose. These locate the cost of a
+// cascade fold relative to raw appends — the asymmetry the hierarchy
+// exploits.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "gbx/gbx.hpp"
+#include "gen/gen.hpp"
+
+namespace {
+
+gbx::Tuples<double> make_batch(std::size_t n, std::uint64_t seed) {
+  gen::PowerLawParams p;
+  p.scale = 17;
+  p.seed = seed;
+  gen::PowerLawGenerator g(p);
+  return g.batch<double>(n);
+}
+
+gbx::Dcsr<double> make_dcsr(std::size_t n, std::uint64_t seed) {
+  auto t = make_batch(n, seed);
+  t.sort_dedup<gbx::PlusMonoid<double>>();
+  return gbx::Dcsr<double>::from_sorted_unique(t.entries());
+}
+
+void BM_PendingAppend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto batch = make_batch(n, 1);
+  for (auto _ : state) {
+    gbx::Tuples<double> pending;
+    pending.append(batch);
+    benchmark::DoNotOptimize(pending.entries().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PendingAppend)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_SortDedup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = make_batch(n, 2);
+  for (auto _ : state) {
+    auto copy = batch;
+    copy.sort_dedup<gbx::PlusMonoid<double>>();
+    benchmark::DoNotOptimize(copy.entries().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SortDedup)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_EwiseAddMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = make_dcsr(n, 3);
+  const auto b = make_dcsr(n, 4);
+  for (auto _ : state) {
+    auto c = gbx::ewise_add<gbx::Plus<double>>(a, b);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_EwiseAddMerge)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_EwiseAddAsymmetric(benchmark::State& state) {
+  // The cascade's actual fold shape: small delta into a big accumulator.
+  const auto big = make_dcsr(1 << 20, 5);
+  const auto small = make_dcsr(static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    auto c = gbx::ewise_add<gbx::Plus<double>>(big, small);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EwiseAddAsymmetric)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Mxm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = gbx::Matrix<double>::adopt(gbx::kIPv4Dim, gbx::kIPv4Dim,
+                                      make_dcsr(n, 7));
+  auto b = gbx::Matrix<double>::adopt(gbx::kIPv4Dim, gbx::kIPv4Dim,
+                                      make_dcsr(n, 8));
+  for (auto _ : state) {
+    auto c = gbx::mxm<gbx::PlusTimes<double>>(a, b);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_Mxm)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_ReduceRows(benchmark::State& state) {
+  auto a = gbx::Matrix<double>::adopt(gbx::kIPv4Dim, gbx::kIPv4Dim,
+                                      make_dcsr(1 << 18, 9));
+  for (auto _ : state) {
+    auto v = gbx::reduce_rows<gbx::PlusMonoid<double>>(a);
+    benchmark::DoNotOptimize(v.nvals());
+  }
+}
+BENCHMARK(BM_ReduceRows);
+
+void BM_Transpose(benchmark::State& state) {
+  auto a = gbx::Matrix<double>::adopt(gbx::kIPv4Dim, gbx::kIPv4Dim,
+                                      make_dcsr(1 << 18, 10));
+  for (auto _ : state) {
+    auto t = gbx::transpose(a);
+    benchmark::DoNotOptimize(t.nvals());
+  }
+}
+BENCHMARK(BM_Transpose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Ablation A5 — memory footprint across representations.
+//
+// "Streaming updates of hypersparse matrices put enormous pressure on
+// the memory hierarchy" — this bench reports resident bytes per stored
+// entry for each system fed the same stream: hierarchical GraphBLAS,
+// direct GraphBLAS, D4M associative arrays (dictionary overhead), the
+// LSM store (run + memtable overhead) and the B+tree (node overhead).
+#include <cstdio>
+
+#include "assoc/assoc.hpp"
+#include "bench_util.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+gbx::Tuples<double> make_stream(std::size_t n) {
+  gen::PowerLawParams pp;
+  pp.scale = 17;
+  pp.seed = 7;
+  gen::PowerLawGenerator g(pp);
+  return g.batch<double>(n);
+}
+
+void row(const char* name, std::size_t bytes, std::size_t entries) {
+  std::printf("%-18s %10.1f MB %12zu entries %8.1f B/entry\n", name,
+              static_cast<double>(bytes) / 1048576.0, entries,
+              entries ? static_cast<double>(bytes) / static_cast<double>(entries)
+                      : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "A5 — memory footprint per representation",
+      "2M-entry power-law stream (scale 17, IPv4 space) into each system; "
+      "bytes per distinct stored entry");
+
+  const auto stream = make_stream(2000000);
+
+  {
+    hier::HierMatrix<double> h(gbx::kIPv4Dim, gbx::kIPv4Dim,
+                               hier::CutPolicy::geometric(4, 1u << 13, 8));
+    for (std::size_t off = 0; off < stream.size(); off += 100000) {
+      gbx::Tuples<double> b;
+      for (std::size_t k = off; k < off + 100000 && k < stream.size(); ++k)
+        b.push_back(stream[k].row, stream[k].col, stream[k].val);
+      h.update(b);
+    }
+    row("hier_gbx", h.memory_bytes(), h.snapshot().nvals());
+  }
+  {
+    gbx::Matrix<double> m(gbx::kIPv4Dim, gbx::kIPv4Dim);
+    m.append(stream);
+    m.materialize();
+    row("direct_gbx", m.memory_bytes(), m.nvals());
+  }
+  {
+    assoc::AssocArray<double> a(gbx::kIPv4Dim);
+    for (const auto& e : stream)
+      a.insert(std::to_string(e.row), std::to_string(e.col), e.val);
+    a.materialize();
+    row("d4m_assoc", a.memory_bytes(), a.nvals());
+  }
+  {
+    store::LsmStore s;
+    for (const auto& e : stream) s.insert({e.row, e.col}, e.val);
+    // LSM memory: runs + memtable, estimated from stored fragments.
+    std::size_t frag = s.memtable_entries() * 48;  // map node overhead
+    s.major_compact();
+    frag += s.size() * sizeof(store::KV);
+    row("lsm(accumulo)", frag, s.size());
+  }
+  {
+    store::BTreeStore t;
+    for (const auto& e : stream) t.insert({e.row, e.col}, e.val);
+    // B+tree memory: nodes at ~50% fill, 24B/entry payload + pointers.
+    const std::size_t approx =
+        t.size() * (sizeof(store::Key) + sizeof(store::Value)) * 2;
+    row("btree(oltp)", approx, t.size());
+  }
+
+  benchutil::note(
+      "expected shape: hierarchical and direct GraphBLAS sit near the "
+      "DCSR floor (~24-32 B/entry); D4M pays the string dictionaries; "
+      "the stores pay tree/run overheads. The hierarchy's extra levels "
+      "cost only the duplicated-coordinate margin.");
+  return 0;
+}

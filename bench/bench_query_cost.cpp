@@ -1,0 +1,82 @@
+// Ablation A4 — query cost of the hierarchy.
+//
+// The paper: "Upon query, all layers in the hierarchy are summed into
+// the hypersparse matrix" — queries pay for the cascade's update speed.
+// This bench measures snapshot latency against hierarchy depth and
+// stream position, and the update-rate/query-latency trade as c1 moves,
+// quantifying the tunable the paper calls out.
+#include <omp.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+struct QuerySample {
+  double update_rate;
+  double query_ms;
+  std::size_t snapshot_nnz;
+};
+
+QuerySample measure(std::size_t levels, std::size_t c1, std::size_t sets) {
+  gen::PowerLawParams pp;
+  pp.scale = 17;
+  pp.seed = 31;
+  gen::PowerLawGenerator g(pp);
+  hier::HierMatrix<double> h(pp.dim, pp.dim,
+                             hier::CutPolicy::geometric(levels, c1, 8));
+  gbx::Tuples<double> batch;
+  double busy = 0;
+  for (std::size_t s = 0; s < sets; ++s) {
+    batch.clear();
+    g.batch(100000, batch);
+    const double t0 = omp_get_wtime();
+    h.update(batch);
+    busy += omp_get_wtime() - t0;
+  }
+  const double q0 = omp_get_wtime();
+  auto snap = h.snapshot();
+  const double query_s = omp_get_wtime() - q0;
+  return {static_cast<double>(sets * 100000) / busy, query_s * 1e3,
+          snap.nvals()};
+}
+
+}  // namespace
+
+int main() {
+  omp_set_num_threads(1);  // per-process model, as in the paper
+  benchutil::header(
+      "A4 — query (snapshot) cost vs hierarchy configuration",
+      "single instance, power-law stream in 100K-entry sets; snapshot "
+      "latency = cost of summing all layers at query time");
+
+  std::printf("levels\tc1\tsets\tupdate_rate\tquery_ms\tsnapshot_nnz\n");
+  for (std::size_t levels : {2u, 3u, 4u, 5u}) {
+    auto s = measure(levels, 1u << 13, 20);
+    std::printf("%zu\t%u\t20\t%s\t%.2f\t%zu\n", levels, 1u << 13,
+                benchutil::rate(s.update_rate).c_str(), s.query_ms,
+                s.snapshot_nnz);
+  }
+  std::printf("\n");
+  for (std::size_t c1 : {1u << 10, 1u << 13, 1u << 16, 1u << 19}) {
+    auto s = measure(4, c1, 20);
+    std::printf("4\t%zu\t20\t%s\t%.2f\t%zu\n", c1,
+                benchutil::rate(s.update_rate).c_str(), s.query_ms,
+                s.snapshot_nnz);
+  }
+  std::printf("\n");
+  for (std::size_t sets : {5u, 20u, 60u}) {
+    auto s = measure(4, 1u << 13, sets);
+    std::printf("4\t%u\t%zu\t%s\t%.2f\t%zu\n", 1u << 13, sets,
+                benchutil::rate(s.update_rate).c_str(), s.query_ms,
+                s.snapshot_nnz);
+  }
+  benchutil::note(
+      "expected shape: query latency grows with accumulated nnz (the top "
+      "level dominates) and is insensitive to c1; update rate is the "
+      "inverse trade as in bench_cut_sweep.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A7 — workload sensitivity.
+//
+// Power-law streams flatter deduplicating ingest (heavy vertices repeat);
+// uniform streams are the adversarial case (maximal coordinate entropy,
+// near-zero duplication). This bench runs the hierarchy and the direct
+// path under power-law, Kronecker and uniform workloads to show the
+// cascade's advantage is not a skew artifact.
+#include <omp.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+constexpr std::size_t kSets = 20;
+constexpr std::size_t kSetSize = 100000;
+
+template <class Gen>
+std::pair<double, double> run_both(Gen& g) {
+  // Pre-generate so both paths see identical batches.
+  std::vector<gbx::Tuples<double>> batches;
+  batches.reserve(kSets);
+  for (std::size_t s = 0; s < kSets; ++s)
+    batches.push_back(g.template batch<double>(kSetSize));
+
+  hier::HierMatrix<double> h(gbx::kIPv4Dim, gbx::kIPv4Dim,
+                             hier::CutPolicy::geometric(4, 1u << 13, 8));
+  double t0 = omp_get_wtime();
+  for (const auto& b : batches) h.update(b);
+  const double hier_rate =
+      static_cast<double>(kSets * kSetSize) / (omp_get_wtime() - t0);
+
+  gbx::Matrix<double> m(gbx::kIPv4Dim, gbx::kIPv4Dim);
+  t0 = omp_get_wtime();
+  for (const auto& b : batches) {
+    m.append(b);
+    m.materialize();
+  }
+  const double direct_rate =
+      static_cast<double>(kSets * kSetSize) / (omp_get_wtime() - t0);
+  return {hier_rate, direct_rate};
+}
+
+}  // namespace
+
+int main() {
+  omp_set_num_threads(1);  // per-process model
+  benchutil::header(
+      "A7 — workload sensitivity",
+      "2M-entry streams (20 x 100K sets) from three generators; "
+      "hierarchical vs direct single-instance update rates");
+
+  std::printf("workload\thier_rate\tdirect_rate\tspeedup\n");
+  {
+    gen::PowerLawParams pp;
+    pp.scale = 17;
+    pp.seed = 5;
+    gen::PowerLawGenerator g(pp);
+    auto [h, d] = run_both(g);
+    std::printf("power-law(a=1.3)\t%s\t%s\t%.2fx\n", benchutil::rate(h).c_str(),
+                benchutil::rate(d).c_str(), h / d);
+  }
+  {
+    gen::KroneckerParams kp;
+    kp.scale = 17;
+    kp.seed = 5;
+    gen::KroneckerGenerator g(kp);
+    auto [h, d] = run_both(g);
+    std::printf("kronecker(g500)\t%s\t%s\t%.2fx\n", benchutil::rate(h).c_str(),
+                benchutil::rate(d).c_str(), h / d);
+  }
+  {
+    gen::UniformParams up;
+    up.seed = 5;
+    gen::UniformGenerator g(up);
+    auto [h, d] = run_both(g);
+    std::printf("uniform\t%s\t%s\t%.2fx\n", benchutil::rate(h).c_str(),
+                benchutil::rate(d).c_str(), h / d);
+  }
+  benchutil::note(
+      "expected shape: the hierarchy wins on every workload; the margin "
+      "is largest for uniform streams, where the direct path re-merges a "
+      "fast-growing structure every set while the cascade still batches.");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// streaming_anomaly — continuous network monitoring with windowed
+// background models.
+//
+// Demonstrates the paper's "analyze extremely large streaming network
+// data sets" use case: a hierarchical hypersparse matrix ingests traffic
+// continuously while an analyst thread-of-control periodically snapshots
+// it (snapshots are non-destructive — streaming never pauses), fits the
+// gravity background model, and reports links that deviate from it. An
+// exfiltration flow is planted mid-stream and must surface.
+#include <cstdio>
+
+#include "analytics/analytics.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+int main() {
+  gen::PowerLawParams params;
+  params.scale = 12;
+  params.alpha = 1.3;
+  params.dim = gbx::kIPv4Dim;
+  params.seed = 11;
+  gen::PowerLawGenerator traffic(params);
+
+  hier::HierMatrix<double> tm(gbx::kIPv4Dim, gbx::kIPv4Dim,
+                              hier::CutPolicy::geometric(4, 4096, 8));
+
+  // Two quiet hosts that will start a covert heavy flow at window 5.
+  const gbx::Index covert_src = 0xC0A80042;  // 192.168.0.66
+  const gbx::Index covert_dst = 0x2D4F3A19;
+
+  std::printf("window\tlinks\tpackets\ttop_anomaly_score\tcovert_detected\n");
+  for (int window = 1; window <= 10; ++window) {
+    // Continuous ingest (the stream never stops).
+    tm.update(traffic.batch<double>(50000));
+    if (window >= 5) {
+      // The covert channel: large repeated transfers between two hosts
+      // with no other traffic.
+      for (int k = 0; k < 200; ++k) tm.update(covert_src, covert_dst, 25.0);
+    }
+
+    // Analyst pass: snapshot (non-destructive) + background model. The
+    // support threshold (min 100 packets observed) suppresses the long
+    // tail of one-packet flows.
+    auto snap = tm.snapshot();
+    auto summary = analytics::summarize(snap);
+    auto anomalies = analytics::gravity_anomalies(snap, 3, 3.0, 100.0);
+
+    bool covert_found = false;
+    for (const auto& a : anomalies)
+      covert_found |= (a.src == covert_src && a.dst == covert_dst);
+
+    std::printf("%d\t%llu\t%.0f\t%.1f\t%s\n", window,
+                static_cast<unsigned long long>(summary.links),
+                summary.packets,
+                anomalies.empty() ? 0.0 : anomalies[0].score,
+                covert_found ? "YES" : "-");
+  }
+
+  auto final_anoms = analytics::gravity_anomalies(tm.snapshot(), 3, 3.0, 100.0);
+  std::printf("\nfinal top anomalies (observed / expected = score):\n");
+  for (const auto& a : final_anoms)
+    std::printf("  %#llx -> %#llx : %.0f / %.2f = %.1f%s\n",
+                static_cast<unsigned long long>(a.src),
+                static_cast<unsigned long long>(a.dst), a.observed, a.expected,
+                a.score,
+                (a.src == covert_src && a.dst == covert_dst)
+                    ? "   <-- planted covert channel"
+                    : "");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// traffic_matrix — origin-destination network traffic analysis.
+//
+// The application that motivates the paper (Section I): build a traffic
+// matrix database from streaming packet headers and analyze it — top
+// talkers (supernodes), degree distribution, and D4M-style string-keyed
+// range queries over subnets. Two representations run side by side:
+// integer-keyed hierarchical GraphBLAS (fast path) and a D4M associative
+// array keyed by dotted-quad strings (flexible path), as the paper's
+// group uses both.
+#include <cstdio>
+#include <string>
+
+#include "analytics/analytics.hpp"
+#include "assoc/assoc.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+std::string dotted_quad(gbx::Index ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u",
+                static_cast<unsigned>((ip >> 24) & 0xff),
+                static_cast<unsigned>((ip >> 16) & 0xff),
+                static_cast<unsigned>((ip >> 8) & 0xff),
+                static_cast<unsigned>(ip & 0xff));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  // Traffic source: power-law flow generator over the IPv4 space.
+  gen::PowerLawParams params;
+  params.scale = 14;  // 16K active hosts scattered over 2^32 addresses
+  params.alpha = 1.5;
+  params.dim = gbx::kIPv4Dim;
+  params.seed = 7;
+  gen::PowerLawGenerator flows(params);
+
+  hier::HierMatrix<double> fast(gbx::kIPv4Dim, gbx::kIPv4Dim,
+                                hier::CutPolicy::geometric(4, 4096, 8));
+  assoc::AssocArray<double> flexible(gbx::kIPv4Dim);
+
+  std::printf("ingesting 400,000 flow records...\n");
+  for (int set = 0; set < 4; ++set) {
+    auto batch = flows.batch<double>(100000);
+    fast.update(batch);
+    // The D4M path pays string conversion per record — exactly the cost
+    // the paper eliminated by moving to integer-keyed GraphBLAS.
+    if (set == 0) {  // keep the string path small; it is the slow lane
+      for (std::size_t k = 0; k < 20000; ++k) {
+        const auto& e = batch[k];
+        flexible.insert(dotted_quad(e.row), dotted_quad(e.col), e.val);
+      }
+    }
+  }
+
+  auto tm = fast.snapshot();
+  auto s = analytics::summarize(tm);
+  std::printf("\ntraffic matrix: %llu links, %.0f packets, %llu sources, "
+              "%llu destinations\n",
+              static_cast<unsigned long long>(s.links), s.packets,
+              static_cast<unsigned long long>(s.sources),
+              static_cast<unsigned long long>(s.destinations));
+  std::printf("heaviest link: %.0f packets; mean: %.2f\n", s.max_link,
+              s.mean_link);
+
+  std::printf("\ntop-5 traffic sources (supernodes):\n");
+  for (const auto& v : analytics::top_sources(tm, 5))
+    std::printf("  %-15s %.0f packets\n", dotted_quad(v.id).c_str(), v.value);
+
+  std::printf("\ntop-5 destinations by distinct peers:\n");
+  for (const auto& v : analytics::top_destinations(tm, 5, /*by_links=*/true))
+    std::printf("  %-15s %.0f peers\n", dotted_quad(v.id).c_str(), v.value);
+
+  auto hist = analytics::out_degree_histogram(tm);
+  std::printf("\ndegree distribution: %zu distinct degrees, log-log slope "
+              "%.2f (power-law tail)\n",
+              hist.size(), analytics::power_law_slope(hist));
+
+  // D4M flavour: subnet range query on string keys.
+  flexible.materialize();
+  std::printf("\nD4M associative array: %zu entries, %zu row keys\n",
+              flexible.nvals(), flexible.num_row_keys());
+  const auto rows = flexible.row_range("1", "2");
+  std::printf("flows from sources in [\"1\", \"2\") (string key range): %zu\n",
+              rows.size());
+  if (!rows.empty())
+    std::printf("  first: %s -> %s (%.0f packets)\n",
+                std::get<0>(rows.front()).c_str(),
+                std::get<1>(rows.front()).c_str(), std::get<2>(rows.front()));
+  return 0;
+}

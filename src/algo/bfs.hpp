@@ -1,0 +1,68 @@
+// algo/bfs.hpp — breadth-first search in the language of linear algebra.
+//
+// The canonical GraphBLAS algorithm (Kepner et al., HPEC 2016): frontier
+// expansion is a masked vxm over a boolean-ish semiring. Operates on any
+// hypersparse gbx matrix, including snapshots of streaming hierarchical
+// matrices — BFS over a live traffic matrix answers "what can this
+// compromised host reach?".
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "gbx/gbx.hpp"
+
+namespace algo {
+
+struct BfsResult {
+  /// level[v] = hop distance from the source (source itself = 0).
+  /// Only reached vertices appear.
+  std::vector<std::pair<gbx::Index, std::uint32_t>> levels;
+  std::uint32_t max_level = 0;
+  std::size_t reached = 0;
+};
+
+/// BFS over the out-edges of A from `source`. Treats any stored entry as
+/// an edge (pattern semantics).
+template <class T, class M>
+BfsResult bfs(const gbx::Matrix<T, M>& A, gbx::Index source) {
+  GBX_CHECK_DIM(A.nrows() == A.ncols(), "bfs requires a square adjacency matrix");
+  GBX_CHECK_INDEX(source < A.nrows(), "bfs source out of range");
+
+  BfsResult out;
+  std::unordered_set<gbx::Index> visited;
+  visited.insert(source);
+  out.levels.emplace_back(source, 0);
+
+  gbx::SparseVector<T> frontier(A.nrows());
+  {
+    std::vector<gbx::Index> idx{source};
+    std::vector<T> val{T{1}};
+    frontier.build(idx, val);
+  }
+
+  for (std::uint32_t depth = 1; frontier.nvals() > 0; ++depth) {
+    // next = frontier ⊕.⊗ A over the (lor, land) pattern semiring.
+    auto next = gbx::vxm<gbx::LorLand<T>>(frontier, A);
+    // Mask out already-visited vertices (the "q<!v>" of the classic
+    // GraphBLAS BFS loop).
+    std::vector<gbx::Index> idx;
+    std::vector<T> val;
+    next.for_each([&](gbx::Index v, T) {
+      if (visited.insert(v).second) {
+        idx.push_back(v);
+        val.push_back(T{1});
+        out.levels.emplace_back(v, depth);
+        out.max_level = depth;
+      }
+    });
+    if (idx.empty()) break;
+    gbx::SparseVector<T> nf(A.nrows());
+    nf.adopt(std::move(idx), std::move(val));
+    frontier = std::move(nf);
+  }
+  out.reached = out.levels.size();
+  return out;
+}
+
+}  // namespace algo

@@ -1,0 +1,75 @@
+// algo/connected_components.hpp — weakly connected components.
+//
+// Label-propagation (Shiloach-Vishkin flavoured min-label hooking) over
+// the hypersparse adjacency pattern. Labels live only on active vertices.
+// On traffic matrices, components separate disjoint communication islands
+// — a standard pre-step before per-community background models.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "gbx/gbx.hpp"
+
+namespace algo {
+
+struct ComponentsResult {
+  /// vertex -> component label (label = smallest vertex id in component).
+  std::vector<std::pair<gbx::Index, gbx::Index>> labels;
+  std::size_t num_components = 0;
+  int iterations = 0;
+};
+
+template <class T, class M>
+ComponentsResult connected_components(const gbx::Matrix<T, M>& A) {
+  GBX_CHECK_DIM(A.nrows() == A.ncols(),
+                "connected_components requires a square matrix");
+  // Collect edges (undirected view) over the active vertex set.
+  std::unordered_map<gbx::Index, std::size_t> slot;
+  std::vector<gbx::Index> verts;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  A.for_each([&](gbx::Index i, gbx::Index j, T) {
+    if (slot.emplace(i, verts.size()).second) verts.push_back(i);
+    if (slot.emplace(j, verts.size()).second) verts.push_back(j);
+    edges.emplace_back(slot.at(i), slot.at(j));
+  });
+  const std::size_t n = verts.size();
+
+  ComponentsResult out;
+  if (n == 0) return out;
+
+  // Union-find with path halving (the algebraic min.+ iteration
+  // converges identically; union-find is the tight implementation).
+  std::vector<std::size_t> parent(n);
+  for (std::size_t k = 0; k < n; ++k) parent[k] = k;
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (const auto& [a, b] : edges) {
+    std::size_t ra = find(a), rb = find(b);
+    if (ra != rb) {
+      // Hook the larger-labelled root under the smaller: the final root
+      // of every tree is the smallest vertex id in its component.
+      if (verts[ra] < verts[rb]) parent[rb] = ra;
+      else parent[ra] = rb;
+    }
+  }
+  out.iterations = 1;
+
+  std::unordered_map<std::size_t, gbx::Index> roots;
+  out.labels.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t r = find(k);
+    roots.emplace(r, verts[r]);
+    out.labels.emplace_back(verts[k], verts[r]);
+  }
+  out.num_components = roots.size();
+  return out;
+}
+
+}  // namespace algo

@@ -1,0 +1,10 @@
+// analytics/analytics.hpp — umbrella header for traffic analytics.
+#pragma once
+
+#include "analytics/background.hpp"
+#include "analytics/concentration.hpp"
+#include "analytics/flow_reader.hpp"
+#include "analytics/ip.hpp"
+#include "analytics/prefix.hpp"
+#include "analytics/traffic.hpp"
+#include "analytics/window.hpp"

@@ -1,0 +1,84 @@
+// analytics/concentration.hpp — traffic concentration measures.
+//
+// Scalar shape statistics for traffic matrices: Shannon entropy of the
+// traffic distribution over sources, the Gini coefficient of volume
+// concentration, and window-over-window change detection — the
+// "temporal fluctuations of network supernodes" measurements the paper
+// motivates.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gbx/gbx.hpp"
+
+namespace analytics {
+
+/// Shannon entropy (bits) of traffic volume across non-empty rows.
+/// 0 for a single talker; log2(#sources) for perfectly even traffic.
+template <class T, class M>
+double source_entropy(const gbx::Matrix<T, M>& A) {
+  auto sums = gbx::reduce_rows<gbx::PlusMonoid<T>>(A);
+  double total = 0;
+  sums.for_each([&](gbx::Index, T v) { total += static_cast<double>(v); });
+  if (total <= 0) return 0.0;
+  double h = 0;
+  sums.for_each([&](gbx::Index, T v) {
+    const double p = static_cast<double>(v) / total;
+    if (p > 0) h -= p * std::log2(p);
+  });
+  return h;
+}
+
+/// Gini coefficient of per-source traffic volume: 0 = perfectly even,
+/// -> 1 = one source carries everything. Computed over non-empty rows.
+template <class T, class M>
+double source_gini(const gbx::Matrix<T, M>& A) {
+  auto sums = gbx::reduce_rows<gbx::PlusMonoid<T>>(A);
+  std::vector<double> v;
+  v.reserve(sums.nvals());
+  sums.for_each([&](gbx::Index, T x) { v.push_back(static_cast<double>(x)); });
+  if (v.size() < 2) return 0.0;
+  std::sort(v.begin(), v.end());
+  double cum = 0, weighted = 0;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    cum += v[k];
+    weighted += static_cast<double>(k + 1) * v[k];
+  }
+  if (cum <= 0) return 0.0;
+  const double n = static_cast<double>(v.size());
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+/// Link-level change between two windows: new links, vanished links, and
+/// the L1 volume change on persisting links. Built on eWiseUnion
+/// subtraction, so both directions of change are visible.
+struct WindowDelta {
+  std::size_t new_links = 0;
+  std::size_t gone_links = 0;
+  std::size_t common_links = 0;
+  double volume_change = 0;  ///< Σ |now - before| over common links
+};
+
+template <class T, class M>
+WindowDelta window_delta(const gbx::Matrix<T, M>& before,
+                         const gbx::Matrix<T, M>& now) {
+  GBX_CHECK_DIM(before.nrows() == now.nrows() && before.ncols() == now.ncols(),
+                "window_delta dimension mismatch");
+  WindowDelta d;
+  const auto& sb = before.storage();
+  now.for_each([&](gbx::Index i, gbx::Index j, T v) {
+    auto old = sb.get(i, j);
+    if (!old) {
+      ++d.new_links;
+    } else {
+      ++d.common_links;
+      d.volume_change += std::abs(static_cast<double>(v) - static_cast<double>(*old));
+    }
+  });
+  d.gone_links = before.nvals() - d.common_links;
+  return d;
+}
+
+}  // namespace analytics

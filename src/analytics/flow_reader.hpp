@@ -1,0 +1,89 @@
+// analytics/flow_reader.hpp — text flow-record ingestion.
+//
+// A minimal NetFlow-like record format for feeding traffic matrices from
+// files or pipes, one record per line:
+//
+//   <timestamp> <src-ip> <dst-ip> <count>
+//   1583366400 10.1.2.3 8.8.8.8 42
+//
+// Lines starting with '#' and blank lines are skipped. Malformed lines
+// are counted, reported, and skipped — a stream ingester must not die on
+// one bad record.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <sstream>
+#include <string>
+
+#include "analytics/ip.hpp"
+#include "gbx/coo.hpp"
+
+namespace analytics {
+
+struct FlowRecord {
+  std::uint64_t timestamp = 0;
+  gbx::Index src = 0;
+  gbx::Index dst = 0;
+  double count = 0;
+};
+
+struct FlowReadStats {
+  std::size_t records = 0;
+  std::size_t malformed = 0;
+  std::uint64_t first_timestamp = 0;
+  std::uint64_t last_timestamp = 0;
+};
+
+/// Parse one record line. Returns false (and leaves `out` untouched) on
+/// malformed input.
+inline bool parse_flow_line(const std::string& line, FlowRecord& out) {
+  std::istringstream is(line);
+  std::uint64_t ts;
+  std::string src, dst;
+  double count;
+  if (!(is >> ts >> src >> dst >> count)) return false;
+  std::string trailing;
+  if (is >> trailing) return false;  // extra fields
+  const auto s = parse_ipv4(src);
+  const auto d = parse_ipv4(dst);
+  if (!s || !d || count < 0) return false;
+  out = {ts, *s, *d, count};
+  return true;
+}
+
+/// Read all records from a stream into a tuple batch (src, dst, count),
+/// invoking `on_record` (if provided) per parsed record for streaming
+/// consumers (e.g. windowing by timestamp).
+template <class F>
+FlowReadStats read_flows(std::istream& is, gbx::Tuples<double>& out,
+                         F&& on_record) {
+  FlowReadStats st;
+  std::string line;
+  FlowRecord rec;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!parse_flow_line(line, rec)) {
+      ++st.malformed;
+      continue;
+    }
+    if (st.records == 0) st.first_timestamp = rec.timestamp;
+    st.last_timestamp = rec.timestamp;
+    ++st.records;
+    out.push_back(rec.src, rec.dst, rec.count);
+    on_record(rec);
+  }
+  return st;
+}
+
+inline FlowReadStats read_flows(std::istream& is, gbx::Tuples<double>& out) {
+  return read_flows(is, out, [](const FlowRecord&) {});
+}
+
+/// Write records in the same format (round-trip support for fixtures).
+inline void write_flow(std::ostream& os, const FlowRecord& r) {
+  os << r.timestamp << ' ' << format_ipv4(r.src) << ' ' << format_ipv4(r.dst)
+     << ' ' << r.count << '\n';
+}
+
+}  // namespace analytics

@@ -1,0 +1,96 @@
+// analytics/ip.hpp — IP address and CIDR utilities for traffic matrices.
+//
+// Traffic matrices index rows/columns by IP address: IPv4 occupies the
+// 2^32 space, IPv6 the 2^64 space (the paper uses the upper 64 bits of
+// the address, which is what a 2^64-dim hypersparse matrix can index).
+// These helpers convert between text and matrix coordinates and turn
+// CIDR prefixes into index ranges for extract_range-based subnet views.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gbx/extract.hpp"
+#include "gbx/matrix.hpp"
+
+namespace analytics {
+
+/// Parse dotted-quad IPv4 into a matrix index. Rejects malformed text,
+/// out-of-range octets, and trailing garbage.
+inline std::optional<gbx::Index> parse_ipv4(std::string_view s) {
+  std::uint32_t ip = 0;
+  int octet = 0, digits = 0;
+  std::uint32_t cur = 0;
+  for (std::size_t k = 0; k <= s.size(); ++k) {
+    if (k == s.size() || s[k] == '.') {
+      if (digits == 0 || cur > 255) return std::nullopt;
+      ip = (ip << 8) | cur;
+      ++octet;
+      cur = 0;
+      digits = 0;
+      if (k == s.size()) break;
+      if (octet > 3) return std::nullopt;
+    } else if (s[k] >= '0' && s[k] <= '9') {
+      if (digits == 3) return std::nullopt;
+      cur = cur * 10 + static_cast<std::uint32_t>(s[k] - '0');
+      ++digits;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (octet != 4) return std::nullopt;
+  return gbx::Index{ip};
+}
+
+/// Format a matrix index (must be < 2^32) as dotted-quad.
+inline std::string format_ipv4(gbx::Index ip) {
+  GBX_CHECK_VALUE(ip <= 0xffffffffull, "format_ipv4: index exceeds 2^32");
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u",
+                static_cast<unsigned>((ip >> 24) & 0xff),
+                static_cast<unsigned>((ip >> 16) & 0xff),
+                static_cast<unsigned>((ip >> 8) & 0xff),
+                static_cast<unsigned>(ip & 0xff));
+  return buf;
+}
+
+/// Half-open matrix index range [lo, hi) covered by an IPv4 CIDR block.
+struct IpRange {
+  gbx::Index lo = 0;
+  gbx::Index hi = 0;  // exclusive
+  gbx::Index size() const { return hi - lo; }
+};
+
+/// Parse "a.b.c.d/n" into its index range. The host part of the address
+/// must be zero (canonical CIDR), e.g. "10.1.0.0/16".
+inline std::optional<IpRange> parse_cidr(std::string_view s) {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto base = parse_ipv4(s.substr(0, slash));
+  if (!base) return std::nullopt;
+  int prefix = 0;
+  const auto ps = s.substr(slash + 1);
+  if (ps.empty() || ps.size() > 2) return std::nullopt;
+  for (char c : ps) {
+    if (c < '0' || c > '9') return std::nullopt;
+    prefix = prefix * 10 + (c - '0');
+  }
+  if (prefix < 0 || prefix > 32) return std::nullopt;
+  const gbx::Index span = prefix == 0 ? (gbx::Index{1} << 32)
+                                      : (gbx::Index{1} << (32 - prefix));
+  if (*base % span != 0) return std::nullopt;  // host bits set
+  return IpRange{*base, *base + span};
+}
+
+/// Subnet-to-subnet traffic view: T(src in A, dst in B), coordinates
+/// rebased to the subnet origins. Runs entirely on the hypersparse
+/// structure (no dense scan of the address space).
+template <class T, class M>
+gbx::Matrix<T, M> subnet_view(const gbx::Matrix<T, M>& traffic,
+                              const IpRange& src, const IpRange& dst) {
+  return gbx::extract_range(traffic, src.lo, src.hi, dst.lo, dst.hi);
+}
+
+}  // namespace analytics

@@ -1,0 +1,56 @@
+// analytics/prefix.hpp — prefix (subnet) aggregation of traffic matrices.
+//
+// Network operators read traffic at subnet granularity: aggregating the
+// host-level matrix A to /p prefixes contracts both axes by
+// i -> i >> (32 - p). Algebraically this is P^T A P for the prefix
+// indicator matrix P; implemented directly as a coordinate remap + monoid
+// fold (one sort-dedup pass) since P is a function.
+#pragma once
+
+#include "gbx/matrix.hpp"
+#include "gbx/sort.hpp"
+
+namespace analytics {
+
+/// Aggregate an IPv4 host matrix to /prefix_bits subnets. Row/col ids of
+/// the result are the prefix values (e.g. /16 -> 65536-wide id space).
+template <class T, class M>
+gbx::Matrix<T, M> aggregate_prefixes(const gbx::Matrix<T, M>& A,
+                                     int prefix_bits) {
+  GBX_CHECK_VALUE(prefix_bits >= 1 && prefix_bits <= 32,
+                  "prefix bits must be in [1, 32]");
+  GBX_CHECK_VALUE(A.nrows() <= gbx::kIPv4Dim && A.ncols() <= gbx::kIPv4Dim,
+                  "prefix aggregation expects an IPv4-sized matrix");
+  const int shift = 32 - prefix_bits;
+  const gbx::Index dim = gbx::Index{1} << prefix_bits;
+
+  std::vector<gbx::Entry<T>> ent;
+  ent.reserve(A.nvals());
+  A.for_each([&](gbx::Index i, gbx::Index j, T v) {
+    ent.push_back({i >> shift, j >> shift, v});
+  });
+  gbx::sort_entries(ent);
+  gbx::dedup_sorted_entries_parallel<typename gbx::Matrix<T, M>::add_monoid>(ent);
+  return gbx::Matrix<T, M>::adopt(dim, dim,
+                                  gbx::Dcsr<T>::from_sorted_unique(ent));
+}
+
+/// Heaviest inter-subnet flows after aggregation: (src_prefix,
+/// dst_prefix, volume) triples, descending by volume, at most k.
+template <class T, class M>
+std::vector<std::tuple<gbx::Index, gbx::Index, double>> top_subnet_flows(
+    const gbx::Matrix<T, M>& A, int prefix_bits, std::size_t k) {
+  auto agg = aggregate_prefixes(A, prefix_bits);
+  std::vector<std::tuple<gbx::Index, gbx::Index, double>> all;
+  all.reserve(agg.nvals());
+  agg.for_each([&](gbx::Index i, gbx::Index j, T v) {
+    all.emplace_back(i, j, static_cast<double>(v));
+  });
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return std::get<2>(a) > std::get<2>(b);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace analytics

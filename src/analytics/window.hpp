@@ -1,0 +1,84 @@
+// analytics/window.hpp — temporal windowing over hierarchical matrices.
+//
+// "Enabling the observation of temporal fluctuations of network
+// supernodes" (paper Section I) needs traffic matrices per time window.
+// TumblingWindows keeps a ring of W hierarchical hypersparse matrices;
+// advancing the window resets the oldest slot. Queries can view a single
+// window or the union of all live windows — each query is just GraphBLAS
+// addition, the same trick as the hierarchy itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/hier.hpp"
+
+namespace analytics {
+
+template <class T = double>
+class TumblingWindows {
+ public:
+  TumblingWindows(std::size_t windows, gbx::Index nrows, gbx::Index ncols,
+                  const hier::CutPolicy& cuts)
+      : nrows_(nrows), ncols_(ncols) {
+    GBX_CHECK_VALUE(windows > 0, "need at least one window");
+    ring_.reserve(windows);
+    for (std::size_t w = 0; w < windows; ++w) ring_.emplace_back(nrows, ncols, cuts);
+  }
+
+  std::size_t num_windows() const { return ring_.size(); }
+  /// Index of the window currently receiving updates.
+  std::size_t current() const { return cur_; }
+  /// Monotone count of advance() calls (the logical epoch).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Stream updates into the current window.
+  void update(gbx::Index i, gbx::Index j, T v) { ring_[cur_].update(i, j, v); }
+  void update(const gbx::Tuples<T>& batch) { ring_[cur_].update(batch); }
+
+  /// Close the current window and start the next, recycling the oldest
+  /// slot (its contents are dropped — tumbling, not sliding, semantics).
+  void advance() {
+    cur_ = (cur_ + 1) % ring_.size();
+    ring_[cur_] = hier::HierMatrix<T>(nrows_, ncols_, ring_[cur_].cut_policy());
+    ++epoch_;
+  }
+
+  /// Snapshot of one window, counted from the current one backwards:
+  /// ago = 0 is the live window, 1 the previous, etc.
+  gbx::Matrix<T> window(std::size_t ago = 0) const {
+    GBX_CHECK_INDEX(ago < ring_.size(), "window offset exceeds ring size");
+    const std::size_t w = (cur_ + ring_.size() - ago) % ring_.size();
+    return ring_[w].snapshot();
+  }
+
+  /// Union of all live windows (the "recent traffic" matrix).
+  gbx::Matrix<T> total() const {
+    gbx::Matrix<T> acc(nrows_, ncols_);
+    for (const auto& h : ring_) acc.plus_assign(h.snapshot());
+    return acc;
+  }
+
+  /// Per-window nnz (live occupancy), current window first.
+  std::vector<std::size_t> occupancy() const {
+    std::vector<std::size_t> out(ring_.size());
+    for (std::size_t a = 0; a < ring_.size(); ++a)
+      out[a] = ring_[(cur_ + ring_.size() - a) % ring_.size()].total_entries_bound();
+    return out;
+  }
+
+  std::size_t memory_bytes() const {
+    std::size_t n = 0;
+    for (const auto& h : ring_) n += h.memory_bytes();
+    return n;
+  }
+
+ private:
+  gbx::Index nrows_;
+  gbx::Index ncols_;
+  std::vector<hier::HierMatrix<T>> ring_;
+  std::size_t cur_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace analytics

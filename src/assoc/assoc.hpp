@@ -1,0 +1,8 @@
+// assoc/assoc.hpp — umbrella header for D4M associative arrays.
+#pragma once
+
+#include "assoc/assoc_array.hpp"
+#include "assoc/assoc_ops.hpp"
+#include "assoc/hier_assoc.hpp"
+#include "assoc/string_pool.hpp"
+#include "assoc/tsv.hpp"

@@ -1,0 +1,105 @@
+// assoc/assoc_ops.hpp — D4M associative array algebra.
+//
+// The algebra D4M users compose analyses from (Kepner & Jananthan 2018):
+// element-wise add/multiply with dictionary alignment, transpose,
+// sub-array selection by key lists, and reductions to key/value lists.
+// Every operation aligns string dictionaries first, then delegates to
+// gbx kernels — associative arrays are "matrices with named axes".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "assoc/assoc_array.hpp"
+
+namespace assoc {
+
+/// C = A + B: union of dictionaries, values plus-combined.
+template <class T>
+AssocArray<T> add(const AssocArray<T>& a, const AssocArray<T>& b) {
+  AssocArray<T> c(a.matrix().nrows());
+  a.for_each([&](const std::string& r, const std::string& cK, T v) {
+    c.insert(r, cK, v);
+  });
+  b.for_each([&](const std::string& r, const std::string& cK, T v) {
+    c.insert(r, cK, v);
+  });
+  c.materialize();
+  return c;
+}
+
+/// C = A .* B: intersection of keys, values multiplied.
+template <class T>
+AssocArray<T> ewise_mult(const AssocArray<T>& a, const AssocArray<T>& b) {
+  AssocArray<T> c(a.matrix().nrows());
+  a.for_each([&](const std::string& r, const std::string& cK, T v) {
+    const T bv = b.get(r, cK);
+    if (bv != T{}) c.insert(r, cK, static_cast<T>(v * bv));
+  });
+  c.materialize();
+  return c;
+}
+
+/// C = A^T: row and column axes exchanged.
+template <class T>
+AssocArray<T> transpose(const AssocArray<T>& a) {
+  AssocArray<T> c(a.matrix().ncols());
+  a.for_each([&](const std::string& r, const std::string& cK, T v) {
+    c.insert(cK, r, v);
+  });
+  c.materialize();
+  return c;
+}
+
+/// Sub-array: rows/cols restricted to the given key lists (missing keys
+/// are simply absent, matching D4M subsref semantics).
+template <class T>
+AssocArray<T> subsref(const AssocArray<T>& a,
+                      const std::vector<std::string>& rows,
+                      const std::vector<std::string>& cols) {
+  AssocArray<T> c(a.matrix().nrows());
+  for (const auto& r : rows)
+    for (const auto& ck : cols) {
+      const T v = a.get(r, ck);
+      if (v != T{}) c.insert(r, ck, v);
+    }
+  c.materialize();
+  return c;
+}
+
+/// Column sums as (key, total) pairs.
+template <class T>
+std::vector<std::pair<std::string, T>> col_sums(const AssocArray<T>& a) {
+  auto v = gbx::reduce_cols<gbx::PlusMonoid<T>>(a.matrix());
+  std::vector<std::pair<std::string, T>> out;
+  v.for_each([&](gbx::Index j, T s) {
+    out.emplace_back(a.col_keys().key(j), s);
+  });
+  return out;
+}
+
+/// Top-k rows by total value, descending.
+template <class T>
+std::vector<std::pair<std::string, T>> top_rows(const AssocArray<T>& a,
+                                                std::size_t k) {
+  auto sums = a.row_sums();
+  std::sort(sums.begin(), sums.end(),
+            [](const auto& x, const auto& y) { return x.second > y.second; });
+  if (sums.size() > k) sums.resize(k);
+  return sums;
+}
+
+/// Value equality across possibly differently-ordered dictionaries.
+template <class T>
+bool equal(const AssocArray<T>& a, const AssocArray<T>& b) {
+  if (a.nvals() != b.nvals()) return false;
+  bool same = true;
+  a.for_each([&](const std::string& r, const std::string& c, T v) {
+    if (b.get(r, c) != v) same = false;
+  });
+  return same;
+}
+
+}  // namespace assoc

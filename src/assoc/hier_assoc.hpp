@@ -1,0 +1,66 @@
+// assoc/hier_assoc.hpp — hierarchical D4M associative arrays.
+//
+// The "Hierarchical D4M" baseline of Fig. 2 (Reuther et al., HPEC 2018;
+// Kepner et al., HPEC 2019 "1.9 billion updates/s with D4M"): the same
+// cut-triggered cascade as hier::HierMatrix, but updates pass through the
+// string dictionaries first. The dictionary lookups and string handling
+// are precisely the overhead GraphBLAS integer keys eliminate, so this
+// baseline sits below hierarchical GraphBLAS in every rate plot — the
+// relative gap is one of the shapes the reproduction must show.
+#pragma once
+
+#include <string_view>
+
+#include "assoc/string_pool.hpp"
+#include "hier/hier.hpp"
+
+namespace assoc {
+
+template <class T = double>
+class HierAssoc {
+ public:
+  HierAssoc(gbx::Index capacity, hier::CutPolicy cuts)
+      : mat_(capacity, capacity, std::move(cuts)) {}
+
+  /// A(row, col) += v through the dictionary, then down the cascade.
+  void insert(std::string_view row, std::string_view col, T v) {
+    mat_.update(rows_.intern(row), cols_.intern(col), v);
+  }
+
+  /// Batched insert of parallel key/value triples.
+  void insert_batch(std::span<const std::string> rows,
+                    std::span<const std::string> cols, std::span<const T> vals) {
+    GBX_CHECK_DIM(rows.size() == cols.size() && cols.size() == vals.size(),
+                  "insert_batch: triple arrays must have equal length");
+    gbx::Tuples<T> batch;
+    batch.reserve(rows.size());
+    for (std::size_t k = 0; k < rows.size(); ++k)
+      batch.push_back(rows_.intern(rows[k]), cols_.intern(cols[k]), vals[k]);
+    mat_.update(batch);
+  }
+
+  /// Value at (row, col), 0 when absent. Queries the snapshot sum of all
+  /// levels (non-destructive).
+  T get(std::string_view row, std::string_view col) const {
+    const gbx::Index i = rows_.find(row);
+    const gbx::Index j = cols_.find(col);
+    if (i == gbx::kIndexMax || j == gbx::kIndexMax) return T{};
+    return mat_.snapshot().extract_element(i, j).value_or(T{});
+  }
+
+  const hier::HierMatrix<T>& hierarchy() const { return mat_; }
+  const StringPool& row_keys() const { return rows_; }
+  const StringPool& col_keys() const { return cols_; }
+  const hier::HierStats& stats() const { return mat_.stats(); }
+
+  std::size_t memory_bytes() const {
+    return mat_.memory_bytes() + rows_.memory_bytes() + cols_.memory_bytes();
+  }
+
+ private:
+  StringPool rows_;
+  StringPool cols_;
+  hier::HierMatrix<T> mat_;
+};
+
+}  // namespace assoc

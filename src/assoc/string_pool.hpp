@@ -1,0 +1,98 @@
+// assoc/string_pool.hpp — string key dictionary for associative arrays.
+//
+// D4M associative arrays (Kepner et al., ICASSP 2012) label matrix rows
+// and columns with arbitrary strings. StringPool is the bidirectional
+// dictionary: string -> dense id (arrival order) and id -> string. A
+// sorted view is materialized on demand for ordered range queries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "gbx/error.hpp"
+#include "gbx/types.hpp"
+
+namespace assoc {
+
+class StringPool {
+ public:
+  /// Id of `key`, inserting it if new. Ids are dense and arrival-ordered.
+  gbx::Index intern(std::string_view key) {
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    const gbx::Index id = keys_.size();
+    keys_.emplace_back(key);
+    // The map's string_view keys must point at stable storage: keys_ is a
+    // deque, so string objects never move (short-string buffers included).
+    ids_.emplace(keys_.back(), id);
+    sorted_dirty_ = true;
+    return id;
+  }
+
+  /// Id of `key` if present; kIndexMax otherwise. Never inserts.
+  gbx::Index find(std::string_view key) const {
+    auto it = ids_.find(key);
+    return it == ids_.end() ? gbx::kIndexMax : it->second;
+  }
+
+  bool contains(std::string_view key) const { return ids_.count(key) > 0; }
+
+  const std::string& key(gbx::Index id) const {
+    GBX_CHECK_INDEX(id < keys_.size(), "string pool id out of range");
+    return keys_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// Ids ordered by key string (lexicographic). Cached; rebuilt after
+  /// inserts. Enables D4M-style ordered range lookups.
+  const std::vector<gbx::Index>& sorted_ids() const {
+    if (sorted_dirty_) {
+      sorted_.resize(keys_.size());
+      for (std::size_t i = 0; i < sorted_.size(); ++i) sorted_[i] = i;
+      std::sort(sorted_.begin(), sorted_.end(), [this](gbx::Index a, gbx::Index b) {
+        return keys_[static_cast<std::size_t>(a)] < keys_[static_cast<std::size_t>(b)];
+      });
+      sorted_dirty_ = false;
+    }
+    return sorted_;
+  }
+
+  /// All ids whose keys fall in [lo, hi] (inclusive, lexicographic),
+  /// returned in key order.
+  std::vector<gbx::Index> range(std::string_view lo, std::string_view hi) const {
+    const auto& s = sorted_ids();
+    auto cmp_lo = [this](gbx::Index id, std::string_view k) {
+      return keys_[static_cast<std::size_t>(id)] < k;
+    };
+    auto it = std::lower_bound(s.begin(), s.end(), lo, cmp_lo);
+    std::vector<gbx::Index> out;
+    for (; it != s.end() && keys_[static_cast<std::size_t>(*it)] <= hi; ++it)
+      out.push_back(*it);
+    return out;
+  }
+
+  /// Approximate heap usage (dictionary overhead is the cost D4M pays
+  /// over integer-keyed GraphBLAS matrices — worth measuring).
+  std::size_t memory_bytes() const {
+    std::size_t n = keys_.size() * sizeof(std::string) +
+                    sorted_.capacity() * sizeof(gbx::Index) +
+                    ids_.size() * (sizeof(std::string_view) + sizeof(gbx::Index) + 16);
+    for (const auto& k : keys_) n += k.capacity();
+    return n;
+  }
+
+ private:
+  std::deque<std::string> keys_;
+  std::unordered_map<std::string_view, gbx::Index> ids_;
+  mutable std::vector<gbx::Index> sorted_;
+  mutable bool sorted_dirty_ = false;
+};
+
+}  // namespace assoc

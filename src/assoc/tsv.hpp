@@ -1,0 +1,64 @@
+// assoc/tsv.hpp — D4M triple-file interchange.
+//
+// D4M's standard on-disk form is the tab-separated triple file:
+// `row<TAB>col<TAB>value` per line. Readers tolerate comments and blank
+// lines and count malformed rows; writers emit entries in row-major key
+// order so files diff cleanly.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "assoc/assoc_array.hpp"
+
+namespace assoc {
+
+struct TsvStats {
+  std::size_t triples = 0;
+  std::size_t malformed = 0;
+};
+
+/// Append triples from a TSV stream into an associative array.
+template <class T>
+TsvStats read_tsv(std::istream& is, AssocArray<T>& out) {
+  TsvStats st;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto t1 = line.find('\t');
+    const auto t2 = t1 == std::string::npos ? t1 : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      ++st.malformed;
+      continue;
+    }
+    const std::string row = line.substr(0, t1);
+    const std::string col = line.substr(t1 + 1, t2 - t1 - 1);
+    std::istringstream vs(line.substr(t2 + 1));
+    double v;
+    if (row.empty() || col.empty() || !(vs >> v)) {
+      ++st.malformed;
+      continue;
+    }
+    std::string trailing;
+    if (vs >> trailing) {
+      ++st.malformed;
+      continue;
+    }
+    out.insert(row, col, static_cast<T>(v));
+    ++st.triples;
+  }
+  out.materialize();
+  return st;
+}
+
+/// Write all entries as TSV triples (row-major id order).
+template <class T>
+void write_tsv(std::ostream& os, const AssocArray<T>& a) {
+  a.for_each([&](const std::string& r, const std::string& c, T v) {
+    os << r << '\t' << c << '\t' << +v << '\n';
+  });
+}
+
+}  // namespace assoc

@@ -1,0 +1,6 @@
+// cluster/cluster.hpp — umbrella header for the scaling substrate.
+#pragma once
+
+#include "cluster/scaling_harness.hpp"
+#include "cluster/scaling_model.hpp"
+#include "cluster/workload.hpp"

@@ -1,0 +1,25 @@
+// cluster/workload.hpp — workload specification for scaling runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gbx/types.hpp"
+
+namespace cluster {
+
+/// Everything a scaling run needs to reproduce the paper's Section III
+/// experiment shape: per-instance power-law streams of `sets` batches of
+/// `set_size` entries into a dim x dim hypersparse matrix.
+struct WorkloadSpec {
+  std::size_t sets = 16;           ///< batches per instance
+  std::size_t set_size = 100000;   ///< entries per batch (paper: 100,000)
+  int scale = 17;                  ///< 2^scale vertex population
+  double alpha = 1.3;              ///< power-law exponent
+  gbx::Index dim = gbx::kIPv4Dim;  ///< matrix dimension (IPv4 default)
+  std::uint64_t seed = 20200316;   ///< base seed; instance p uses seed+p
+
+  std::size_t entries_per_instance() const { return sets * set_size; }
+};
+
+}  // namespace cluster

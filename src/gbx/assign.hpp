@@ -1,0 +1,53 @@
+// gbx/assign.hpp — region assignment (GrB_assign analogue).
+//
+// C(I, J) = A replaces the selected region of C with A (remapped from
+// list positions back to C coordinates). Entries of C inside the region
+// that A does not cover are deleted, matching GraphBLAS assign-with-
+// replace semantics.
+#pragma once
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "gbx/extract.hpp"
+#include "gbx/matrix.hpp"
+#include "gbx/select.hpp"
+
+namespace gbx {
+
+/// C(I, J) = A. I, J sorted unique; A must be |I| x |J|.
+template <class T, class M>
+void assign(Matrix<T, M>& C, std::span<const Index> I, std::span<const Index> J,
+            const Matrix<T, M>& A) {
+  GBX_CHECK_DIM(A.nrows() == I.size() && A.ncols() == J.size(),
+                "assign: source dims must match index list lengths");
+  GBX_CHECK(std::is_sorted(I.begin(), I.end()) &&
+                std::adjacent_find(I.begin(), I.end()) == I.end(),
+            "row index list must be sorted and unique");
+  GBX_CHECK(std::is_sorted(J.begin(), J.end()) &&
+                std::adjacent_find(J.begin(), J.end()) == J.end(),
+            "column index list must be sorted and unique");
+  for (Index i : I) GBX_CHECK_INDEX(i < C.nrows(), "assign row out of bounds");
+  for (Index j : J) GBX_CHECK_INDEX(j < C.ncols(), "assign column out of bounds");
+
+  std::unordered_set<Index> iset(I.begin(), I.end());
+  std::unordered_set<Index> jset(J.begin(), J.end());
+
+  // Keep C entries outside the region.
+  Matrix<T, M> kept = select(C, [&](Index i, Index j, T) {
+    return !(iset.count(i) && jset.count(j));
+  });
+
+  // Remap A into C coordinates and merge.
+  Tuples<T> add;
+  A.for_each([&](Index a, Index b, T v) {
+    add.push_back(I[static_cast<std::size_t>(a)],
+                  J[static_cast<std::size_t>(b)], v);
+  });
+  kept.append(add);
+  kept.materialize();
+  C = std::move(kept);
+}
+
+}  // namespace gbx

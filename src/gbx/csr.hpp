@@ -1,0 +1,142 @@
+// gbx/csr.hpp — standard (non-hypersparse) compressed sparse row.
+//
+// CSR keeps a row-pointer array of length nrows+1 — O(nrows) memory even
+// for an empty matrix. It exists here to make the paper's representation
+// argument concrete: for a 2^32 x 2^32 IPv4 matrix the pointer array
+// alone is 32 GiB, which is why traffic matrices *must* be hypersparse
+// (DCSR). For small dense-ish matrices CSR's direct row addressing wins;
+// format_advice() captures the crossover.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gbx/dcsr.hpp"
+#include "gbx/error.hpp"
+#include "gbx/types.hpp"
+
+namespace gbx {
+
+template <class T>
+class Csr {
+ public:
+  /// Allocates the O(nrows) pointer array immediately — deliberately, so
+  /// the format's cost model is honest. Guarded against absurd sizes.
+  explicit Csr(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols) {
+    GBX_CHECK_VALUE(nrows > 0 && ncols > 0, "matrix dimensions must be > 0");
+    GBX_CHECK_VALUE(nrows <= kMaxCsrRows,
+                    "CSR row-pointer array would exceed 1 GiB; use the "
+                    "hypersparse Dcsr/Matrix instead");
+    ptr_.assign(static_cast<std::size_t>(nrows) + 1, 0);
+  }
+
+  /// Rows above this need a >1 GiB pointer array: not a CSR use case.
+  static constexpr Index kMaxCsrRows = (Index{1} << 27);
+
+  static Csr from_sorted_unique(Index nrows, Index ncols,
+                                std::span<const Entry<T>> entries) {
+    Csr c(nrows, ncols);
+    c.cols_.reserve(entries.size());
+    c.vals_.reserve(entries.size());
+    for (const auto& e : entries) {
+      GBX_CHECK_INDEX(e.row < nrows && e.col < ncols, "entry out of bounds");
+      ++c.ptr_[static_cast<std::size_t>(e.row) + 1];
+      c.cols_.push_back(e.col);
+      c.vals_.push_back(e.val);
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(nrows); ++r)
+      c.ptr_[r + 1] += c.ptr_[r];
+    return c;
+  }
+
+  static Csr from_dcsr(Index nrows, Index ncols, const Dcsr<T>& d) {
+    Csr c(nrows, ncols);
+    c.cols_.assign(d.cols().begin(), d.cols().end());
+    c.vals_.assign(d.vals().begin(), d.vals().end());
+    for (std::size_t k = 0; k < d.nrows_nonempty(); ++k) {
+      GBX_CHECK_INDEX(d.rows()[k] < nrows, "dcsr row exceeds csr dimension");
+      c.ptr_[static_cast<std::size_t>(d.rows()[k]) + 1] =
+          d.ptr()[k + 1] - d.ptr()[k];
+    }
+    for (std::size_t r = 0; r < static_cast<std::size_t>(nrows); ++r)
+      c.ptr_[r + 1] += c.ptr_[r];
+    return c;
+  }
+
+  Dcsr<T> to_dcsr() const {
+    std::vector<Entry<T>> ent;
+    ent.reserve(nnz());
+    for_each([&](Index i, Index j, T v) { ent.push_back({i, j, v}); });
+    return Dcsr<T>::from_sorted_unique(ent);
+  }
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+  std::size_t nnz() const { return cols_.size(); }
+
+  /// O(1) row addressing — CSR's advantage over DCSR's row search.
+  std::span<const Index> row_cols(Index r) const {
+    GBX_CHECK_INDEX(r < nrows_, "row out of bounds");
+    const auto lo = ptr_[static_cast<std::size_t>(r)];
+    const auto hi = ptr_[static_cast<std::size_t>(r) + 1];
+    return {cols_.data() + lo, hi - lo};
+  }
+
+  std::optional<T> get(Index r, Index c) const {
+    GBX_CHECK_INDEX(r < nrows_ && c < ncols_, "index out of bounds");
+    const auto lo = ptr_[static_cast<std::size_t>(r)];
+    const auto hi = ptr_[static_cast<std::size_t>(r) + 1];
+    auto it = std::lower_bound(cols_.begin() + static_cast<std::ptrdiff_t>(lo),
+                               cols_.begin() + static_cast<std::ptrdiff_t>(hi), c);
+    if (it == cols_.begin() + static_cast<std::ptrdiff_t>(hi) || *it != c)
+      return std::nullopt;
+    return vals_[static_cast<std::size_t>(it - cols_.begin())];
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(nrows_); ++r)
+      for (Offset p = ptr_[r]; p < ptr_[r + 1]; ++p)
+        f(static_cast<Index>(r), cols_[p], vals_[p]);
+  }
+
+  bool validate() const {
+    if (ptr_.size() != static_cast<std::size_t>(nrows_) + 1) return false;
+    if (ptr_.front() != 0 || ptr_.back() != cols_.size()) return false;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(nrows_); ++r) {
+      if (ptr_[r] > ptr_[r + 1]) return false;
+      for (Offset p = ptr_[r] + 1; p < ptr_[r + 1]; ++p)
+        if (cols_[p - 1] >= cols_[p]) return false;
+    }
+    return true;
+  }
+
+  std::size_t memory_bytes() const {
+    return ptr_.capacity() * sizeof(Offset) + cols_.capacity() * sizeof(Index) +
+           vals_.capacity() * sizeof(T);
+  }
+
+ private:
+  Index nrows_;
+  Index ncols_;
+  std::vector<Offset> ptr_;  // length nrows+1 — the O(nrows) cost
+  std::vector<Index> cols_;
+  std::vector<T> vals_;
+};
+
+/// Format guidance: CSR only pays off when the pointer array is small
+/// relative to the payload (row occupancy above ~4%) and representable
+/// at all.
+enum class Format { kCsr, kDcsr };
+
+inline Format format_advice(Index nrows, std::size_t nnz) {
+  if (nrows > Csr<double>::kMaxCsrRows) return Format::kDcsr;
+  const double occupancy =
+      static_cast<double>(nnz) / static_cast<double>(nrows);
+  return occupancy >= 0.04 ? Format::kCsr : Format::kDcsr;
+}
+
+}  // namespace gbx

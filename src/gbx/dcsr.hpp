@@ -1,0 +1,144 @@
+// gbx/dcsr.hpp — doubly-compressed sparse row (hypersparse) storage.
+//
+// DCSR stores only the non-empty rows: `rows[k]` is the k-th non-empty
+// row id, entries of that row live in cols/vals[ptr[k] .. ptr[k+1]).
+// Memory is O(nnz + #non-empty rows) regardless of the matrix dimension,
+// which is what makes a 2^64 x 2^64 IPv6 traffic matrix practical. This
+// is the same structural idea as SuiteSparse:GraphBLAS's hypersparse
+// format (Davis, ACM TOMS 2019).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gbx/coo.hpp"
+#include "gbx/error.hpp"
+#include "gbx/types.hpp"
+
+namespace gbx {
+
+template <class T>
+class Dcsr {
+ public:
+  using value_type = T;
+
+  Dcsr() { ptr_.push_back(0); }
+
+  /// Build from entries sorted by (row, col) with no duplicate keys.
+  /// Precondition checked in debug paths via validate().
+  static Dcsr from_sorted_unique(std::span<const Entry<T>> entries) {
+    Dcsr d;
+    d.ptr_.clear();
+    d.cols_.reserve(entries.size());
+    d.vals_.reserve(entries.size());
+    for (const auto& e : entries) {
+      if (d.rows_.empty() || d.rows_.back() != e.row) {
+        d.rows_.push_back(e.row);
+        d.ptr_.push_back(d.cols_.size());
+      }
+      d.cols_.push_back(e.col);
+      d.vals_.push_back(e.val);
+    }
+    d.ptr_.push_back(d.cols_.size());  // ptr_ == {0} for empty input
+    return d;
+  }
+
+  std::size_t nnz() const { return cols_.size(); }
+  bool empty() const { return cols_.empty(); }
+  /// Number of non-empty rows (the "hyper" dimension).
+  std::size_t nrows_nonempty() const { return rows_.size(); }
+
+  void clear() {
+    rows_.clear();
+    ptr_.assign(1, 0);
+    cols_.clear();
+    vals_.clear();
+  }
+
+  /// Release all heap memory.
+  void reset() {
+    std::vector<Index>().swap(rows_);
+    std::vector<Offset> p(1, 0);
+    ptr_.swap(p);
+    std::vector<Index>().swap(cols_);
+    std::vector<T>().swap(vals_);
+  }
+
+  /// Value lookup; nullopt when the coordinate holds no entry.
+  std::optional<T> get(Index row, Index col) const {
+    auto rit = std::lower_bound(rows_.begin(), rows_.end(), row);
+    if (rit == rows_.end() || *rit != row) return std::nullopt;
+    const std::size_t k = static_cast<std::size_t>(rit - rows_.begin());
+    const auto lo = cols_.begin() + static_cast<std::ptrdiff_t>(ptr_[k]);
+    const auto hi = cols_.begin() + static_cast<std::ptrdiff_t>(ptr_[k + 1]);
+    auto cit = std::lower_bound(lo, hi, col);
+    if (cit == hi || *cit != col) return std::nullopt;
+    return vals_[static_cast<std::size_t>(cit - cols_.begin())];
+  }
+
+  /// Emit all entries, in (row, col) order, appended to `out`.
+  void extract(Tuples<T>& out) const {
+    out.reserve(out.size() + nnz());
+    for (std::size_t k = 0; k < rows_.size(); ++k)
+      for (Offset p = ptr_[k]; p < ptr_[k + 1]; ++p)
+        out.push_back(rows_[k], cols_[p], vals_[p]);
+  }
+
+  /// Row-major traversal: f(row, col, value) for every entry.
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::size_t k = 0; k < rows_.size(); ++k)
+      for (Offset p = ptr_[k]; p < ptr_[k + 1]; ++p)
+        f(rows_[k], cols_[p], vals_[p]);
+  }
+
+  /// Structural invariant check (used heavily in tests):
+  /// rows strictly increasing, ptr monotone, cols strictly increasing
+  /// within each row, no empty stored row.
+  bool validate() const {
+    if (ptr_.size() != rows_.size() + 1) return false;
+    if (ptr_.front() != 0 || ptr_.back() != cols_.size()) return false;
+    if (cols_.size() != vals_.size()) return false;
+    for (std::size_t k = 0; k + 1 < rows_.size(); ++k)
+      if (rows_[k] >= rows_[k + 1]) return false;
+    for (std::size_t k = 0; k < rows_.size(); ++k) {
+      if (ptr_[k] >= ptr_[k + 1]) return false;  // empty rows are dropped
+      for (Offset p = ptr_[k] + 1; p < ptr_[k + 1]; ++p)
+        if (cols_[p - 1] >= cols_[p]) return false;
+    }
+    return true;
+  }
+
+  std::size_t memory_bytes() const {
+    return rows_.capacity() * sizeof(Index) + ptr_.capacity() * sizeof(Offset) +
+           cols_.capacity() * sizeof(Index) + vals_.capacity() * sizeof(T);
+  }
+
+  // Raw views for kernels (ewise, mxm, ...).
+  std::span<const Index> rows() const { return rows_; }
+  std::span<const Offset> ptr() const { return ptr_; }
+  std::span<const Index> cols() const { return cols_; }
+  std::span<const T> vals() const { return vals_; }
+
+  /// Direct (mutating) access for kernel output assembly.
+  std::vector<Index>& mutable_rows() { return rows_; }
+  std::vector<Offset>& mutable_ptr() { return ptr_; }
+  std::vector<Index>& mutable_cols() { return cols_; }
+  std::vector<T>& mutable_vals() { return vals_; }
+
+  friend bool operator==(const Dcsr& a, const Dcsr& b) {
+    return a.rows_ == b.rows_ && a.ptr_ == b.ptr_ && a.cols_ == b.cols_ &&
+           a.vals_ == b.vals_;
+  }
+
+ private:
+  std::vector<Index> rows_;   // non-empty row ids, strictly increasing
+  std::vector<Offset> ptr_;   // size rows_.size()+1, offsets into cols_/vals_
+  std::vector<Index> cols_;   // column ids, strictly increasing per row
+  std::vector<T> vals_;
+};
+
+}  // namespace gbx

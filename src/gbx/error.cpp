@@ -1,0 +1,24 @@
+#include "gbx/error.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace gbx::detail {
+
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  // Keep only the basename so messages are stable across build roots.
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::ostringstream os;
+  os << "gbx: " << msg << " [check `" << expr << "` failed at " << base << ':'
+     << line << ']';
+  const std::string what = os.str();
+  if (std::strcmp(kind, "DimensionMismatch") == 0) throw DimensionMismatch(what);
+  if (std::strcmp(kind, "IndexOutOfBounds") == 0) throw IndexOutOfBounds(what);
+  if (std::strcmp(kind, "InvalidValue") == 0) throw InvalidValue(what);
+  throw Error(what);
+}
+
+}  // namespace gbx::detail

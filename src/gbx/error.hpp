@@ -1,0 +1,58 @@
+// gbx/error.hpp — error handling for the gbx GraphBLAS-style kernel library.
+//
+// All precondition violations (dimension mismatch, domain errors, bad
+// arguments) throw gbx::Error carrying the failing expression and location.
+// Kernels never silently truncate or wrap.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gbx {
+
+/// Exception type thrown on any API misuse or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Dimension mismatch between operands (GrB_DIMENSION_MISMATCH analogue).
+class DimensionMismatch : public Error {
+ public:
+  explicit DimensionMismatch(const std::string& what) : Error(what) {}
+};
+
+/// Index outside the matrix/vector domain (GrB_INDEX_OUT_OF_BOUNDS analogue).
+class IndexOutOfBounds : public Error {
+ public:
+  explicit IndexOutOfBounds(const std::string& what) : Error(what) {}
+};
+
+/// Invalid argument value (GrB_INVALID_VALUE analogue).
+class InvalidValue : public Error {
+ public:
+  explicit InvalidValue(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace gbx
+
+/// Precondition check: throws gbx::Error subclasses with context on failure.
+/// KIND is one of Error, DimensionMismatch, IndexOutOfBounds, InvalidValue.
+#define GBX_CHECK_KIND(expr, KIND, msg)                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::gbx::detail::throw_check_failure(#KIND, #expr, __FILE__, __LINE__, \
+                                         (msg));                            \
+    }                                                                       \
+  } while (0)
+
+#define GBX_CHECK(expr, msg) GBX_CHECK_KIND(expr, Error, msg)
+#define GBX_CHECK_DIM(expr, msg) GBX_CHECK_KIND(expr, DimensionMismatch, msg)
+#define GBX_CHECK_INDEX(expr, msg) GBX_CHECK_KIND(expr, IndexOutOfBounds, msg)
+#define GBX_CHECK_VALUE(expr, msg) GBX_CHECK_KIND(expr, InvalidValue, msg)

@@ -1,0 +1,236 @@
+// gbx/ewise.hpp — element-wise union (add) and intersection (mult) merges.
+//
+// eWiseAdd over a commutative monoid is *the* operation of the paper:
+// every cascade fold (A_{i+1} += A_i) and every query (A = Σ A_i) is one
+// of these merges. The kernel is a two-pass rowwise merge: pass 1 counts
+// the union/intersection size per output row (parallel), pass 2 fills
+// (parallel), so the output DCSR is assembled without locks or
+// reallocation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gbx/dcsr.hpp"
+#include "gbx/parallel.hpp"
+
+namespace gbx {
+
+namespace detail {
+
+inline constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+
+/// Union-merge the non-empty row lists of A and B. For each output row
+/// produces the indices of that row in A and in B (kNoRow if absent).
+inline void merge_row_lists(std::span<const Index> ra, std::span<const Index> rb,
+                            std::vector<Index>& out_rows,
+                            std::vector<std::size_t>& ia,
+                            std::vector<std::size_t>& ib) {
+  out_rows.clear();
+  ia.clear();
+  ib.clear();
+  out_rows.reserve(ra.size() + rb.size());
+  ia.reserve(ra.size() + rb.size());
+  ib.reserve(ra.size() + rb.size());
+  std::size_t a = 0, b = 0;
+  while (a < ra.size() && b < rb.size()) {
+    if (ra[a] < rb[b]) {
+      out_rows.push_back(ra[a]);
+      ia.push_back(a++);
+      ib.push_back(kNoRow);
+    } else if (rb[b] < ra[a]) {
+      out_rows.push_back(rb[b]);
+      ia.push_back(kNoRow);
+      ib.push_back(b++);
+    } else {
+      out_rows.push_back(ra[a]);
+      ia.push_back(a++);
+      ib.push_back(b++);
+    }
+  }
+  for (; a < ra.size(); ++a) {
+    out_rows.push_back(ra[a]);
+    ia.push_back(a);
+    ib.push_back(kNoRow);
+  }
+  for (; b < rb.size(); ++b) {
+    out_rows.push_back(rb[b]);
+    ia.push_back(kNoRow);
+    ib.push_back(b);
+  }
+}
+
+/// Count the union size of two sorted column segments.
+inline std::size_t union_count(std::span<const Index> ca,
+                               std::span<const Index> cb) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < ca.size() && j < cb.size()) {
+    if (ca[i] < cb[j]) ++i;
+    else if (cb[j] < ca[i]) ++j;
+    else { ++i; ++j; }
+    ++n;
+  }
+  return n + (ca.size() - i) + (cb.size() - j);
+}
+
+/// Count the intersection size of two sorted column segments.
+inline std::size_t intersect_count(std::span<const Index> ca,
+                                   std::span<const Index> cb) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < ca.size() && j < cb.size()) {
+    if (ca[i] < cb[j]) ++i;
+    else if (cb[j] < ca[i]) ++j;
+    else { ++i; ++j; ++n; }
+  }
+  return n;
+}
+
+}  // namespace detail
+
+/// C = A ⊕ B (set union; both-present entries combined with Op).
+/// Op must be commutative when used from order-agnostic callers.
+template <class Op, class T>
+Dcsr<T> ewise_add(const Dcsr<T>& A, const Dcsr<T>& B) {
+  if (A.empty()) return B;
+  if (B.empty()) return A;
+
+  std::vector<Index> rows;
+  std::vector<std::size_t> ia, ib;
+  detail::merge_row_lists(A.rows(), B.rows(), rows, ia, ib);
+  const std::size_t nr = rows.size();
+
+  // Pass 1: exact per-row output counts.
+  std::vector<Offset> ptr(nr + 1, 0);
+#pragma omp parallel for schedule(guided)
+  for (std::size_t k = 0; k < nr; ++k) {
+    const std::size_t a = ia[k], b = ib[k];
+    std::size_t cnt;
+    if (a == detail::kNoRow) {
+      cnt = static_cast<std::size_t>(B.ptr()[b + 1] - B.ptr()[b]);
+    } else if (b == detail::kNoRow) {
+      cnt = static_cast<std::size_t>(A.ptr()[a + 1] - A.ptr()[a]);
+    } else {
+      cnt = detail::union_count(
+          A.cols().subspan(A.ptr()[a], A.ptr()[a + 1] - A.ptr()[a]),
+          B.cols().subspan(B.ptr()[b], B.ptr()[b + 1] - B.ptr()[b]));
+    }
+    ptr[k + 1] = cnt;
+  }
+  for (std::size_t k = 0; k < nr; ++k) ptr[k + 1] += ptr[k];
+
+  Dcsr<T> C;
+  C.mutable_rows() = std::move(rows);
+  C.mutable_ptr() = std::move(ptr);
+  C.mutable_cols().resize(C.mutable_ptr()[nr]);
+  C.mutable_vals().resize(C.mutable_ptr()[nr]);
+
+  // Pass 2: fill.
+  auto& cp = C.mutable_ptr();
+  auto& cc = C.mutable_cols();
+  auto& cv = C.mutable_vals();
+#pragma omp parallel for schedule(guided)
+  for (std::size_t k = 0; k < nr; ++k) {
+    Offset w = cp[k];
+    const std::size_t a = ia[k], b = ib[k];
+    if (a == detail::kNoRow) {
+      for (Offset p = B.ptr()[b]; p < B.ptr()[b + 1]; ++p, ++w) {
+        cc[w] = B.cols()[p];
+        cv[w] = B.vals()[p];
+      }
+      continue;
+    }
+    if (b == detail::kNoRow) {
+      for (Offset p = A.ptr()[a]; p < A.ptr()[a + 1]; ++p, ++w) {
+        cc[w] = A.cols()[p];
+        cv[w] = A.vals()[p];
+      }
+      continue;
+    }
+    Offset pa = A.ptr()[a], ea = A.ptr()[a + 1];
+    Offset pb = B.ptr()[b], eb = B.ptr()[b + 1];
+    while (pa < ea && pb < eb) {
+      const Index caI = A.cols()[pa], cbI = B.cols()[pb];
+      if (caI < cbI) {
+        cc[w] = caI;
+        cv[w++] = A.vals()[pa++];
+      } else if (cbI < caI) {
+        cc[w] = cbI;
+        cv[w++] = B.vals()[pb++];
+      } else {
+        cc[w] = caI;
+        cv[w++] = Op::apply(A.vals()[pa++], B.vals()[pb++]);
+      }
+    }
+    for (; pa < ea; ++pa, ++w) {
+      cc[w] = A.cols()[pa];
+      cv[w] = A.vals()[pa];
+    }
+    for (; pb < eb; ++pb, ++w) {
+      cc[w] = B.cols()[pb];
+      cv[w] = B.vals()[pb];
+    }
+  }
+  return C;
+}
+
+/// C = A ⊗ B (set intersection; values combined with Op). Rows present in
+/// only one operand vanish, as do rows whose column intersection is empty.
+template <class Op, class T>
+Dcsr<T> ewise_mult(const Dcsr<T>& A, const Dcsr<T>& B) {
+  Dcsr<T> C;
+  if (A.empty() || B.empty()) return C;
+
+  std::vector<Index> rows;
+  std::vector<std::size_t> ia, ib;
+  detail::merge_row_lists(A.rows(), B.rows(), rows, ia, ib);
+  const std::size_t nr = rows.size();
+
+  std::vector<Offset> cnt(nr, 0);
+#pragma omp parallel for schedule(guided)
+  for (std::size_t k = 0; k < nr; ++k) {
+    if (ia[k] == detail::kNoRow || ib[k] == detail::kNoRow) continue;
+    cnt[k] = detail::intersect_count(
+        A.cols().subspan(A.ptr()[ia[k]], A.ptr()[ia[k] + 1] - A.ptr()[ia[k]]),
+        B.cols().subspan(B.ptr()[ib[k]], B.ptr()[ib[k] + 1] - B.ptr()[ib[k]]));
+  }
+
+  // Compact away empty output rows while building ptr.
+  std::vector<Index> out_rows;
+  std::vector<std::size_t> oia, oib;
+  std::vector<Offset> ptr{0};
+  for (std::size_t k = 0; k < nr; ++k) {
+    if (cnt[k] == 0) continue;
+    out_rows.push_back(rows[k]);
+    oia.push_back(ia[k]);
+    oib.push_back(ib[k]);
+    ptr.push_back(ptr.back() + cnt[k]);
+  }
+  const std::size_t onr = out_rows.size();
+
+  C.mutable_rows() = std::move(out_rows);
+  C.mutable_ptr() = std::move(ptr);
+  C.mutable_cols().resize(C.mutable_ptr()[onr]);
+  C.mutable_vals().resize(C.mutable_ptr()[onr]);
+
+  auto& cp = C.mutable_ptr();
+  auto& cc = C.mutable_cols();
+  auto& cv = C.mutable_vals();
+#pragma omp parallel for schedule(guided)
+  for (std::size_t k = 0; k < onr; ++k) {
+    Offset w = cp[k];
+    Offset pa = A.ptr()[oia[k]], ea = A.ptr()[oia[k] + 1];
+    Offset pb = B.ptr()[oib[k]], eb = B.ptr()[oib[k] + 1];
+    while (pa < ea && pb < eb) {
+      const Index caI = A.cols()[pa], cbI = B.cols()[pb];
+      if (caI < cbI) ++pa;
+      else if (cbI < caI) ++pb;
+      else {
+        cc[w] = caI;
+        cv[w++] = Op::apply(A.vals()[pa++], B.vals()[pb++]);
+      }
+    }
+  }
+  return C;
+}
+
+}  // namespace gbx

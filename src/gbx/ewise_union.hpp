@@ -1,0 +1,73 @@
+// gbx/ewise_union.hpp — eWiseUnion with operand defaults (GxB_eWiseUnion).
+//
+// Unlike eWiseAdd — which passes through the present operand unchanged at
+// union-only coordinates — eWiseUnion substitutes explicit default values
+// for the missing side and always applies the operator:
+//   C(i,j) = op(A(i,j) or alpha, B(i,j) or beta).
+// Essential for non-idempotent ops like minus: A - B needs beta = 0, not
+// pass-through of B.
+#pragma once
+
+#include "gbx/matrix.hpp"
+#include "gbx/sort.hpp"
+
+namespace gbx {
+
+template <class Op, class T, class M>
+Matrix<T, M> ewise_union(const Matrix<T, M>& A, T alpha, const Matrix<T, M>& B,
+                         T beta) {
+  GBX_CHECK_DIM(A.nrows() == B.nrows() && A.ncols() == B.ncols(),
+                "eWiseUnion dimension mismatch");
+  const Dcsr<T>& sa = A.storage();
+  const Dcsr<T>& sb = B.storage();
+
+  std::vector<Entry<T>> ent;
+  ent.reserve(sa.nnz() + sb.nnz());
+
+  // Tag-merge both operands' entries, then combine per coordinate.
+  sa.for_each([&](Index i, Index j, T v) { ent.push_back({i, j, v}); });
+  const std::size_t na = ent.size();
+  sb.for_each([&](Index i, Index j, T v) { ent.push_back({i, j, v}); });
+
+  // Positions < na came from A. Sort by key, stable-ish handling below
+  // relies on the key only; at shared keys both entries exist.
+  std::vector<std::uint8_t> from_b(ent.size());
+  for (std::size_t k = na; k < ent.size(); ++k) from_b[k] = 1;
+  // Sort indices to keep origin tags aligned.
+  std::vector<std::size_t> order(ent.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (ent[x].row != ent[y].row) return ent[x].row < ent[y].row;
+    if (ent[x].col != ent[y].col) return ent[x].col < ent[y].col;
+    return from_b[x] < from_b[y];  // A before B at shared keys
+  });
+
+  std::vector<Entry<T>> out;
+  out.reserve(ent.size());
+  std::size_t k = 0;
+  while (k < order.size()) {
+    const auto& e1 = ent[order[k]];
+    const bool b1 = from_b[order[k]] != 0;
+    if (k + 1 < order.size()) {
+      const auto& e2 = ent[order[k + 1]];
+      if (entry_key_equal(e1, e2)) {
+        out.push_back({e1.row, e1.col, Op::apply(e1.val, e2.val)});
+        k += 2;
+        continue;
+      }
+    }
+    out.push_back(b1 ? Entry<T>{e1.row, e1.col, Op::apply(alpha, e1.val)}
+                     : Entry<T>{e1.row, e1.col, Op::apply(e1.val, beta)});
+    ++k;
+  }
+  return Matrix<T, M>::adopt(A.nrows(), A.ncols(),
+                             Dcsr<T>::from_sorted_unique(out));
+}
+
+/// A - B with proper union semantics (missing entries read as 0).
+template <class T, class M>
+Matrix<T, M> subtract(const Matrix<T, M>& A, const Matrix<T, M>& B) {
+  return ewise_union<Minus<T>>(A, T{0}, B, T{0});
+}
+
+}  // namespace gbx

@@ -1,0 +1,89 @@
+// gbx/extract.hpp — submatrix extraction (GrB_extract analogue).
+//
+// C = A(I, J): row/column index lists select a submatrix whose
+// coordinates are *remapped to list positions*, exactly as GraphBLAS
+// defines extraction. Contiguous-range extraction keeps original
+// coordinates shifted to the range origin.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "gbx/matrix.hpp"
+
+namespace gbx {
+
+/// C = A(I, J) with I, J sorted unique index lists. Result is |I| x |J|,
+/// entry (a, b) of C is A(I[a], J[b]) where present.
+template <class T, class M>
+Matrix<T, M> extract(const Matrix<T, M>& A, std::span<const Index> I,
+                     std::span<const Index> J) {
+  GBX_CHECK_VALUE(!I.empty() && !J.empty(), "extract index lists must be non-empty");
+  GBX_CHECK(std::is_sorted(I.begin(), I.end()) &&
+                std::adjacent_find(I.begin(), I.end()) == I.end(),
+            "row index list must be sorted and unique");
+  GBX_CHECK(std::is_sorted(J.begin(), J.end()) &&
+                std::adjacent_find(J.begin(), J.end()) == J.end(),
+            "column index list must be sorted and unique");
+  for (Index i : I) GBX_CHECK_INDEX(i < A.nrows(), "extract row out of bounds");
+  for (Index j : J) GBX_CHECK_INDEX(j < A.ncols(), "extract column out of bounds");
+
+  std::unordered_map<Index, Index> jmap;
+  jmap.reserve(J.size() * 2);
+  for (std::size_t b = 0; b < J.size(); ++b) jmap.emplace(J[b], b);
+
+  const Dcsr<T>& s = A.storage();
+  std::vector<Entry<T>> keep;
+  // Walk the selected rows only: binary search each I[a] in the stored
+  // row list (I is typically much smaller than the stored row count).
+  auto rows = s.rows();
+  for (std::size_t a = 0; a < I.size(); ++a) {
+    auto rit = std::lower_bound(rows.begin(), rows.end(), I[a]);
+    if (rit == rows.end() || *rit != I[a]) continue;
+    const std::size_t k = static_cast<std::size_t>(rit - rows.begin());
+    for (Offset p = s.ptr()[k]; p < s.ptr()[k + 1]; ++p) {
+      auto it = jmap.find(s.cols()[p]);
+      if (it != jmap.end())
+        keep.push_back({static_cast<Index>(a), it->second, s.vals()[p]});
+    }
+  }
+  // Rows were visited in I order but J-positions may be out of order
+  // within a row; restore (row, col) order.
+  std::sort(keep.begin(), keep.end(), entry_less<T>);
+  return Matrix<T, M>::adopt(I.size(), J.size(),
+                             Dcsr<T>::from_sorted_unique(keep));
+}
+
+/// C = A(r0:r1-1, c0:c1-1), half-open ranges; coordinates shifted by
+/// (r0, c0). Result is (r1-r0) x (c1-c0).
+template <class T, class M>
+Matrix<T, M> extract_range(const Matrix<T, M>& A, Index r0, Index r1, Index c0,
+                           Index c1) {
+  GBX_CHECK_VALUE(r0 < r1 && c0 < c1, "extract_range requires non-empty ranges");
+  GBX_CHECK_INDEX(r1 <= A.nrows() && c1 <= A.ncols(),
+                  "extract_range out of bounds");
+  const Dcsr<T>& s = A.storage();
+  std::vector<Entry<T>> keep;
+  auto rows = s.rows();
+  const std::size_t klo = static_cast<std::size_t>(
+      std::lower_bound(rows.begin(), rows.end(), r0) - rows.begin());
+  const std::size_t khi = static_cast<std::size_t>(
+      std::lower_bound(rows.begin(), rows.end(), r1) - rows.begin());
+  for (std::size_t k = klo; k < khi; ++k) {
+    const auto clo = s.cols().begin() + static_cast<std::ptrdiff_t>(s.ptr()[k]);
+    const auto chi =
+        s.cols().begin() + static_cast<std::ptrdiff_t>(s.ptr()[k + 1]);
+    auto p0 = std::lower_bound(clo, chi, c0);
+    auto p1 = std::lower_bound(clo, chi, c1);
+    for (auto it = p0; it != p1; ++it) {
+      const Offset p =
+          static_cast<Offset>(it - s.cols().begin());
+      keep.push_back({rows[k] - r0, *it - c0, s.vals()[p]});
+    }
+  }
+  return Matrix<T, M>::adopt(r1 - r0, c1 - c0,
+                             Dcsr<T>::from_sorted_unique(keep));
+}
+
+}  // namespace gbx

@@ -1,0 +1,43 @@
+// gbx/gbx.hpp — umbrella header for the gbx hypersparse kernel library.
+//
+// gbx is a from-scratch C++20 reimplementation of the GraphBLAS
+// functionality the hierarchical hypersparse matrix paper builds on
+// (SuiteSparse:GraphBLAS; Davis, ACM TOMS 2019): typed algebra
+// (ops/monoids/semirings), hypersparse DCSR storage with pending-tuple
+// streaming updates, and the standard kernel set (eWise, mxm/mxv/vxm,
+// reduce, apply, select, extract, assign, transpose, kron, masks).
+#pragma once
+
+#include "gbx/apply.hpp"
+#include "gbx/assign.hpp"
+#include "gbx/coo.hpp"
+#include "gbx/csr.hpp"
+#include "gbx/dcsr.hpp"
+#include "gbx/error.hpp"
+#include "gbx/ewise.hpp"
+#include "gbx/ewise_union.hpp"
+#include "gbx/extract.hpp"
+#include "gbx/index_apply.hpp"
+#include "gbx/io.hpp"
+#include "gbx/iterator.hpp"
+#include "gbx/kron.hpp"
+#include "gbx/mask.hpp"
+#include "gbx/matrix.hpp"
+#include "gbx/matrix_ops.hpp"
+#include "gbx/monoid.hpp"
+#include "gbx/mxm.hpp"
+#include "gbx/mxm_masked.hpp"
+#include "gbx/mxv.hpp"
+#include "gbx/outer.hpp"
+#include "gbx/ops.hpp"
+#include "gbx/parallel.hpp"
+#include "gbx/reduce.hpp"
+#include "gbx/select.hpp"
+#include "gbx/semiring.hpp"
+#include "gbx/serialize.hpp"
+#include "gbx/sort.hpp"
+#include "gbx/structure.hpp"
+#include "gbx/transpose.hpp"
+#include "gbx/types.hpp"
+#include "gbx/vector.hpp"
+#include "gbx/vector_ops.hpp"

@@ -1,0 +1,45 @@
+// gbx/index_apply.hpp — index-aware value transforms (GrB_IndexUnaryOp).
+//
+// apply_index computes C(i,j) = f(i, j, A(i,j)) over the stored pattern.
+// Covers the GraphBLAS index-unary built-ins (rowindex, colindex,
+// diagindex) plus arbitrary user transforms; selection by index predicate
+// lives in select.hpp.
+#pragma once
+
+#include "gbx/matrix.hpp"
+
+namespace gbx {
+
+/// C(i,j) = f(i, j, A(i,j)); structure preserved exactly.
+template <class T, class M, class F>
+Matrix<T, M> apply_index(const Matrix<T, M>& A, F&& f) {
+  const Dcsr<T>& s = A.storage();
+  std::vector<Entry<T>> ent;
+  ent.reserve(s.nnz());
+  s.for_each([&](Index i, Index j, T v) { ent.push_back({i, j, f(i, j, v)}); });
+  return Matrix<T, M>::adopt(A.nrows(), A.ncols(),
+                             Dcsr<T>::from_sorted_unique(ent));
+}
+
+/// C(i,j) = i (row index as value, GrB_ROWINDEX). Values must fit T.
+template <class T, class M>
+Matrix<T, M> rowindex(const Matrix<T, M>& A) {
+  return apply_index(A, [](Index i, Index, T) { return static_cast<T>(i); });
+}
+
+/// C(i,j) = j (GrB_COLINDEX).
+template <class T, class M>
+Matrix<T, M> colindex(const Matrix<T, M>& A) {
+  return apply_index(A, [](Index, Index j, T) { return static_cast<T>(j); });
+}
+
+/// C(i,j) = j - i as a signed offset cast into T (GrB_DIAGINDEX).
+template <class T, class M>
+Matrix<T, M> diagindex(const Matrix<T, M>& A) {
+  return apply_index(A, [](Index i, Index j, T) {
+    return static_cast<T>(static_cast<double>(static_cast<__int128>(j) -
+                                              static_cast<__int128>(i)));
+  });
+}
+
+}  // namespace gbx

@@ -1,0 +1,79 @@
+// gbx/io.hpp — diagnostics and simple interchange I/O.
+//
+// Human-readable printing for small matrices plus a MatrixMarket-style
+// coordinate text format (sufficient for examples and test fixtures; the
+// dialect is the standard "%%MatrixMarket matrix coordinate real general"
+// header with 1-based coordinates).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "gbx/matrix.hpp"
+
+namespace gbx {
+
+/// Compact one-line summary: dims, nvals, pending, memory.
+template <class T, class M>
+std::string describe(const Matrix<T, M>& A) {
+  std::ostringstream os;
+  os << "Matrix<" << type_name<T>() << "> " << A.nrows() << "x" << A.ncols()
+     << " nvals_bound=" << A.nvals_bound() << " pending=" << A.pending_count()
+     << " mem=" << A.memory_bytes() << "B";
+  return os.str();
+}
+
+/// Print entries as "(i, j) = v" lines (folds pending). Intended for
+/// small matrices in examples/tests.
+template <class T, class M>
+void print(std::ostream& os, const Matrix<T, M>& A,
+           std::size_t max_entries = 64) {
+  os << describe(A) << "\n";
+  std::size_t n = 0;
+  A.for_each([&](Index i, Index j, T v) {
+    if (n < max_entries) os << "  (" << i << ", " << j << ") = " << v << "\n";
+    else if (n == max_entries) os << "  ...\n";
+    ++n;
+  });
+}
+
+/// Write MatrixMarket coordinate format (1-based).
+template <class T, class M>
+void write_matrix_market(std::ostream& os, const Matrix<T, M>& A) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << A.nrows() << ' ' << A.ncols() << ' ' << A.nvals() << '\n';
+  A.for_each([&](Index i, Index j, T v) {
+    os << (i + 1) << ' ' << (j + 1) << ' ' << +v << '\n';
+  });
+}
+
+/// Read MatrixMarket coordinate format (1-based, real or integer general).
+template <class T, class M = PlusMonoid<T>>
+Matrix<T, M> read_matrix_market(std::istream& is) {
+  std::string line;
+  // Skip the banner and comments.
+  do {
+    GBX_CHECK(static_cast<bool>(std::getline(is, line)),
+              "MatrixMarket: missing size line");
+  } while (!line.empty() && line[0] == '%');
+  std::istringstream hdr(line);
+  Index nr = 0, nc = 0;
+  std::size_t nnz = 0;
+  GBX_CHECK(static_cast<bool>(hdr >> nr >> nc >> nnz),
+            "MatrixMarket: malformed size line");
+  Matrix<T, M> A(nr, nc);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    Index i, j;
+    double v;
+    GBX_CHECK(static_cast<bool>(is >> i >> j >> v),
+              "MatrixMarket: truncated entry list");
+    GBX_CHECK_VALUE(i >= 1 && j >= 1, "MatrixMarket coordinates are 1-based");
+    A.set_element(i - 1, j - 1, static_cast<T>(v));
+  }
+  A.materialize();
+  return A;
+}
+
+}  // namespace gbx

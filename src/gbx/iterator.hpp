@@ -1,0 +1,59 @@
+// gbx/iterator.hpp — cursor-style entry iteration (GxB_Iterator analogue).
+//
+// For consumers that need stateful traversal (merging external streams
+// against a matrix, pagination in services) rather than the internal
+// for_each. Iterates the materialized DCSR in (row, col) order.
+#pragma once
+
+#include "gbx/matrix.hpp"
+
+namespace gbx {
+
+template <class T, class M = PlusMonoid<T>>
+class MatrixIterator {
+ public:
+  explicit MatrixIterator(const Matrix<T, M>& A) : s_(&A.storage()) {}
+
+  bool done() const { return k_ >= s_->nrows_nonempty(); }
+
+  Index row() const { return s_->rows()[k_]; }
+  Index col() const { return s_->cols()[p_]; }
+  T value() const { return s_->vals()[p_]; }
+
+  /// Advance one entry; returns false when exhausted.
+  bool next() {
+    if (done()) return false;
+    if (++p_ >= s_->ptr()[k_ + 1]) {
+      ++k_;
+      if (done()) return false;
+      p_ = s_->ptr()[k_];
+    }
+    return !done();
+  }
+
+  /// Jump to the first entry with row id >= target. Returns true if the
+  /// iterator lands on a valid entry.
+  bool seek_row(Index target) {
+    auto rows = s_->rows();
+    auto it = std::lower_bound(rows.begin(), rows.end(), target);
+    k_ = static_cast<std::size_t>(it - rows.begin());
+    if (done()) return false;
+    p_ = s_->ptr()[k_];
+    return true;
+  }
+
+  /// Position on the very first entry (call before reading on a fresh
+  /// iterator — construction leaves it positioned there already; this is
+  /// for reuse).
+  void rewind() {
+    k_ = 0;
+    p_ = s_->nrows_nonempty() ? s_->ptr()[0] : 0;
+  }
+
+ private:
+  const Dcsr<T>* s_;
+  std::size_t k_ = 0;
+  Offset p_ = 0;
+};
+
+}  // namespace gbx

@@ -1,0 +1,36 @@
+// gbx/kron.hpp — Kronecker product (GrB_kronecker analogue).
+//
+// C = A ⊗ B over a multiplicative op: C(ia*nb_r + ib, ja*nb_c + jb) =
+// mul(A(ia,ja), B(ib,jb)). Kronecker products both stress the hypersparse
+// formats and power the Graph500-style generators in gen/.
+#pragma once
+
+#include "gbx/matrix.hpp"
+#include "gbx/sort.hpp"
+
+namespace gbx {
+
+template <class MulOp, class T, class M>
+Matrix<T, M> kron(const Matrix<T, M>& A, const Matrix<T, M>& B) {
+  // Guard dimension overflow: result dims must fit in Index.
+  const auto nr = static_cast<unsigned __int128>(A.nrows()) * B.nrows();
+  const auto nc = static_cast<unsigned __int128>(A.ncols()) * B.ncols();
+  GBX_CHECK_VALUE(nr <= kIndexMax && nc <= kIndexMax,
+                  "kron result dimensions overflow Index");
+
+  const Dcsr<T>& sa = A.storage();
+  const Dcsr<T>& sb = B.storage();
+  std::vector<Entry<T>> ent;
+  ent.reserve(sa.nnz() * sb.nnz());
+  sa.for_each([&](Index ia, Index ja, T va) {
+    sb.for_each([&](Index ib, Index jb, T vb) {
+      ent.push_back({ia * B.nrows() + ib, ja * B.ncols() + jb,
+                     MulOp::apply(va, vb)});
+    });
+  });
+  sort_entries(ent);
+  return Matrix<T, M>::adopt(static_cast<Index>(nr), static_cast<Index>(nc),
+                             Dcsr<T>::from_sorted_unique(ent));
+}
+
+}  // namespace gbx

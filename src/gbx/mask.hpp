@@ -1,0 +1,46 @@
+// gbx/mask.hpp — structural masks (GrB mask analogue).
+//
+// gbx supports structural masks: an entry of the result survives iff the
+// mask holds an entry at that coordinate (or does NOT, when complemented).
+// Valued masks can be emulated by pruning zeros from the mask first
+// (select.hpp / prune_zeros).
+#pragma once
+
+#include "gbx/ewise.hpp"
+#include "gbx/matrix.hpp"
+
+namespace gbx {
+
+/// C = A<M>: keep entries of A at coordinates present in mask.
+template <class T, class M, class TM, class MM>
+Matrix<T, M> mask_keep(const Matrix<T, M>& A, const Matrix<TM, MM>& mask) {
+  GBX_CHECK_DIM(A.nrows() == mask.nrows() && A.ncols() == mask.ncols(),
+                "mask dimension mismatch");
+  const Dcsr<TM>& sm = mask.storage();
+  const Dcsr<T>& sa = A.storage();
+  std::vector<Entry<T>> keep;
+  keep.reserve(std::min(sa.nnz(), sm.nnz()));
+  sa.for_each([&](Index i, Index j, T v) {
+    if (sm.get(i, j).has_value()) keep.push_back({i, j, v});
+  });
+  return Matrix<T, M>::adopt(A.nrows(), A.ncols(),
+                             Dcsr<T>::from_sorted_unique(keep));
+}
+
+/// C = A<!M>: keep entries of A at coordinates absent from mask.
+template <class T, class M, class TM, class MM>
+Matrix<T, M> mask_drop(const Matrix<T, M>& A, const Matrix<TM, MM>& mask) {
+  GBX_CHECK_DIM(A.nrows() == mask.nrows() && A.ncols() == mask.ncols(),
+                "mask dimension mismatch");
+  const Dcsr<TM>& sm = mask.storage();
+  const Dcsr<T>& sa = A.storage();
+  std::vector<Entry<T>> keep;
+  keep.reserve(sa.nnz());
+  sa.for_each([&](Index i, Index j, T v) {
+    if (!sm.get(i, j).has_value()) keep.push_back({i, j, v});
+  });
+  return Matrix<T, M>::adopt(A.nrows(), A.ncols(),
+                             Dcsr<T>::from_sorted_unique(keep));
+}
+
+}  // namespace gbx

@@ -1,0 +1,202 @@
+// gbx/matrix.hpp — the hypersparse matrix façade.
+//
+// Matrix pairs immutable DCSR storage with an unsorted *pending tuple*
+// buffer, mirroring SuiteSparse:GraphBLAS's non-blocking mode: streaming
+// updates append to the pending buffer in O(1) and are folded into the
+// compressed structure only when a result is demanded (or the owner
+// forces a fold). The hierarchical cascade of the paper stacks these
+// matrices in levels; level 1's pending buffer is the "fast memory" of
+// the paper's Fig. 1.
+//
+// The fold monoid is a class-level policy (default: plus). All pending
+// folds combine duplicate coordinates with this monoid, so a Matrix is
+// semantically "the monoid-sum of everything ever appended".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "gbx/coo.hpp"
+#include "gbx/dcsr.hpp"
+#include "gbx/error.hpp"
+#include "gbx/ewise.hpp"
+#include "gbx/monoid.hpp"
+#include "gbx/types.hpp"
+
+namespace gbx {
+
+template <class T, class AddMonoid = PlusMonoid<T>>
+class Matrix {
+ public:
+  using value_type = T;
+  using add_monoid = AddMonoid;
+  using add_op = typename AddMonoid::op_type;
+
+  /// An empty nrows x ncols hypersparse matrix. Dimensions up to 2^64-1;
+  /// no memory is allocated for the index space.
+  Matrix(Index nrows, Index ncols) : nrows_(nrows), ncols_(ncols) {
+    GBX_CHECK_VALUE(nrows > 0 && ncols > 0, "matrix dimensions must be > 0");
+  }
+
+  /// Convenience: square matrix.
+  explicit Matrix(Index n) : Matrix(n, n) {}
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+
+  /// Exact number of stored entries. Forces a pending fold (GraphBLAS
+  /// GrB_Matrix_nvals semantics).
+  std::size_t nvals() const {
+    materialize();
+    return stor_.nnz();
+  }
+
+  /// Cheap upper bound on nvals: compressed entries + buffered updates
+  /// (duplicates still counted). This is what hierarchical cut checks
+  /// compare against — it never forces a fold.
+  std::size_t nvals_bound() const { return stor_.nnz() + pending_.size(); }
+
+  /// Number of un-folded buffered updates.
+  std::size_t pending_count() const { return pending_.size(); }
+
+  bool empty() const { return stor_.empty() && pending_.empty(); }
+
+  /// Remove all entries, keeping capacity.
+  void clear() {
+    stor_.clear();
+    pending_.clear();
+  }
+
+  /// Remove all entries and release memory (cascade level reset).
+  void reset() {
+    stor_.reset();
+    pending_.reset();
+  }
+
+  /// Single-element update: A(i,j) ⊕= v. O(1) append.
+  void set_element(Index i, Index j, T v) {
+    check_bounds(i, j);
+    pending_.push_back(i, j, v);
+  }
+
+  /// Batched update from parallel arrays: A(i_k, j_k) ⊕= v_k.
+  void append(std::span<const Index> rows, std::span<const Index> cols,
+              std::span<const T> vals) {
+    for (std::size_t k = 0; k < rows.size(); ++k) check_bounds(rows[k], cols[k]);
+    pending_.append(rows, cols, vals);
+  }
+
+  /// Batched update from a tuple buffer.
+  void append(const Tuples<T>& t) {
+    for (const auto& e : t) check_bounds(e.row, e.col);
+    pending_.append(t);
+  }
+
+  /// GrB_Matrix_build analogue: matrix must be empty; duplicates are
+  /// combined with the fold monoid.
+  void build(std::span<const Index> rows, std::span<const Index> cols,
+             std::span<const T> vals) {
+    GBX_CHECK(empty(), "build requires an empty matrix");
+    append(rows, cols, vals);
+    materialize();
+  }
+
+  /// Element read; folds pending first. nullopt if no entry stored.
+  std::optional<T> extract_element(Index i, Index j) const {
+    check_bounds(i, j);
+    materialize();
+    return stor_.get(i, j);
+  }
+
+  /// Emit all entries in (row, col) order (folds pending first).
+  Tuples<T> extract_tuples() const {
+    materialize();
+    Tuples<T> out;
+    stor_.extract(out);
+    return out;
+  }
+
+  /// Fold the pending buffer into DCSR storage. Idempotent. Logically
+  /// const: a fold never changes the matrix's mathematical value.
+  void materialize() const {
+    if (pending_.empty()) return;
+    pending_.template sort_dedup<AddMonoid>();
+    Dcsr<T> delta = Dcsr<T>::from_sorted_unique(pending_.entries());
+    pending_.reset();
+    if (stor_.empty()) {
+      stor_ = std::move(delta);
+    } else {
+      stor_ = ewise_add<add_op>(stor_, delta);
+    }
+  }
+
+  /// A ⊕= other, over the fold monoid. The cascade's fold step.
+  void plus_assign(const Matrix& other) {
+    GBX_CHECK_DIM(nrows_ == other.nrows_ && ncols_ == other.ncols_,
+                  "plus_assign dimension mismatch");
+    materialize();
+    other.materialize();
+    if (other.stor_.empty()) return;
+    if (stor_.empty()) {
+      stor_ = other.stor_;
+    } else {
+      stor_ = ewise_add<add_op>(stor_, other.stor_);
+    }
+  }
+
+  /// Materialized DCSR view (folds pending first).
+  const Dcsr<T>& storage() const {
+    materialize();
+    return stor_;
+  }
+
+  /// Adopt existing DCSR storage (kernel output assembly).
+  static Matrix adopt(Index nrows, Index ncols, Dcsr<T> stor) {
+    Matrix m(nrows, ncols);
+    m.stor_ = std::move(stor);
+    return m;
+  }
+
+  /// Row-major traversal f(row, col, value) over the materialized matrix.
+  template <class F>
+  void for_each(F&& f) const {
+    materialize();
+    stor_.for_each(std::forward<F>(f));
+  }
+
+  /// Heap bytes currently held (compressed + pending).
+  std::size_t memory_bytes() const {
+    return stor_.memory_bytes() + pending_.memory_bytes();
+  }
+
+  /// Structural invariants of the compressed part.
+  bool validate() const { return stor_.validate(); }
+
+ private:
+  void check_bounds(Index i, Index j) const {
+    GBX_CHECK_INDEX(i < nrows_, "row index out of bounds");
+    GBX_CHECK_INDEX(j < ncols_, "column index out of bounds");
+  }
+
+  Index nrows_;
+  Index ncols_;
+  // Mutable: folding pending updates is value-preserving, so demand-driven
+  // materialization from const accessors is logically const. A Matrix is
+  // NOT safe for concurrent access from multiple threads (kernels use
+  // OpenMP internally; instance-level parallelism uses one matrix per
+  // thread, as the paper does with one matrix per process).
+  mutable Dcsr<T> stor_;
+  mutable Tuples<T> pending_;
+};
+
+/// Value equality: same dimensions and same stored entries (both sides
+/// fold pending buffers first).
+template <class T, class M>
+bool equal(const Matrix<T, M>& a, const Matrix<T, M>& b) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols()) return false;
+  return a.storage() == b.storage();
+}
+
+}  // namespace gbx

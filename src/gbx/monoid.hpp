@@ -1,0 +1,86 @@
+// gbx/monoid.hpp — commutative monoids over gbx binary operators.
+//
+// A monoid pairs an associative, commutative binary operator with its
+// identity element. Monoids are what make the paper's hierarchical cascade
+// exact: folding A_i into A_{i+1} in any batching order yields the same
+// matrix as direct accumulation, because (+) is associative/commutative.
+#pragma once
+
+#include <limits>
+
+#include "gbx/ops.hpp"
+
+namespace gbx {
+
+/// Monoid = (binary op, identity). `Op` must be associative and
+/// commutative over its domain for gbx kernels to be order-insensitive.
+template <class Op, class T = typename Op::value_type>
+struct Monoid {
+  using op_type = Op;
+  using value_type = T;
+
+  static constexpr T apply(T a, T b) { return Op::apply(a, b); }
+  static constexpr const char* name() { return Op::name(); }
+};
+
+namespace detail {
+template <class T>
+constexpr T min_identity() {
+  return std::numeric_limits<T>::max();
+}
+template <class T>
+constexpr T max_identity() {
+  return std::numeric_limits<T>::lowest();
+}
+}  // namespace detail
+
+/// plus monoid: identity 0. The workhorse of hierarchical hypersparse
+/// matrices (all cascade folds are plus-reductions).
+template <class T>
+struct PlusMonoid : Monoid<Plus<T>> {
+  static constexpr T identity() { return T{0}; }
+};
+
+/// times monoid: identity 1.
+template <class T>
+struct TimesMonoid : Monoid<Times<T>> {
+  static constexpr T identity() { return T{1}; }
+};
+
+/// min monoid: identity +inf (numeric max).
+template <class T>
+struct MinMonoid : Monoid<Min<T>> {
+  static constexpr T identity() { return detail::min_identity<T>(); }
+};
+
+/// max monoid: identity -inf (numeric lowest).
+template <class T>
+struct MaxMonoid : Monoid<Max<T>> {
+  static constexpr T identity() { return detail::max_identity<T>(); }
+};
+
+/// logical-or monoid: identity 0 (false).
+template <class T>
+struct LorMonoid : Monoid<LogicalOr<T>> {
+  static constexpr T identity() { return T{0}; }
+};
+
+/// logical-and monoid: identity 1 (true).
+template <class T>
+struct LandMonoid : Monoid<LogicalAnd<T>> {
+  static constexpr T identity() { return T{1}; }
+};
+
+/// logical-xor monoid: identity 0.
+template <class T>
+struct LxorMonoid : Monoid<LogicalXor<T>> {
+  static constexpr T identity() { return T{0}; }
+};
+
+/// any monoid (GxB_ANY): identity is unobservable; 0 by convention.
+template <class T>
+struct AnyMonoid : Monoid<Any<T>> {
+  static constexpr T identity() { return T{0}; }
+};
+
+}  // namespace gbx

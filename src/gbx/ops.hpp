@@ -1,0 +1,213 @@
+// gbx/ops.hpp — the operator layer of the gbx algebra.
+//
+// Mirrors the GraphBLAS built-in unary and binary operators. Operators are
+// stateless functor *types* so kernels can inline them; each exposes
+//   using value_type = T;            (operand/result domain)
+//   static T apply(T a[, T b]);
+// plus a name() for diagnostics. Monoids and semirings (monoid.hpp,
+// semiring.hpp) are built on top of these.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "gbx/types.hpp"
+
+namespace gbx {
+
+// ---------------------------------------------------------------------------
+// Binary operators (GrB_BinaryOp analogues)
+// ---------------------------------------------------------------------------
+
+template <class T>
+struct Plus {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return static_cast<T>(a + b); }
+  static constexpr const char* name() { return "plus"; }
+};
+
+template <class T>
+struct Minus {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return static_cast<T>(a - b); }
+  static constexpr const char* name() { return "minus"; }
+};
+
+template <class T>
+struct Times {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return static_cast<T>(a * b); }
+  static constexpr const char* name() { return "times"; }
+};
+
+template <class T>
+struct Div {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return static_cast<T>(a / b); }
+  static constexpr const char* name() { return "div"; }
+};
+
+template <class T>
+struct Min {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return b < a ? b : a; }
+  static constexpr const char* name() { return "min"; }
+};
+
+template <class T>
+struct Max {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return a < b ? b : a; }
+  static constexpr const char* name() { return "max"; }
+};
+
+/// first(a, b) = a. The GraphBLAS "keep existing" accumulator.
+template <class T>
+struct First {
+  using value_type = T;
+  static constexpr T apply(T a, T /*b*/) { return a; }
+  static constexpr const char* name() { return "first"; }
+};
+
+/// second(a, b) = b. The GraphBLAS "overwrite" accumulator.
+template <class T>
+struct Second {
+  using value_type = T;
+  static constexpr T apply(T /*a*/, T b) { return b; }
+  static constexpr const char* name() { return "second"; }
+};
+
+/// any(a, b): either operand is acceptable (GxB_ANY). Picks the first;
+/// semantically the caller promises it does not care which.
+template <class T>
+struct Any {
+  using value_type = T;
+  static constexpr T apply(T a, T /*b*/) { return a; }
+  static constexpr const char* name() { return "any"; }
+};
+
+template <class T>
+struct LogicalOr {
+  using value_type = T;
+  static constexpr T apply(T a, T b) {
+    return static_cast<T>((a != T{}) || (b != T{}));
+  }
+  static constexpr const char* name() { return "lor"; }
+};
+
+template <class T>
+struct LogicalAnd {
+  using value_type = T;
+  static constexpr T apply(T a, T b) {
+    return static_cast<T>((a != T{}) && (b != T{}));
+  }
+  static constexpr const char* name() { return "land"; }
+};
+
+template <class T>
+struct LogicalXor {
+  using value_type = T;
+  static constexpr T apply(T a, T b) {
+    return static_cast<T>((a != T{}) != (b != T{}));
+  }
+  static constexpr const char* name() { return "lxor"; }
+};
+
+/// Comparison ops return the value domain (0/1), as GraphBLAS does for
+/// its typed comparison operators.
+template <class T>
+struct Eq {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return static_cast<T>(a == b); }
+  static constexpr const char* name() { return "eq"; }
+};
+
+template <class T>
+struct Ne {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return static_cast<T>(a != b); }
+  static constexpr const char* name() { return "ne"; }
+};
+
+template <class T>
+struct Lt {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return static_cast<T>(a < b); }
+  static constexpr const char* name() { return "lt"; }
+};
+
+template <class T>
+struct Gt {
+  using value_type = T;
+  static constexpr T apply(T a, T b) { return static_cast<T>(a > b); }
+  static constexpr const char* name() { return "gt"; }
+};
+
+// ---------------------------------------------------------------------------
+// Unary operators (GrB_UnaryOp analogues)
+// ---------------------------------------------------------------------------
+
+template <class T>
+struct IdentityOp {
+  using value_type = T;
+  static constexpr T apply(T a) { return a; }
+  static constexpr const char* name() { return "identity"; }
+};
+
+template <class T>
+struct AInv {  // additive inverse
+  using value_type = T;
+  static constexpr T apply(T a) { return static_cast<T>(-a); }
+  static constexpr const char* name() { return "ainv"; }
+};
+
+template <class T>
+struct MInv {  // multiplicative inverse
+  using value_type = T;
+  static constexpr T apply(T a) { return static_cast<T>(T{1} / a); }
+  static constexpr const char* name() { return "minv"; }
+};
+
+template <class T>
+struct Abs {
+  using value_type = T;
+  static constexpr T apply(T a) {
+    if constexpr (std::is_unsigned_v<T>) return a;
+    else return a < T{} ? static_cast<T>(-a) : a;
+  }
+  static constexpr const char* name() { return "abs"; }
+};
+
+template <class T>
+struct LogicalNot {
+  using value_type = T;
+  static constexpr T apply(T a) { return static_cast<T>(a == T{}); }
+  static constexpr const char* name() { return "lnot"; }
+};
+
+/// one(a) = 1 for any a (GxB_ONE): pattern-only view of a matrix.
+template <class T>
+struct One {
+  using value_type = T;
+  static constexpr T apply(T /*a*/) { return T{1}; }
+  static constexpr const char* name() { return "one"; }
+};
+
+/// Bind a constant to the second operand of a binary op: f(x) = op(x, c).
+template <class Op>
+struct Bind2nd {
+  using value_type = typename Op::value_type;
+  value_type c{};
+  constexpr value_type apply(value_type a) const { return Op::apply(a, c); }
+};
+
+/// Bind a constant to the first operand of a binary op: f(x) = op(c, x).
+template <class Op>
+struct Bind1st {
+  using value_type = typename Op::value_type;
+  value_type c{};
+  constexpr value_type apply(value_type b) const { return Op::apply(c, b); }
+};
+
+}  // namespace gbx

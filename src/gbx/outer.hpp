@@ -1,0 +1,82 @@
+// gbx/outer.hpp — sparse outer product: C = u ⊗ v^T.
+//
+// The rank-1 building block (gravity background models are outer products
+// of the traffic marginals). nnz(C) = nvals(u) * nvals(v); hypersparse
+// output regardless of vector dimensions.
+#pragma once
+
+#include "gbx/matrix.hpp"
+#include "gbx/vector.hpp"
+
+namespace gbx {
+
+template <class MulOp, class T>
+Matrix<T> outer(const SparseVector<T>& u, const SparseVector<T>& v) {
+  auto ui = u.indices();
+  auto uv = u.values();
+  auto vi = v.indices();
+  auto vv = v.values();
+
+  std::vector<Entry<T>> ent;
+  ent.reserve(ui.size() * vi.size());
+  for (std::size_t a = 0; a < ui.size(); ++a)
+    for (std::size_t b = 0; b < vi.size(); ++b)
+      ent.push_back({ui[a], vi[b], MulOp::apply(uv[a], vv[b])});
+  // u rows ascending, v cols ascending per row: already sorted.
+  return Matrix<T>::adopt(u.size(), v.size(),
+                          Dcsr<T>::from_sorted_unique(ent));
+}
+
+/// Extract one row of A as a sparse vector (GrB_Col_extract of A^T row).
+template <class T, class M>
+SparseVector<T> extract_row(const Matrix<T, M>& A, Index row) {
+  GBX_CHECK_INDEX(row < A.nrows(), "extract_row out of bounds");
+  const Dcsr<T>& s = A.storage();
+  auto rows = s.rows();
+  SparseVector<T> out(A.ncols());
+  auto it = std::lower_bound(rows.begin(), rows.end(), row);
+  if (it == rows.end() || *it != row) return out;
+  const std::size_t k = static_cast<std::size_t>(it - rows.begin());
+  std::vector<Index> idx(s.cols().begin() + static_cast<std::ptrdiff_t>(s.ptr()[k]),
+                         s.cols().begin() + static_cast<std::ptrdiff_t>(s.ptr()[k + 1]));
+  std::vector<T> val(s.vals().begin() + static_cast<std::ptrdiff_t>(s.ptr()[k]),
+                     s.vals().begin() + static_cast<std::ptrdiff_t>(s.ptr()[k + 1]));
+  out.adopt(std::move(idx), std::move(val));
+  return out;
+}
+
+/// Extract one column of A as a sparse vector. O(nnz) scan (DCSR is
+/// row-oriented); for column-heavy workloads transpose once instead.
+template <class T, class M>
+SparseVector<T> extract_col(const Matrix<T, M>& A, Index col) {
+  GBX_CHECK_INDEX(col < A.ncols(), "extract_col out of bounds");
+  std::vector<Index> idx;
+  std::vector<T> val;
+  A.for_each([&](Index i, Index j, T v) {
+    if (j == col) {
+      idx.push_back(i);
+      val.push_back(v);
+    }
+  });
+  SparseVector<T> out(A.nrows());
+  out.adopt(std::move(idx), std::move(val));
+  return out;
+}
+
+/// Remove one entry (GrB_Matrix_removeElement). No-op if absent.
+template <class T, class M>
+void remove_element(Matrix<T, M>& A, Index row, Index col) {
+  GBX_CHECK_INDEX(row < A.nrows() && col < A.ncols(),
+                  "remove_element out of bounds");
+  const Dcsr<T>& s = A.storage();  // fold pending first
+  if (!s.get(row, col)) return;
+  std::vector<Entry<T>> keep;
+  keep.reserve(s.nnz() - 1);
+  s.for_each([&](Index i, Index j, T v) {
+    if (i != row || j != col) keep.push_back({i, j, v});
+  });
+  A = Matrix<T, M>::adopt(A.nrows(), A.ncols(),
+                          Dcsr<T>::from_sorted_unique(keep));
+}
+
+}  // namespace gbx

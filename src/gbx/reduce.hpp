@@ -1,0 +1,74 @@
+// gbx/reduce.hpp — monoid reductions of matrices to scalars and vectors.
+#pragma once
+
+#include <vector>
+
+#include "gbx/matrix.hpp"
+#include "gbx/vector.hpp"
+
+namespace gbx {
+
+/// Fold every stored value into one scalar. Identity for an empty matrix.
+template <class MonoidT, class T, class M>
+T reduce_scalar(const Matrix<T, M>& A) {
+  const Dcsr<T>& s = A.storage();
+  const auto nr = s.nrows_nonempty();
+  std::vector<T> partial(nr, MonoidT::identity());
+#pragma omp parallel for schedule(guided)
+  for (std::size_t k = 0; k < nr; ++k) {
+    T acc = MonoidT::identity();
+    for (Offset p = s.ptr()[k]; p < s.ptr()[k + 1]; ++p)
+      acc = MonoidT::apply(acc, s.vals()[p]);
+    partial[k] = acc;
+  }
+  T acc = MonoidT::identity();
+  for (const T& v : partial) acc = MonoidT::apply(acc, v);
+  return acc;
+}
+
+/// Row reduction: out(i) = ⊕_j A(i,j). Result is hypersparse — only rows
+/// with entries appear. (GrB_Matrix_reduce to a vector.)
+template <class MonoidT, class T, class M>
+SparseVector<T> reduce_rows(const Matrix<T, M>& A) {
+  const Dcsr<T>& s = A.storage();
+  const auto nr = s.nrows_nonempty();
+  std::vector<Index> idx(nr);
+  std::vector<T> val(nr);
+#pragma omp parallel for schedule(guided)
+  for (std::size_t k = 0; k < nr; ++k) {
+    T acc = MonoidT::identity();
+    for (Offset p = s.ptr()[k]; p < s.ptr()[k + 1]; ++p)
+      acc = MonoidT::apply(acc, s.vals()[p]);
+    idx[k] = s.rows()[k];
+    val[k] = acc;
+  }
+  SparseVector<T> out(A.nrows());
+  out.adopt(std::move(idx), std::move(val));
+  return out;
+}
+
+/// Column reduction: out(j) = ⊕_i A(i,j). Sort-based gather by column.
+template <class MonoidT, class T, class M>
+SparseVector<T> reduce_cols(const Matrix<T, M>& A) {
+  const Dcsr<T>& s = A.storage();
+  std::vector<std::pair<Index, T>> acc;
+  acc.reserve(s.nnz());
+  s.for_each([&](Index, Index j, T v) { acc.emplace_back(j, v); });
+  std::sort(acc.begin(), acc.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Index> idx;
+  std::vector<T> val;
+  for (const auto& [j, v] : acc) {
+    if (!idx.empty() && idx.back() == j) {
+      val.back() = MonoidT::apply(val.back(), v);
+    } else {
+      idx.push_back(j);
+      val.push_back(v);
+    }
+  }
+  SparseVector<T> out(A.ncols());
+  out.adopt(std::move(idx), std::move(val));
+  return out;
+}
+
+}  // namespace gbx

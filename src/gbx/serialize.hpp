@@ -1,0 +1,122 @@
+// gbx/serialize.hpp — binary (de)serialization of hypersparse matrices.
+//
+// A compact, versioned little-endian container (GxB_Matrix_serialize
+// analogue): header (magic, version, value-type tag, dims, counts)
+// followed by the raw DCSR arrays. Pending tuples are folded before
+// writing, so a serialized matrix is always in canonical form and
+// round-trips bit-exactly.
+#pragma once
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "gbx/matrix.hpp"
+
+namespace gbx {
+
+namespace detail {
+
+inline constexpr std::uint64_t kSerializeMagic = 0x48484742'58303031ull;  // "HHGBX001"
+inline constexpr std::uint32_t kSerializeVersion = 1;
+
+/// Value-type tag for header validation across round-trips.
+template <class T>
+constexpr std::uint32_t type_tag() {
+  if constexpr (std::is_same_v<T, double>) return 1;
+  else if constexpr (std::is_same_v<T, float>) return 2;
+  else if constexpr (std::is_same_v<T, std::int64_t>) return 3;
+  else if constexpr (std::is_same_v<T, std::uint64_t>) return 4;
+  else if constexpr (std::is_same_v<T, std::int32_t>) return 5;
+  else if constexpr (std::is_same_v<T, std::uint32_t>) return 6;
+  else return 1000 + sizeof(T);  // user types: size-checked only
+}
+
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  GBX_CHECK(is.good(), "serialize: truncated stream");
+  return v;
+}
+
+template <class T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(os, v.size());
+  if (!v.empty())
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <class T>
+std::vector<T> read_vec(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  // Grow incrementally so a corrupted length field cannot trigger an
+  // enormous up-front allocation: memory stays bounded by the bytes the
+  // stream actually delivers.
+  constexpr std::uint64_t kChunkElems = (1u << 20);
+  std::vector<T> v;
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t take = std::min<std::uint64_t>(kChunkElems, n - done);
+    v.resize(static_cast<std::size_t>(done + take));
+    is.read(reinterpret_cast<char*>(v.data() + done),
+            static_cast<std::streamsize>(take * sizeof(T)));
+    GBX_CHECK(is.good(), "serialize: truncated array");
+    done += take;
+  }
+  return v;
+}
+
+}  // namespace detail
+
+/// Write A (canonicalized) to the stream.
+template <class T, class M>
+void serialize(std::ostream& os, const Matrix<T, M>& A) {
+  const Dcsr<T>& s = A.storage();  // folds pending
+  detail::write_pod(os, detail::kSerializeMagic);
+  detail::write_pod(os, detail::kSerializeVersion);
+  detail::write_pod(os, detail::type_tag<T>());
+  detail::write_pod<std::uint32_t>(os, 0);  // reserved/padding
+  detail::write_pod<Index>(os, A.nrows());
+  detail::write_pod<Index>(os, A.ncols());
+  detail::write_vec(os, std::vector<Index>(s.rows().begin(), s.rows().end()));
+  detail::write_vec(os, std::vector<Offset>(s.ptr().begin(), s.ptr().end()));
+  detail::write_vec(os, std::vector<Index>(s.cols().begin(), s.cols().end()));
+  detail::write_vec(os, std::vector<T>(s.vals().begin(), s.vals().end()));
+  GBX_CHECK(os.good(), "serialize: write failure");
+}
+
+/// Read a matrix previously written by serialize<T>.
+template <class T, class M = PlusMonoid<T>>
+Matrix<T, M> deserialize(std::istream& is) {
+  GBX_CHECK(detail::read_pod<std::uint64_t>(is) == detail::kSerializeMagic,
+            "deserialize: bad magic (not an hhgbx matrix)");
+  GBX_CHECK(detail::read_pod<std::uint32_t>(is) == detail::kSerializeVersion,
+            "deserialize: unsupported version");
+  GBX_CHECK(detail::read_pod<std::uint32_t>(is) == detail::type_tag<T>(),
+            "deserialize: value type mismatch");
+  (void)detail::read_pod<std::uint32_t>(is);  // reserved
+  const Index nrows = detail::read_pod<Index>(is);
+  const Index ncols = detail::read_pod<Index>(is);
+
+  auto rows = detail::read_vec<Index>(is);
+  auto ptr = detail::read_vec<Offset>(is);
+  auto cols = detail::read_vec<Index>(is);
+  auto vals = detail::read_vec<T>(is);
+
+  Dcsr<T> d;
+  d.mutable_rows() = std::move(rows);
+  d.mutable_ptr() = std::move(ptr);
+  d.mutable_cols() = std::move(cols);
+  d.mutable_vals() = std::move(vals);
+  GBX_CHECK(d.validate(), "deserialize: corrupt DCSR payload");
+  return Matrix<T, M>::adopt(nrows, ncols, std::move(d));
+}
+
+}  // namespace gbx

@@ -1,0 +1,219 @@
+// gbx/sort.hpp — parallel sample sort for (row, col, value) entries.
+//
+// Sorting a batch of updates by (row, col) is the hot kernel behind every
+// pending-tuple fold in the hierarchical cascade. We use an OpenMP sample
+// sort: pick splitters from a strided sample, scatter entries into
+// buckets with per-thread histograms, then sort buckets independently.
+// Sample sort is robust to the heavy row skew of power-law graph streams
+// (equal keys may straddle a splitter; the concatenation of sorted
+// buckets is still globally sorted, which is all dedup needs).
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "gbx/parallel.hpp"
+#include "gbx/types.hpp"
+
+namespace gbx {
+
+/// One stored update: matrix coordinate plus value. AoS layout keeps the
+/// sort cache-friendly.
+template <class T>
+struct Entry {
+  Index row;
+  Index col;
+  T val;
+
+  friend constexpr bool operator==(const Entry& a, const Entry& b) {
+    return a.row == b.row && a.col == b.col && a.val == b.val;
+  }
+};
+
+/// Lexicographic (row, col) ordering; values do not participate.
+template <class T>
+constexpr bool entry_less(const Entry<T>& a, const Entry<T>& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+
+template <class T>
+constexpr bool entry_key_equal(const Entry<T>& a, const Entry<T>& b) {
+  return a.row == b.row && a.col == b.col;
+}
+
+namespace detail {
+
+/// Serial cutoff: below this, std::sort wins over the scatter machinery.
+inline constexpr std::size_t kParallelSortCutoff = 1u << 15;
+
+template <class T>
+void sample_sort(std::vector<Entry<T>>& v) {
+  const std::size_t n = v.size();
+  const int threads = max_threads();
+  const int kb = std::min<int>(std::max(2, threads * 4), 256);  // buckets
+
+  // --- splitters from a strided sample -------------------------------
+  const std::size_t sample_sz = static_cast<std::size_t>(kb) * 32;
+  std::vector<Entry<T>> sample(sample_sz);
+  for (std::size_t s = 0; s < sample_sz; ++s)
+    sample[s] = v[(s * n) / sample_sz];
+  std::sort(sample.begin(), sample.end(), entry_less<T>);
+  std::vector<Entry<T>> split(static_cast<std::size_t>(kb) - 1);
+  for (int b = 1; b < kb; ++b)
+    split[static_cast<std::size_t>(b) - 1] =
+        sample[(static_cast<std::size_t>(b) * sample_sz) / kb];
+
+  auto bucket_of = [&](const Entry<T>& e) -> int {
+    return static_cast<int>(
+        std::upper_bound(split.begin(), split.end(), e, entry_less<T>) -
+        split.begin());
+  };
+
+  // --- per-thread histograms ------------------------------------------
+  const auto chunks = block_ranges(n, threads);
+  const int nchunks = static_cast<int>(chunks.size()) - 1;
+  // hist[c][b] = #entries of chunk c going to bucket b
+  std::vector<std::vector<Offset>> hist(
+      static_cast<std::size_t>(nchunks),
+      std::vector<Offset>(static_cast<std::size_t>(kb), 0));
+
+#pragma omp parallel for schedule(static)
+  for (int c = 0; c < nchunks; ++c) {
+    auto& h = hist[static_cast<std::size_t>(c)];
+    for (Offset i = chunks[static_cast<std::size_t>(c)];
+         i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
+      ++h[static_cast<std::size_t>(bucket_of(v[i]))];
+  }
+
+  // --- global offsets: bucket-major, then chunk within bucket ---------
+  std::vector<Offset> bucket_start(static_cast<std::size_t>(kb) + 1, 0);
+  for (int b = 0; b < kb; ++b)
+    for (int c = 0; c < nchunks; ++c)
+      bucket_start[static_cast<std::size_t>(b) + 1] +=
+          hist[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)];
+  for (int b = 0; b < kb; ++b)
+    bucket_start[static_cast<std::size_t>(b) + 1] +=
+        bucket_start[static_cast<std::size_t>(b)];
+
+  // write cursor for (chunk, bucket)
+  std::vector<std::vector<Offset>> cursor(hist);
+  for (int b = 0; b < kb; ++b) {
+    Offset acc = bucket_start[static_cast<std::size_t>(b)];
+    for (int c = 0; c < nchunks; ++c) {
+      Offset cnt = hist[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)];
+      cursor[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)] = acc;
+      acc += cnt;
+    }
+  }
+
+  // --- scatter ---------------------------------------------------------
+  std::vector<Entry<T>> tmp(n);
+#pragma omp parallel for schedule(static)
+  for (int c = 0; c < nchunks; ++c) {
+    auto& cur = cursor[static_cast<std::size_t>(c)];
+    for (Offset i = chunks[static_cast<std::size_t>(c)];
+         i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
+      tmp[cur[static_cast<std::size_t>(bucket_of(v[i]))]++] = v[i];
+  }
+
+  // --- sort buckets independently --------------------------------------
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int b = 0; b < kb; ++b)
+    std::sort(tmp.begin() + static_cast<std::ptrdiff_t>(
+                                bucket_start[static_cast<std::size_t>(b)]),
+              tmp.begin() + static_cast<std::ptrdiff_t>(
+                                bucket_start[static_cast<std::size_t>(b) + 1]),
+              entry_less<T>);
+
+  v.swap(tmp);
+}
+
+}  // namespace detail
+
+/// Sort entries by (row, col), parallel for large inputs. Not stable —
+/// callers that fold duplicates must use a commutative monoid (stability
+/// would only matter for non-commutative combination, which gbx's
+/// pending-tuple path intentionally does not support).
+template <class T>
+void sort_entries(std::vector<Entry<T>>& v) {
+  if (v.size() < detail::kParallelSortCutoff || max_threads() == 1) {
+    std::sort(v.begin(), v.end(), entry_less<T>);
+  } else {
+    detail::sample_sort(v);
+  }
+}
+
+/// Combine adjacent duplicate (row, col) keys of a *sorted* entry vector
+/// with the monoid, compacting in place. Returns the number of surviving
+/// entries. O(n) single pass; parallel variant below kicks in for large n.
+template <class MonoidT, class T>
+std::size_t dedup_sorted_entries(std::vector<Entry<T>>& v) {
+  if (v.empty()) return 0;
+  std::size_t w = 0;
+  for (std::size_t r = 1; r < v.size(); ++r) {
+    if (entry_key_equal(v[r], v[w])) {
+      v[w].val = MonoidT::apply(v[w].val, v[r].val);
+    } else {
+      ++w;
+      v[w] = v[r];
+    }
+  }
+  v.resize(w + 1);
+  return v.size();
+}
+
+/// Parallel dedup: chunk boundaries are advanced past runs of equal keys
+/// so no run straddles two chunks, each chunk compacts independently, and
+/// the compacted spans are concatenated.
+template <class MonoidT, class T>
+std::size_t dedup_sorted_entries_parallel(std::vector<Entry<T>>& v) {
+  const std::size_t n = v.size();
+  if (n < detail::kParallelSortCutoff || max_threads() == 1)
+    return dedup_sorted_entries<MonoidT>(v);
+
+  const int threads = max_threads();
+  auto bounds = block_ranges(n, threads);
+  // Align boundaries to run starts.
+  for (std::size_t b = 1; b + 1 <= bounds.size() - 1; ++b) {
+    Offset& x = bounds[b];
+    while (x < n && x > 0 && entry_key_equal(v[x], v[x - 1])) ++x;
+  }
+  const int nchunks = static_cast<int>(bounds.size()) - 1;
+  std::vector<std::size_t> out_count(static_cast<std::size_t>(nchunks), 0);
+
+#pragma omp parallel for schedule(static)
+  for (int c = 0; c < nchunks; ++c) {
+    const Offset lo = bounds[static_cast<std::size_t>(c)];
+    const Offset hi = bounds[static_cast<std::size_t>(c) + 1];
+    if (lo >= hi) continue;
+    Offset w = lo;
+    for (Offset r = lo + 1; r < hi; ++r) {
+      if (entry_key_equal(v[r], v[w])) {
+        v[w].val = MonoidT::apply(v[w].val, v[r].val);
+      } else {
+        ++w;
+        v[w] = v[r];
+      }
+    }
+    out_count[static_cast<std::size_t>(c)] = w + 1 - lo;
+  }
+
+  // Compact chunks leftward (serial memmove pass; already O(result)).
+  std::size_t w = 0;
+  for (int c = 0; c < nchunks; ++c) {
+    const Offset lo = bounds[static_cast<std::size_t>(c)];
+    const std::size_t cnt = out_count[static_cast<std::size_t>(c)];
+    if (w != lo && cnt > 0)
+      std::move(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                v.begin() + static_cast<std::ptrdiff_t>(lo + cnt),
+                v.begin() + static_cast<std::ptrdiff_t>(w));
+    w += cnt;
+  }
+  v.resize(w);
+  return w;
+}
+
+}  // namespace gbx

@@ -1,0 +1,135 @@
+// gbx/structure.hpp — structural operations: concat, split, resize, diag.
+//
+// The GxB extensions SuiteSparse provides for assembling and carving
+// matrices (GxB_Matrix_concat / _split / GrB_Matrix_diag / resize),
+// reimplemented over DCSR. All are hypersparse-safe: tile placement uses
+// index arithmetic only, never dense iteration.
+#pragma once
+
+#include <vector>
+
+#include "gbx/extract.hpp"
+#include "gbx/matrix.hpp"
+#include "gbx/sort.hpp"
+#include "gbx/vector.hpp"
+
+namespace gbx {
+
+/// C = [tiles] — assemble a grid of tiles (row-major vector of rows*cols
+/// matrices). Tiles in the same grid row must share nrows; same grid
+/// column must share ncols (checked).
+template <class T, class M>
+Matrix<T, M> concat(const std::vector<const Matrix<T, M>*>& tiles,
+                    std::size_t grid_rows, std::size_t grid_cols) {
+  GBX_CHECK_VALUE(grid_rows > 0 && grid_cols > 0 &&
+                      tiles.size() == grid_rows * grid_cols,
+                  "concat: tile grid shape mismatch");
+  for (const auto* t : tiles) GBX_CHECK_VALUE(t != nullptr, "concat: null tile");
+
+  // Validate tile shapes and compute offsets.
+  std::vector<Index> row_off(grid_rows + 1, 0);
+  std::vector<Index> col_off(grid_cols + 1, 0);
+  for (std::size_t r = 0; r < grid_rows; ++r) {
+    const Index h = tiles[r * grid_cols]->nrows();
+    for (std::size_t c = 0; c < grid_cols; ++c)
+      GBX_CHECK_DIM(tiles[r * grid_cols + c]->nrows() == h,
+                    "concat: inconsistent tile heights in grid row");
+    row_off[r + 1] = row_off[r] + h;
+  }
+  for (std::size_t c = 0; c < grid_cols; ++c) {
+    const Index w = tiles[c]->ncols();
+    for (std::size_t r = 0; r < grid_rows; ++r)
+      GBX_CHECK_DIM(tiles[r * grid_cols + c]->ncols() == w,
+                    "concat: inconsistent tile widths in grid column");
+    col_off[c + 1] = col_off[c] + w;
+  }
+
+  std::vector<Entry<T>> ent;
+  std::size_t total = 0;
+  for (const auto* t : tiles) total += t->nvals();
+  ent.reserve(total);
+  for (std::size_t r = 0; r < grid_rows; ++r)
+    for (std::size_t c = 0; c < grid_cols; ++c)
+      tiles[r * grid_cols + c]->for_each([&](Index i, Index j, T v) {
+        ent.push_back({i + row_off[r], j + col_off[c], v});
+      });
+  sort_entries(ent);
+  return Matrix<T, M>::adopt(row_off[grid_rows], col_off[grid_cols],
+                             Dcsr<T>::from_sorted_unique(ent));
+}
+
+/// Convenience: [A B] and [A; B].
+template <class T, class M>
+Matrix<T, M> hconcat(const Matrix<T, M>& A, const Matrix<T, M>& B) {
+  return concat<T, M>({&A, &B}, 1, 2);
+}
+template <class T, class M>
+Matrix<T, M> vconcat(const Matrix<T, M>& A, const Matrix<T, M>& B) {
+  return concat<T, M>({&A, &B}, 2, 1);
+}
+
+/// Split A into a tile grid along the given boundaries. `row_sizes` /
+/// `col_sizes` must sum to A's dims. Returns row-major tiles.
+template <class T, class M>
+std::vector<Matrix<T, M>> split(const Matrix<T, M>& A,
+                                const std::vector<Index>& row_sizes,
+                                const std::vector<Index>& col_sizes) {
+  Index rsum = 0, csum = 0;
+  for (Index r : row_sizes) {
+    GBX_CHECK_VALUE(r > 0, "split: zero row size");
+    rsum += r;
+  }
+  for (Index c : col_sizes) {
+    GBX_CHECK_VALUE(c > 0, "split: zero col size");
+    csum += c;
+  }
+  GBX_CHECK_DIM(rsum == A.nrows() && csum == A.ncols(),
+                "split: sizes must sum to matrix dimensions");
+
+  std::vector<Matrix<T, M>> tiles;
+  tiles.reserve(row_sizes.size() * col_sizes.size());
+  Index r0 = 0;
+  for (Index rs : row_sizes) {
+    Index c0 = 0;
+    for (Index cs : col_sizes) {
+      tiles.push_back(extract_range(A, r0, r0 + rs, c0, c0 + cs));
+      c0 += cs;
+    }
+    r0 += rs;
+  }
+  return tiles;
+}
+
+/// Change dimensions. Growing keeps all entries; shrinking drops entries
+/// outside the new bounds (GrB_Matrix_resize semantics).
+template <class T, class M>
+Matrix<T, M> resize(const Matrix<T, M>& A, Index nrows, Index ncols) {
+  GBX_CHECK_VALUE(nrows > 0 && ncols > 0, "resize: dimensions must be > 0");
+  std::vector<Entry<T>> keep;
+  A.for_each([&](Index i, Index j, T v) {
+    if (i < nrows && j < ncols) keep.push_back({i, j, v});
+  });
+  return Matrix<T, M>::adopt(nrows, ncols, Dcsr<T>::from_sorted_unique(keep));
+}
+
+/// Square matrix with v on diagonal k (GrB_Matrix_diag).
+template <class T>
+Matrix<T> matrix_diag(const SparseVector<T>& v, std::int64_t k = 0) {
+  const Index n = v.size() + static_cast<Index>(k < 0 ? -k : k);
+  std::vector<Entry<T>> ent;
+  ent.reserve(v.nvals());
+  v.for_each([&](Index i, T x) {
+    const Index row = k < 0 ? i + static_cast<Index>(-k) : i;
+    const Index col = k < 0 ? i : i + static_cast<Index>(k);
+    ent.push_back({row, col, x});
+  });
+  return Matrix<T>::adopt(n, n, Dcsr<T>::from_sorted_unique(ent));
+}
+
+/// Deep copy with a fresh canonical layout (GrB_Matrix_dup).
+template <class T, class M>
+Matrix<T, M> dup(const Matrix<T, M>& A) {
+  return Matrix<T, M>::adopt(A.nrows(), A.ncols(), A.storage());
+}
+
+}  // namespace gbx

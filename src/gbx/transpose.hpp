@@ -1,0 +1,21 @@
+// gbx/transpose.hpp — matrix transpose.
+#pragma once
+
+#include "gbx/matrix.hpp"
+#include "gbx/sort.hpp"
+
+namespace gbx {
+
+/// C = A^T. Sort-based: swap coordinates, re-sort (parallel), reassemble.
+template <class T, class M>
+Matrix<T, M> transpose(const Matrix<T, M>& A) {
+  const Dcsr<T>& s = A.storage();
+  std::vector<Entry<T>> ent;
+  ent.reserve(s.nnz());
+  s.for_each([&](Index i, Index j, T v) { ent.push_back({j, i, v}); });
+  sort_entries(ent);
+  return Matrix<T, M>::adopt(A.ncols(), A.nrows(),
+                             Dcsr<T>::from_sorted_unique(ent));
+}
+
+}  // namespace gbx

@@ -1,0 +1,56 @@
+// gbx/types.hpp — fundamental index and size types of the gbx library.
+//
+// Indices are 64-bit so that a full IPv6 traffic matrix (2^64 x 2^64) is
+// addressable. All storage formats are *hypersparse*: memory is
+// proportional to the number of stored entries, never to the dimensions,
+// so enormous index spaces cost nothing.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace gbx {
+
+/// Row/column index. The full 2^64 space is valid; kIndexMax itself is
+/// reserved as an "invalid" sentinel inside kernels.
+using Index = std::uint64_t;
+
+/// Offset into entry arrays (an entry count fits in 64 bits).
+using Offset = std::uint64_t;
+
+inline constexpr Index kIndexMax = std::numeric_limits<Index>::max();
+
+/// Dimension constant for IPv4 traffic matrices (2^32).
+inline constexpr Index kIPv4Dim = Index{1} << 32;
+
+/// Dimension constant for IPv6 traffic matrices (2^64 - 1; the true 2^64
+/// is not representable as a dimension, matching GraphBLAS GrB_INDEX_MAX
+/// conventions).
+inline constexpr Index kIPv6Dim = kIndexMax;
+
+/// Trait: value types storable in gbx containers. Mirrors the GraphBLAS
+/// built-in types (bool, intN, uintN, fp32/64); extended types just need
+/// to be trivially copyable and default constructible.
+template <class T>
+inline constexpr bool is_storable_v =
+    std::is_trivially_copyable_v<T> && std::is_default_constructible_v<T>;
+
+/// Human-readable type names for diagnostics.
+template <class T>
+constexpr const char* type_name() {
+  if constexpr (std::is_same_v<T, bool>) return "bool";
+  else if constexpr (std::is_same_v<T, std::int8_t>) return "int8";
+  else if constexpr (std::is_same_v<T, std::uint8_t>) return "uint8";
+  else if constexpr (std::is_same_v<T, std::int16_t>) return "int16";
+  else if constexpr (std::is_same_v<T, std::uint16_t>) return "uint16";
+  else if constexpr (std::is_same_v<T, std::int32_t>) return "int32";
+  else if constexpr (std::is_same_v<T, std::uint32_t>) return "uint32";
+  else if constexpr (std::is_same_v<T, std::int64_t>) return "int64";
+  else if constexpr (std::is_same_v<T, std::uint64_t>) return "uint64";
+  else if constexpr (std::is_same_v<T, float>) return "fp32";
+  else if constexpr (std::is_same_v<T, double>) return "fp64";
+  else return "user";
+}
+
+}  // namespace gbx

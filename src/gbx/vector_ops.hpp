@@ -1,0 +1,121 @@
+// gbx/vector_ops.hpp — element-wise kernels on sparse vectors.
+//
+// The vector counterparts of ewise.hpp/apply.hpp/select.hpp: union and
+// intersection merges, value transforms, and predicate selection, all
+// preserving the sorted-unique invariant.
+#pragma once
+
+#include <vector>
+
+#include "gbx/vector.hpp"
+
+namespace gbx {
+
+/// w = u ⊕ v (union; both-present combined with Op).
+template <class Op, class T>
+SparseVector<T> ewise_add(const SparseVector<T>& u, const SparseVector<T>& v) {
+  GBX_CHECK_DIM(u.size() == v.size(), "vector eWiseAdd dimension mismatch");
+  auto ui = u.indices();
+  auto uv = u.values();
+  auto vi = v.indices();
+  auto vv = v.values();
+  std::vector<Index> oi;
+  std::vector<T> ov;
+  oi.reserve(ui.size() + vi.size());
+  ov.reserve(ui.size() + vi.size());
+  std::size_t a = 0, b = 0;
+  while (a < ui.size() && b < vi.size()) {
+    if (ui[a] < vi[b]) {
+      oi.push_back(ui[a]);
+      ov.push_back(uv[a++]);
+    } else if (vi[b] < ui[a]) {
+      oi.push_back(vi[b]);
+      ov.push_back(vv[b++]);
+    } else {
+      oi.push_back(ui[a]);
+      ov.push_back(Op::apply(uv[a++], vv[b++]));
+    }
+  }
+  for (; a < ui.size(); ++a) {
+    oi.push_back(ui[a]);
+    ov.push_back(uv[a]);
+  }
+  for (; b < vi.size(); ++b) {
+    oi.push_back(vi[b]);
+    ov.push_back(vv[b]);
+  }
+  SparseVector<T> w(u.size());
+  w.adopt(std::move(oi), std::move(ov));
+  return w;
+}
+
+/// w = u ⊗ v (intersection).
+template <class Op, class T>
+SparseVector<T> ewise_mult(const SparseVector<T>& u, const SparseVector<T>& v) {
+  GBX_CHECK_DIM(u.size() == v.size(), "vector eWiseMult dimension mismatch");
+  auto ui = u.indices();
+  auto uv = u.values();
+  auto vi = v.indices();
+  auto vv = v.values();
+  std::vector<Index> oi;
+  std::vector<T> ov;
+  std::size_t a = 0, b = 0;
+  while (a < ui.size() && b < vi.size()) {
+    if (ui[a] < vi[b]) ++a;
+    else if (vi[b] < ui[a]) ++b;
+    else {
+      oi.push_back(ui[a]);
+      ov.push_back(Op::apply(uv[a++], vv[b++]));
+    }
+  }
+  SparseVector<T> w(u.size());
+  w.adopt(std::move(oi), std::move(ov));
+  return w;
+}
+
+/// w = op(u), structure preserved.
+template <class UnaryOpT, class T>
+SparseVector<T> apply(const SparseVector<T>& u) {
+  std::vector<Index> oi(u.indices().begin(), u.indices().end());
+  std::vector<T> ov(u.values().begin(), u.values().end());
+  for (auto& x : ov) x = UnaryOpT::apply(x);
+  SparseVector<T> w(u.size());
+  w.adopt(std::move(oi), std::move(ov));
+  return w;
+}
+
+/// w = u where pred(index, value).
+template <class T, class Pred>
+SparseVector<T> select(const SparseVector<T>& u, Pred&& pred) {
+  std::vector<Index> oi;
+  std::vector<T> ov;
+  u.for_each([&](Index i, T x) {
+    if (pred(i, x)) {
+      oi.push_back(i);
+      ov.push_back(x);
+    }
+  });
+  SparseVector<T> w(u.size());
+  w.adopt(std::move(oi), std::move(ov));
+  return w;
+}
+
+/// Dot product over a semiring: ⊕_i u(i) ⊗ v(i).
+template <class S, class T>
+T dot(const SparseVector<T>& u, const SparseVector<T>& v) {
+  GBX_CHECK_DIM(u.size() == v.size(), "dot dimension mismatch");
+  auto ui = u.indices();
+  auto uv = u.values();
+  auto vi = v.indices();
+  auto vv = v.values();
+  T acc = S::zero();
+  std::size_t a = 0, b = 0;
+  while (a < ui.size() && b < vi.size()) {
+    if (ui[a] < vi[b]) ++a;
+    else if (vi[b] < ui[a]) ++b;
+    else acc = S::add(acc, S::mul(uv[a++], vv[b++]));
+  }
+  return acc;
+}
+
+}  // namespace gbx

@@ -1,0 +1,74 @@
+// gen/burst.hpp — temporal burst traffic model.
+//
+// Real network streams are not stationary: scans, DDoS events and flash
+// crowds appear as bursts — a transient source (or source-destination
+// pair) dominating the stream for a window. BurstGenerator layers
+// configurable bursts over a power-law background, with ground truth
+// recorded so detection analytics can be scored (the paper's
+// "inferring the presence of unobserved traffic" use case).
+#pragma once
+
+#include <vector>
+
+#include "gen/power_law.hpp"
+
+namespace gen {
+
+struct BurstSpec {
+  std::size_t start_batch = 0;   ///< first batch the burst is live in
+  std::size_t end_batch = 0;     ///< one past the last live batch
+  gbx::Index src = 0;            ///< burst origin
+  gbx::Index dst = 0;            ///< burst target (fan-out if spread > 0)
+  gbx::Index spread = 0;         ///< dst, dst+1, ..., dst+spread targets
+  double fraction = 0.2;         ///< fraction of each live batch's entries
+};
+
+class BurstGenerator {
+ public:
+  BurstGenerator(const PowerLawParams& background, std::vector<BurstSpec> bursts)
+      : bg_(background), bursts_(std::move(bursts)), rng_(background.seed ^ 0xb5c4) {
+    for (const auto& b : bursts_) {
+      GBX_CHECK_VALUE(b.start_batch < b.end_batch, "burst window must be non-empty");
+      GBX_CHECK_VALUE(b.fraction > 0 && b.fraction <= 1, "burst fraction in (0,1]");
+      GBX_CHECK_INDEX(b.src < background.dim && b.dst + b.spread < background.dim,
+                      "burst endpoints out of range");
+    }
+  }
+
+  const std::vector<BurstSpec>& bursts() const { return bursts_; }
+  std::size_t batches_emitted() const { return batch_no_; }
+
+  /// Next batch: background power-law traffic with live bursts mixed in.
+  template <class T>
+  gbx::Tuples<T> batch(std::size_t n) {
+    gbx::Tuples<T> out;
+    out.reserve(n);
+    std::size_t burst_quota = 0;
+    for (const auto& b : bursts_)
+      if (batch_no_ >= b.start_batch && batch_no_ < b.end_batch)
+        burst_quota += static_cast<std::size_t>(b.fraction * static_cast<double>(n));
+    if (burst_quota > n) burst_quota = n;
+
+    bg_.batch(n - burst_quota, out);
+    for (const auto& b : bursts_) {
+      if (batch_no_ < b.start_batch || batch_no_ >= b.end_batch) continue;
+      const auto quota =
+          static_cast<std::size_t>(b.fraction * static_cast<double>(n));
+      for (std::size_t k = 0; k < quota && out.size() < n; ++k) {
+        const gbx::Index d =
+            b.spread == 0 ? b.dst : b.dst + rng_.next_below(b.spread + 1);
+        out.push_back(b.src, d, T{1});
+      }
+    }
+    ++batch_no_;
+    return out;
+  }
+
+ private:
+  PowerLawGenerator bg_;
+  std::vector<BurstSpec> bursts_;
+  Xoshiro256 rng_;
+  std::size_t batch_no_ = 0;
+};
+
+}  // namespace gen

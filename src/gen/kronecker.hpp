@@ -1,0 +1,86 @@
+// gen/kronecker.hpp — Kronecker (R-MAT) edge generator, Graph500 style.
+//
+// The recursive quadrant sampler of Chakrabarti/Zaki/Faloutsos, with the
+// Graph500 default probabilities (A, B, C, D) = (0.57, 0.19, 0.19, 0.05).
+// Kronecker graphs are the standard synthetic stand-in for power-law
+// network topologies; we provide both this and the Zipf sampler of
+// power_law.hpp so benches can show results are not generator artifacts.
+#pragma once
+
+#include <cstdint>
+
+#include "gbx/coo.hpp"
+#include "gbx/error.hpp"
+#include "gbx/types.hpp"
+#include "gen/rng.hpp"
+
+namespace gen {
+
+struct KroneckerParams {
+  int scale = 17;  ///< 2^scale vertices
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 - a - b - c
+  bool scramble = true;  ///< hash-permute vertex ids (Graph500 scrambling)
+  std::uint64_t seed = 1;
+};
+
+class KroneckerGenerator {
+ public:
+  explicit KroneckerGenerator(const KroneckerParams& p)
+      : params_(p), rng_(p.seed) {
+    GBX_CHECK_VALUE(p.scale >= 1 && p.scale <= 62, "scale must be in [1, 62]");
+    GBX_CHECK_VALUE(p.a > 0 && p.b >= 0 && p.c >= 0 && p.a + p.b + p.c < 1.0,
+                    "quadrant probabilities must satisfy a>0, a+b+c<1");
+  }
+
+  const KroneckerParams& params() const { return params_; }
+  gbx::Index nverts() const { return gbx::Index{1} << params_.scale; }
+
+  /// Sample one edge.
+  std::pair<gbx::Index, gbx::Index> edge() {
+    gbx::Index i = 0, j = 0;
+    for (int bit = 0; bit < params_.scale; ++bit) {
+      const double r = rng_.next_double();
+      i <<= 1;
+      j <<= 1;
+      if (r < params_.a) {
+        // quadrant A: (0, 0)
+      } else if (r < params_.a + params_.b) {
+        j |= 1;  // B: (0, 1)
+      } else if (r < params_.a + params_.b + params_.c) {
+        i |= 1;  // C: (1, 0)
+      } else {
+        i |= 1;  // D: (1, 1)
+        j |= 1;
+      }
+    }
+    if (params_.scramble) {
+      const gbx::Index mask = nverts() - 1;
+      i = mix64(i + 0x1234567) & mask;
+      j = mix64(j + 0x1234567) & mask;
+    }
+    return {i, j};
+  }
+
+  /// Append `n` edges (value 1) to `out`.
+  template <class T>
+  void batch(std::size_t n, gbx::Tuples<T>& out) {
+    out.reserve(out.size() + n);
+    for (std::size_t k = 0; k < n; ++k) {
+      auto [i, j] = edge();
+      out.push_back(i, j, T{1});
+    }
+  }
+
+  template <class T>
+  gbx::Tuples<T> batch(std::size_t n) {
+    gbx::Tuples<T> out;
+    batch(n, out);
+    return out;
+  }
+
+ private:
+  KroneckerParams params_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace gen

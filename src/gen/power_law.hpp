@@ -1,0 +1,151 @@
+// gen/power_law.hpp — power-law graph edge stream generator.
+//
+// The paper's workload (Section III): "a power-law graph of 100,000,000
+// entries divided up into 1,000 sets of 100,000 entries". We generate
+// edges whose endpoints follow a Zipf(alpha) distribution over a vertex
+// population of 2^scale, sampled through an O(1) alias table, and then
+// optionally scatter the small dense vertex ids across a huge index space
+// (2^32 for IPv4, 2^64 for IPv6) with a 64-bit mix so the resulting
+// traffic matrix is genuinely hypersparse.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gbx/coo.hpp"
+#include "gbx/error.hpp"
+#include "gbx/types.hpp"
+#include "gen/rng.hpp"
+
+namespace gen {
+
+/// Walker alias table: O(n) build, O(1) sample from an arbitrary discrete
+/// distribution.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    GBX_CHECK_VALUE(n > 0, "alias table needs at least one weight");
+    prob_.resize(n);
+    alias_.resize(n);
+    double total = 0;
+    for (double w : weights) {
+      GBX_CHECK_VALUE(w >= 0, "alias table weights must be non-negative");
+      total += w;
+    }
+    GBX_CHECK_VALUE(total > 0, "alias table weights must not all be zero");
+
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+
+    while (!small.empty() && !large.empty()) {
+      const auto s = small.back();
+      small.pop_back();
+      const auto l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (auto l : large) prob_[l] = 1.0;
+    for (auto s : small) prob_[s] = 1.0;
+  }
+
+  std::size_t size() const { return prob_.size(); }
+
+  std::uint64_t sample(Xoshiro256& rng) const {
+    const std::uint64_t i = rng.next_below(prob_.size());
+    return rng.next_double() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Parameters of the power-law edge stream.
+struct PowerLawParams {
+  int scale = 17;          ///< vertex population = 2^scale
+  double alpha = 1.3;      ///< Zipf exponent (degree ~ rank^-alpha)
+  gbx::Index dim = gbx::kIPv4Dim;  ///< target matrix dimension
+  bool scatter = true;     ///< mix vertex ids across [0, dim)
+  std::uint64_t seed = 1;
+};
+
+/// Streaming power-law edge generator. Each call to `batch(n)` yields n
+/// independent (row, col, 1) edges; duplicates occur naturally, exactly
+/// as in repeated network traffic between the same hosts.
+class PowerLawGenerator {
+ public:
+  explicit PowerLawGenerator(const PowerLawParams& p)
+      : params_(p), rng_(p.seed), table_(make_weights(p)) {
+    GBX_CHECK_VALUE(p.scale >= 1 && p.scale <= 30,
+                    "power-law scale must be in [1, 30]");
+    GBX_CHECK_VALUE(p.alpha > 0, "power-law alpha must be positive");
+    GBX_CHECK_VALUE(p.dim >= (gbx::Index{1} << p.scale),
+                    "target dimension smaller than vertex population");
+  }
+
+  const PowerLawParams& params() const { return params_; }
+
+  /// One edge endpoint.
+  gbx::Index sample_vertex() {
+    const std::uint64_t v = table_.sample(rng_);
+    return place(v);
+  }
+
+  /// Append `n` edges (value 1) to `out`.
+  template <class T>
+  void batch(std::size_t n, gbx::Tuples<T>& out) {
+    out.reserve(out.size() + n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const gbx::Index i = sample_vertex();
+      const gbx::Index j = sample_vertex();
+      out.push_back(i, j, T{1});
+    }
+  }
+
+  template <class T>
+  gbx::Tuples<T> batch(std::size_t n) {
+    gbx::Tuples<T> out;
+    batch(n, out);
+    return out;
+  }
+
+ private:
+  static std::vector<double> make_weights(const PowerLawParams& p) {
+    const std::size_t n = std::size_t{1} << p.scale;
+    std::vector<double> w(n);
+    for (std::size_t r = 0; r < n; ++r)
+      w[r] = std::pow(static_cast<double>(r + 1), -p.alpha);
+    return w;
+  }
+
+  gbx::Index place(std::uint64_t v) const {
+    if (!params_.scatter) return v;
+    // mix64 is a bijection on 64 bits; reduce into [0, dim) preserving
+    // near-uniform scatter. dim >= population guarantees injectivity is
+    // not required — collisions just merge traffic, as real IPs would.
+    return static_cast<gbx::Index>(
+        (static_cast<unsigned __int128>(mix64(v * 0x9e3779b97f4a7c15ull + 1)) *
+         params_.dim) >>
+        64);
+  }
+
+  PowerLawParams params_;
+  Xoshiro256 rng_;
+  AliasTable table_;
+};
+
+}  // namespace gen

@@ -1,0 +1,79 @@
+// gen/rng.hpp — deterministic random number generation for workloads.
+//
+// splitmix64 seeds and finalizes; xoshiro256** is the workhorse stream
+// generator. Both are tiny, fast, and reproducible across platforms,
+// which keeps every experiment in this repo re-runnable bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gen {
+
+/// splitmix64 step (Steele, Lea, Flood 2014). Also usable as a 64-bit
+/// mix/finalizer for hashing.
+inline constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mixing (a bijection on uint64): used to scatter small
+/// dense vertex ids across huge (2^32 / 2^64) index spaces so hypersparse
+/// structures see realistic, non-clustered coordinates.
+inline constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Not cryptographic; excellent
+/// statistical quality for simulation workloads.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias worth caring about
+  /// for simulation purposes (Lemire-style multiply-shift).
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace gen

@@ -1,0 +1,49 @@
+// gen/uniform.hpp — uniform-random edge generator (control workload).
+//
+// Power-law structure concentrates duplicates on heavy vertices, which
+// flatters any deduplicating ingest path. The uniform generator is the
+// control: maximal coordinate entropy, minimal duplication, worst case
+// for sort-based folds. Benches use it to separate "hierarchy wins" from
+// "skew wins".
+#pragma once
+
+#include "gbx/coo.hpp"
+#include "gbx/error.hpp"
+#include "gen/rng.hpp"
+
+namespace gen {
+
+struct UniformParams {
+  gbx::Index dim = gbx::kIPv4Dim;
+  std::uint64_t seed = 1;
+};
+
+class UniformGenerator {
+ public:
+  explicit UniformGenerator(const UniformParams& p) : params_(p), rng_(p.seed) {
+    GBX_CHECK_VALUE(p.dim > 0, "dimension must be positive");
+  }
+
+  const UniformParams& params() const { return params_; }
+
+  template <class T>
+  void batch(std::size_t n, gbx::Tuples<T>& out) {
+    out.reserve(out.size() + n);
+    for (std::size_t k = 0; k < n; ++k)
+      out.push_back(rng_.next_below(params_.dim), rng_.next_below(params_.dim),
+                    T{1});
+  }
+
+  template <class T>
+  gbx::Tuples<T> batch(std::size_t n) {
+    gbx::Tuples<T> out;
+    batch(n, out);
+    return out;
+  }
+
+ private:
+  UniformParams params_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace gen

@@ -1,0 +1,128 @@
+// hier/autotune.hpp — online cut tuning.
+//
+// The paper: "The cut values ci can be selected so as to optimize the
+// performance with respect to particular applications." This component
+// makes that selection *online*: it observes per-batch update latency at
+// the current level-1 cut, probes neighbouring cuts (halve / double),
+// and walks toward the fastest — a tiny hill-climber that converges to
+// the plateau bench_cut_sweep maps out, without offline sweeps.
+//
+// AutoTuner owns the HierMatrix and transparently rebuilds it with a new
+// schedule between batches (value is preserved through checkpoint-grade
+// level transfer: the old levels fold into the new hierarchy's top).
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+
+#include "hier/hier_matrix.hpp"
+
+namespace hier {
+
+struct AutoTuneOptions {
+  std::size_t min_c1 = 1u << 8;
+  std::size_t max_c1 = 1u << 24;
+  std::size_t probe_batches = 4;  ///< batches measured per candidate cut
+  std::size_t ratio = 8;          ///< geometric growth between levels
+  std::size_t levels = 4;
+};
+
+template <class T, class AddMonoid = gbx::PlusMonoid<T>>
+class AutoTuner {
+ public:
+  AutoTuner(gbx::Index nrows, gbx::Index ncols, std::size_t initial_c1,
+            AutoTuneOptions opt = {})
+      : opt_(opt),
+        c1_(clamp(initial_c1)),
+        mat_(nrows, ncols, CutPolicy::geometric(opt.levels, c1_, opt.ratio)) {}
+
+  /// Stream one batch, measuring it. Every `probe_batches` batches the
+  /// tuner evaluates the current rate and may move the cut.
+  void update(const gbx::Tuples<T>& batch) {
+    const double t0 = omp_get_wtime();
+    mat_.update(batch);
+    window_seconds_ += omp_get_wtime() - t0;
+    window_entries_ += batch.size();
+    if (++window_batches_ >= opt_.probe_batches) end_window();
+  }
+
+  /// Current level-1 cut.
+  std::size_t c1() const { return c1_; }
+  /// Number of cut changes performed so far.
+  std::size_t retunes() const { return retunes_; }
+  /// Last completed window's updates/second.
+  double last_rate() const { return last_rate_; }
+
+  const HierMatrix<T, AddMonoid>& matrix() const { return mat_; }
+  typename HierMatrix<T, AddMonoid>::matrix_type snapshot() const {
+    return mat_.snapshot();
+  }
+
+ private:
+  std::size_t clamp(std::size_t c) const {
+    return std::min(std::max(c, opt_.min_c1), opt_.max_c1);
+  }
+
+  void end_window() {
+    const double rate =
+        window_seconds_ > 0
+            ? static_cast<double>(window_entries_) / window_seconds_
+            : 0.0;
+    window_batches_ = 0;
+    window_entries_ = 0;
+    window_seconds_ = 0;
+
+    // Hill-climb: keep moving in the current direction while it helps;
+    // reverse (and shrink commitment) when it stops helping.
+    if (last_rate_ > 0) {
+      if (rate + 0.02 * last_rate_ < last_rate_) direction_ = -direction_;
+      const std::size_t next =
+          clamp(direction_ > 0 ? c1_ * 2 : std::max<std::size_t>(1, c1_ / 2));
+      if (next != c1_) {
+        retarget(next);
+        ++retunes_;
+      }
+    }
+    last_rate_ = rate;
+  }
+
+  /// Rebuild with a new schedule, carrying the accumulated value over.
+  void retarget(std::size_t new_c1) {
+    HierMatrix<T, AddMonoid> next(mat_.nrows(), mat_.ncols(),
+                                  CutPolicy::geometric(opt_.levels, new_c1,
+                                                       opt_.ratio));
+    // Move every old level into the new top level: one monoid add each,
+    // exactly a cascade fold, so the logical value is untouched.
+    for (std::size_t i = 0; i < mat_.num_levels(); ++i)
+      next.restore_level(next.num_levels() - 1,
+                         fold_into(next.level(next.num_levels() - 1),
+                                   mat_.level(i)));
+    HierStats st = mat_.stats();
+    st.level.assign(next.num_levels(), LevelStats{});
+    next.restore_stats(std::move(st));
+    mat_ = std::move(next);
+    c1_ = new_c1;
+  }
+
+  static typename HierMatrix<T, AddMonoid>::matrix_type fold_into(
+      const typename HierMatrix<T, AddMonoid>::matrix_type& base,
+      const typename HierMatrix<T, AddMonoid>::matrix_type& add) {
+    auto out = base;
+    out.plus_assign(add);
+    return out;
+  }
+
+  AutoTuneOptions opt_;
+  std::size_t c1_;
+  HierMatrix<T, AddMonoid> mat_;
+
+  std::size_t window_batches_ = 0;
+  std::uint64_t window_entries_ = 0;
+  double window_seconds_ = 0;
+  double last_rate_ = 0;
+  int direction_ = +1;
+  std::size_t retunes_ = 0;
+};
+
+}  // namespace hier

@@ -1,0 +1,83 @@
+// hier/checkpoint.hpp — checkpoint/restore for hierarchical matrices.
+//
+// Persists the *entire* level structure (not the collapsed sum), so a
+// restored matrix resumes streaming with identical cascade behaviour and
+// the restart is invisible to both ingest and query paths. Cut schedule
+// and cascade statistics ride along.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "gbx/serialize.hpp"
+#include "hier/hier_matrix.hpp"
+
+namespace hier {
+
+namespace detail {
+inline constexpr std::uint64_t kCkptMagic = 0x48484752'43503031ull;  // "HHGRCP01"
+}
+
+template <class T, class M>
+void checkpoint(std::ostream& os, const HierMatrix<T, M>& h) {
+  gbx::detail::write_pod(os, detail::kCkptMagic);
+  gbx::detail::write_pod<gbx::Index>(os, h.nrows());
+  gbx::detail::write_pod<gbx::Index>(os, h.ncols());
+
+  const auto& cuts = h.cut_policy().cuts();
+  gbx::detail::write_vec(os, std::vector<std::uint64_t>(cuts.begin(), cuts.end()));
+
+  gbx::detail::write_pod<std::uint64_t>(os, h.num_levels());
+  for (std::size_t i = 0; i < h.num_levels(); ++i)
+    gbx::serialize(os, h.level(i));
+
+  // Statistics (so monitoring survives restarts).
+  const auto& st = h.stats();
+  gbx::detail::write_pod(os, st.updates);
+  gbx::detail::write_pod(os, st.entries_appended);
+  gbx::detail::write_pod(os, st.queries);
+  gbx::detail::write_pod<std::uint64_t>(os, st.level.size());
+  for (const auto& ls : st.level) {
+    gbx::detail::write_pod(os, ls.folds);
+    gbx::detail::write_pod(os, ls.entries_folded);
+    gbx::detail::write_pod(os, ls.max_entries);
+  }
+  GBX_CHECK(os.good(), "checkpoint: write failure");
+}
+
+template <class T, class M = gbx::PlusMonoid<T>>
+HierMatrix<T, M> restore(std::istream& is) {
+  GBX_CHECK(gbx::detail::read_pod<std::uint64_t>(is) == detail::kCkptMagic,
+            "restore: bad magic (not an hhgbx checkpoint)");
+  const auto nrows = gbx::detail::read_pod<gbx::Index>(is);
+  const auto ncols = gbx::detail::read_pod<gbx::Index>(is);
+  auto cuts64 = gbx::detail::read_vec<std::uint64_t>(is);
+  CutPolicy cuts(std::vector<std::size_t>(cuts64.begin(), cuts64.end()));
+
+  HierMatrix<T, M> h(nrows, ncols, std::move(cuts));
+  const auto levels = gbx::detail::read_pod<std::uint64_t>(is);
+  GBX_CHECK(levels == h.num_levels(), "restore: level count mismatch");
+  for (std::size_t i = 0; i < levels; ++i) {
+    auto m = gbx::deserialize<T, M>(is);
+    GBX_CHECK(m.nrows() == nrows && m.ncols() == ncols,
+              "restore: level dimension mismatch");
+    h.restore_level(i, std::move(m));
+  }
+
+  HierStats st;
+  st.updates = gbx::detail::read_pod<std::uint64_t>(is);
+  st.entries_appended = gbx::detail::read_pod<std::uint64_t>(is);
+  st.queries = gbx::detail::read_pod<std::uint64_t>(is);
+  const auto nls = gbx::detail::read_pod<std::uint64_t>(is);
+  GBX_CHECK(nls == levels, "restore: stats level count mismatch");
+  st.level.resize(nls);
+  for (auto& ls : st.level) {
+    ls.folds = gbx::detail::read_pod<std::uint64_t>(is);
+    ls.entries_folded = gbx::detail::read_pod<std::uint64_t>(is);
+    ls.max_entries = gbx::detail::read_pod<std::uint64_t>(is);
+  }
+  h.restore_stats(std::move(st));
+  return h;
+}
+
+}  // namespace hier

@@ -1,0 +1,11 @@
+// hier/hier.hpp — umbrella header for hierarchical hypersparse matrices.
+#pragma once
+
+#include "hier/autotune.hpp"
+#include "hier/checkpoint.hpp"
+#include "hier/cut_policy.hpp"
+#include "hier/hier_matrix.hpp"
+#include "hier/instance_array.hpp"
+#include "hier/merge.hpp"
+#include "hier/sharded_hier.hpp"
+#include "hier/stats.hpp"

@@ -1,0 +1,196 @@
+// hier/hier_matrix.hpp — hierarchical hypersparse matrices.
+//
+// The paper's primary contribution (Section II):
+//
+//   * Initialize an N-level hierarchical hypersparse matrix with cuts ci.
+//   * Update by adding data A to the lowest layer: A1 = A1 + A.
+//   * If nnz(A1) > c1 then A2 = A2 + A1 and reset A1 to an empty
+//     hypersparse matrix; repeat up the hierarchy until nnz(Ai) <= ci or
+//     i = N.
+//   * To complete all pending updates for analysis, sum all layers:
+//     A = Σ Ai.
+//
+// Because the fold operation is a commutative monoid (default: plus),
+// the cascade is *exactly* equal to direct accumulation — the property
+// the test suite checks as its central invariant.
+//
+// Fast-memory mechanics: level 1 keeps its updates in the Matrix pending
+// buffer (O(1) appends into a small, cache-resident array). A fold sorts
+// and deduplicates that small buffer and merges it into the next level,
+// so the expensive merge work touches each stored entry only
+// O(log_r(total)) times instead of once per update.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "gbx/matrix.hpp"
+#include "gbx/matrix_ops.hpp"
+#include "hier/cut_policy.hpp"
+#include "hier/stats.hpp"
+
+namespace hier {
+
+template <class T, class AddMonoid = gbx::PlusMonoid<T>>
+class HierMatrix {
+ public:
+  using matrix_type = gbx::Matrix<T, AddMonoid>;
+  using value_type = T;
+
+  HierMatrix(gbx::Index nrows, gbx::Index ncols, CutPolicy cuts)
+      : nrows_(nrows), ncols_(ncols), cuts_(std::move(cuts)) {
+    levels_.reserve(cuts_.levels());
+    for (std::size_t i = 0; i < cuts_.levels(); ++i)
+      levels_.emplace_back(nrows_, ncols_);
+    stats_.level.resize(cuts_.levels());
+  }
+
+  gbx::Index nrows() const { return nrows_; }
+  gbx::Index ncols() const { return ncols_; }
+  std::size_t num_levels() const { return levels_.size(); }
+  const CutPolicy& cut_policy() const { return cuts_; }
+  const HierStats& stats() const { return stats_; }
+
+  /// Single-entry streaming update: A(i, j) ⊕= v.
+  void update(gbx::Index i, gbx::Index j, T v) {
+    levels_[0].set_element(i, j, v);
+    ++stats_.updates;
+    ++stats_.entries_appended;
+    cascade();
+  }
+
+  /// Batched streaming update (the paper streams 100K-entry sets).
+  void update(const gbx::Tuples<T>& batch) {
+    levels_[0].append(batch);
+    ++stats_.updates;
+    stats_.entries_appended += batch.size();
+    cascade();
+  }
+
+  void update(std::span<const gbx::Index> rows,
+              std::span<const gbx::Index> cols, std::span<const T> vals) {
+    levels_[0].append(rows, cols, vals);
+    ++stats_.updates;
+    stats_.entries_appended += rows.size();
+    cascade();
+  }
+
+  /// Entry-count upper bound per level (compressed + buffered; never
+  /// forces folds). This is the quantity cut thresholds act on.
+  std::size_t level_entries(std::size_t i) const {
+    return levels_[i].nvals_bound();
+  }
+
+  /// Sum of per-level entry bounds (counts duplicate coordinates that
+  /// live in different levels once per level).
+  std::size_t total_entries_bound() const {
+    std::size_t n = 0;
+    for (const auto& l : levels_) n += l.nvals_bound();
+    return n;
+  }
+
+  /// Heap bytes across all levels.
+  std::size_t memory_bytes() const {
+    std::size_t n = 0;
+    for (const auto& l : levels_) n += l.memory_bytes();
+    return n;
+  }
+
+  /// Non-destructive query: A = Σ Ai. Levels are left untouched, so
+  /// streaming can continue afterwards (the paper's analysis step).
+  matrix_type snapshot() const {
+    ++stats_.queries;
+    matrix_type acc(nrows_, ncols_);
+    for (const auto& l : levels_) acc.plus_assign(l);
+    return acc;
+  }
+
+  /// Destructive query: folds every level into the top one and returns a
+  /// reference to it. Cheaper than snapshot when streaming is finished.
+  const matrix_type& collapse() {
+    ++stats_.queries;
+    auto& top = levels_.back();
+    for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+      if (levels_[i].empty()) continue;
+      record_fold(i, levels_[i].nvals_bound());
+      top.plus_assign(levels_[i]);
+      levels_[i].reset();
+    }
+    top.materialize();
+    return top;
+  }
+
+  /// Force the full cascade regardless of thresholds (e.g. before
+  /// checkpointing), preserving the level structure.
+  void flush() {
+    for (std::size_t i = 0; i + 1 < levels_.size(); ++i) fold(i);
+  }
+
+  /// Direct (read-only) access to a level, for instrumentation and tests.
+  const matrix_type& level(std::size_t i) const { return levels_[i]; }
+
+  /// Exact nnz of the logical matrix (cost: one snapshot).
+  std::size_t nvals() const { return snapshot().nvals(); }
+
+  /// Re-establish the cut invariants after external level surgery
+  /// (hier/merge.hpp). Shallowest-first: folding level i only adds to
+  /// level i+1, which is checked next, so one pass suffices.
+  void recascade() {
+    for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+      if (levels_[i].nvals_bound() > cuts_.cut(i)) fold(i);
+    }
+  }
+
+  /// Reset every level to empty (consumed-source state after a merge).
+  void reset_levels() {
+    for (auto& l : levels_) l.reset();
+  }
+
+  /// Checkpoint/restore hooks (hier/checkpoint.hpp): replace one level's
+  /// matrix / the statistics block wholesale. Dimensions must match.
+  void restore_level(std::size_t i, matrix_type m) {
+    GBX_CHECK_INDEX(i < levels_.size(), "restore_level index out of range");
+    GBX_CHECK_DIM(m.nrows() == nrows_ && m.ncols() == ncols_,
+                  "restore_level dimension mismatch");
+    levels_[i] = std::move(m);
+  }
+  void restore_stats(HierStats st) {
+    GBX_CHECK_DIM(st.level.size() == levels_.size(),
+                  "restore_stats level count mismatch");
+    stats_ = std::move(st);
+  }
+
+ private:
+  /// The paper's cascade loop: fold while a level exceeds its cut.
+  void cascade() {
+    for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+      if (levels_[i].nvals_bound() <= cuts_.cut(i)) break;
+      fold(i);
+    }
+  }
+
+  /// A_{i+1} += A_i; A_i cleared to an empty hypersparse matrix.
+  void fold(std::size_t i) {
+    auto& lo = levels_[i];
+    if (lo.empty()) return;
+    record_fold(i, lo.nvals_bound());
+    levels_[i + 1].plus_assign(lo);
+    lo.reset();
+  }
+
+  void record_fold(std::size_t i, std::size_t entries) {
+    auto& ls = stats_.level[i];
+    ++ls.folds;
+    ls.entries_folded += entries;
+    ls.max_entries = std::max<std::uint64_t>(ls.max_entries, entries);
+  }
+
+  gbx::Index nrows_;
+  gbx::Index ncols_;
+  CutPolicy cuts_;
+  std::vector<matrix_type> levels_;
+  mutable HierStats stats_;
+};
+
+}  // namespace hier

@@ -1,0 +1,50 @@
+// hier/merge.hpp — combining hierarchical matrices.
+//
+// The paper's instances are independent, but analyses frequently need
+// their union ("all layers ... summed"): a distributed reduction combines
+// per-process matrices into one. merge_into folds a source hierarchy
+// into a destination level-by-level — each source level lands in the
+// destination level that can absorb it, preserving the fast/slow memory
+// discipline instead of collapsing everything to the top.
+#pragma once
+
+#include "hier/hier_matrix.hpp"
+
+namespace hier {
+
+/// dst += src (src is consumed: its levels are reset). Dimensions and
+/// level counts must match. Values combine with the shared fold monoid;
+/// the result equals snapshot(dst) + snapshot(src) exactly.
+template <class T, class M>
+void merge_into(HierMatrix<T, M>& dst, HierMatrix<T, M>&& src) {
+  GBX_CHECK_DIM(dst.nrows() == src.nrows() && dst.ncols() == src.ncols(),
+                "merge_into dimension mismatch");
+  GBX_CHECK_DIM(dst.num_levels() == src.num_levels(),
+                "merge_into level-count mismatch");
+  // Fold each source level into the same destination level, then let the
+  // destination cascade restore its cut invariants.
+  for (std::size_t i = 0; i < src.num_levels(); ++i) {
+    if (src.level(i).empty()) continue;
+    auto merged = dst.level(i);  // copy of dst's level
+    merged.plus_assign(src.level(i));
+    dst.restore_level(i, std::move(merged));
+  }
+  dst.recascade();
+  src.reset_levels();
+}
+
+/// Binary-tree reduction of many hierarchies into index 0 (the shape of
+/// a distributed allreduce over the paper's 31,000 instances). Consumes
+/// all inputs except the first.
+template <class T, class M>
+void tree_reduce(std::vector<HierMatrix<T, M>>& instances) {
+  GBX_CHECK_VALUE(!instances.empty(), "tree_reduce needs at least one instance");
+  for (std::size_t stride = 1; stride < instances.size(); stride *= 2) {
+    const std::size_t step = stride * 2;
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::size_t i = 0; i < instances.size() - stride; i += step)
+      merge_into(instances[i], std::move(instances[i + stride]));
+  }
+}
+
+}  // namespace hier

@@ -1,0 +1,102 @@
+// hier/sharded_hier.hpp — concurrent ingest into one logical matrix.
+//
+// The paper scales by running fully independent instances, one per
+// process. ShardedHier extends that idea *within* one logical matrix (an
+// extension beyond the paper, in its "tunable for a variety of
+// applications" spirit): rows are hash-partitioned across S shards, each
+// shard is its own HierMatrix guarded by a mutex, and concurrent writers
+// contend only when they hit the same shard. The logical value is the
+// monoid sum of the shards — associativity makes sharding invisible to
+// queries, the same algebra that makes the cascade exact.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "hier/hier_matrix.hpp"
+
+namespace hier {
+
+template <class T, class AddMonoid = gbx::PlusMonoid<T>>
+class ShardedHier {
+ public:
+  using matrix_type = gbx::Matrix<T, AddMonoid>;
+
+  ShardedHier(std::size_t shards, gbx::Index nrows, gbx::Index ncols,
+              const CutPolicy& cuts)
+      : nrows_(nrows), ncols_(ncols), locks_(shards) {
+    GBX_CHECK_VALUE(shards > 0, "need at least one shard");
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) shards_.emplace_back(nrows, ncols, cuts);
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  gbx::Index nrows() const { return nrows_; }
+  gbx::Index ncols() const { return ncols_; }
+
+  /// Thread-safe single update.
+  void update(gbx::Index i, gbx::Index j, T v) {
+    const std::size_t s = shard_of(i);
+    std::lock_guard<std::mutex> g(locks_[s]);
+    shards_[s].update(i, j, v);
+  }
+
+  /// Thread-safe batched update: the batch is split by shard once, then
+  /// each shard is locked exactly once.
+  void update(const gbx::Tuples<T>& batch) {
+    std::vector<gbx::Tuples<T>> parts(shards_.size());
+    for (const auto& e : batch)
+      parts[shard_of(e.row)].push_back(e.row, e.col, e.val);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (parts[s].empty()) continue;
+      std::lock_guard<std::mutex> g(locks_[s]);
+      shards_[s].update(parts[s]);
+    }
+  }
+
+  /// Logical value: monoid sum across shards (each shard snapshot is
+  /// taken under its lock; the result is a consistent-per-shard union,
+  /// the streaming-analytics consistency model of the paper).
+  matrix_type snapshot() const {
+    matrix_type acc(nrows_, ncols_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      acc.plus_assign(shards_[s].snapshot());
+    }
+    return acc;
+  }
+
+  /// Aggregate statistics across shards.
+  std::uint64_t entries_appended() const {
+    std::uint64_t n = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      n += shards_[s].stats().entries_appended;
+    }
+    return n;
+  }
+
+  std::size_t memory_bytes() const {
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      n += shards_[s].memory_bytes();
+    }
+    return n;
+  }
+
+ private:
+  std::size_t shard_of(gbx::Index row) const {
+    // Hash so that dense row ranges spread evenly (row-block partitions
+    // would put one hot subnet entirely on one shard).
+    return static_cast<std::size_t>(gen::mix64(row) % shards_.size());
+  }
+
+  gbx::Index nrows_;
+  gbx::Index ncols_;
+  std::vector<HierMatrix<T, AddMonoid>> shards_;
+  mutable std::vector<std::mutex> locks_;
+};
+
+}  // namespace hier

@@ -1,0 +1,79 @@
+// store/bloom.hpp — Bloom filters for LSM run pruning.
+//
+// Accumulo attaches Bloom filters to RFiles so point lookups skip runs
+// that cannot contain the key; our LSM model does the same per sorted
+// run. Standard double-hashing construction (Kirsch-Mitzenmacher): k
+// probes derived from two 64-bit hashes of the key.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gbx/error.hpp"
+#include "store/kv_types.hpp"
+
+namespace store {
+
+class BloomFilter {
+ public:
+  /// Sized for `expected` keys at roughly the given false-positive rate
+  /// (bits = -n ln(p) / ln(2)^2, k = bits/n ln 2 — the textbook optimum).
+  explicit BloomFilter(std::size_t expected, double fp_rate = 0.01) {
+    GBX_CHECK_VALUE(expected > 0, "bloom: expected count must be positive");
+    GBX_CHECK_VALUE(fp_rate > 0 && fp_rate < 1, "bloom: fp_rate in (0,1)");
+    const double ln2 = 0.6931471805599453;
+    const double bits =
+        -static_cast<double>(expected) * std::log(fp_rate) / (ln2 * ln2);
+    nbits_ = std::max<std::size_t>(64, static_cast<std::size_t>(bits) + 1);
+    k_ = std::max(1, static_cast<int>(bits / static_cast<double>(expected) * ln2 + 0.5));
+    words_.assign((nbits_ + 63) / 64, 0);
+  }
+
+  void add(const Key& key) {
+    auto [h1, h2] = hashes(key);
+    for (int i = 0; i < k_; ++i) set_bit((h1 + static_cast<std::uint64_t>(i) * h2) % nbits_);
+    ++count_;
+  }
+
+  /// False means definitely absent; true means possibly present.
+  bool may_contain(const Key& key) const {
+    auto [h1, h2] = hashes(key);
+    for (int i = 0; i < k_; ++i)
+      if (!get_bit((h1 + static_cast<std::uint64_t>(i) * h2) % nbits_)) return false;
+    return true;
+  }
+
+  std::size_t bits() const { return nbits_; }
+  int hash_count() const { return k_; }
+  std::size_t keys_added() const { return count_; }
+  std::size_t memory_bytes() const { return words_.size() * 8; }
+
+ private:
+  static std::pair<std::uint64_t, std::uint64_t> hashes(const Key& key) {
+    auto mix = [](std::uint64_t x) {
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebull;
+      x ^= x >> 31;
+      return x;
+    };
+    const std::uint64_t h1 = mix(key.row ^ 0x9e3779b97f4a7c15ull);
+    const std::uint64_t h2 = mix(key.col + 0xd1b54a32d192ed03ull) | 1;  // odd
+    return {h1 ^ (h2 >> 17), h2};
+  }
+
+  void set_bit(std::uint64_t b) { words_[b >> 6] |= (1ull << (b & 63)); }
+  bool get_bit(std::uint64_t b) const {
+    return (words_[b >> 6] >> (b & 63)) & 1;
+  }
+
+  std::size_t nbits_;
+  int k_;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace store

@@ -1,0 +1,290 @@
+#include "store/btree_store.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "gbx/error.hpp"
+
+namespace store {
+
+// ---------------------------------------------------------------------------
+// Node layout
+// ---------------------------------------------------------------------------
+
+struct BTreeStore::Node {
+  bool leaf;
+  std::uint16_t count = 0;
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+};
+
+struct BTreeStore::Leaf : BTreeStore::Node {
+  std::array<Key, kFanout> keys;
+  std::array<Value, kFanout> vals;
+  Leaf* next = nullptr;
+  Leaf() : Node(true) {}
+};
+
+struct BTreeStore::Inner : BTreeStore::Node {
+  // children[i] holds keys < keys[i]; children[count] holds the rest.
+  std::array<Key, kFanout> keys;
+  std::array<Node*, kFanout + 1> children{};
+  Inner() : Node(false) {}
+};
+
+namespace {
+
+using Node = BTreeStore::Node;
+
+void destroy(Node* n) {
+  if (n == nullptr) return;
+  if (!n->leaf) {
+    auto* in = static_cast<BTreeStore::Inner*>(n);
+    for (std::uint16_t i = 0; i <= in->count; ++i) destroy(in->children[i]);
+    delete in;
+  } else {
+    delete static_cast<BTreeStore::Leaf*>(n);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+BTreeStore::BTreeStore(bool enable_wal)
+    : wal_enabled_(enable_wal), root_(new Leaf()) {}
+
+BTreeStore::~BTreeStore() { destroy(root_); }
+
+BTreeStore::BTreeStore(BTreeStore&& o) noexcept
+    : wal_enabled_(o.wal_enabled_),
+      wal_(std::move(o.wal_)),
+      root_(o.root_),
+      size_(o.size_),
+      stats_(o.stats_) {
+  o.root_ = nullptr;
+  o.size_ = 0;
+}
+
+BTreeStore& BTreeStore::operator=(BTreeStore&& o) noexcept {
+  if (this != &o) {
+    destroy(root_);
+    wal_enabled_ = o.wal_enabled_;
+    wal_ = std::move(o.wal_);
+    root_ = o.root_;
+    size_ = o.size_;
+    stats_ = o.stats_;
+    o.root_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------------
+
+void BTreeStore::insert(Key k, Value v) {
+  if (wal_enabled_) wal_.append(k, v);
+  ++stats_.inserts;
+
+  // Descend, remembering the path for splits.
+  std::vector<Inner*> path;
+  std::vector<std::uint16_t> slot;
+  Node* n = root_;
+  while (!n->leaf) {
+    auto* in = static_cast<Inner*>(n);
+    const auto* first = in->keys.data();
+    const auto* last = first + in->count;
+    const auto i = static_cast<std::uint16_t>(
+        std::upper_bound(first, last, k) - first);
+    path.push_back(in);
+    slot.push_back(i);
+    n = in->children[i];
+  }
+  auto* leaf = static_cast<Leaf*>(n);
+
+  // Find position within the leaf.
+  const auto* kfirst = leaf->keys.data();
+  const auto* klast = kfirst + leaf->count;
+  const auto pos =
+      static_cast<std::uint16_t>(std::lower_bound(kfirst, klast, k) - kfirst);
+
+  if (pos < leaf->count && leaf->keys[pos] == k) {
+    leaf->vals[pos] += v;  // accumulate, the traffic-matrix semantics
+    return;
+  }
+
+  // Shift and insert.
+  for (std::uint16_t i = leaf->count; i > pos; --i) {
+    leaf->keys[i] = leaf->keys[i - 1];
+    leaf->vals[i] = leaf->vals[i - 1];
+  }
+  leaf->keys[pos] = k;
+  leaf->vals[pos] = v;
+  ++leaf->count;
+  ++size_;
+
+  if (leaf->count < kFanout) return;
+
+  // Split the leaf: right half moves to a new node.
+  auto* right = new Leaf();
+  const std::uint16_t half = kFanout / 2;
+  right->count = static_cast<std::uint16_t>(leaf->count - half);
+  std::copy(leaf->keys.begin() + half, leaf->keys.begin() + leaf->count,
+            right->keys.begin());
+  std::copy(leaf->vals.begin() + half, leaf->vals.begin() + leaf->count,
+            right->vals.begin());
+  leaf->count = half;
+  right->next = leaf->next;
+  leaf->next = right;
+  ++stats_.leaf_splits;
+
+  Key sep = right->keys[0];
+  Node* rchild = right;
+
+  // Propagate the separator upward.
+  while (!path.empty()) {
+    Inner* in = path.back();
+    const std::uint16_t at = slot.back();
+    path.pop_back();
+    slot.pop_back();
+
+    for (std::uint16_t i = in->count; i > at; --i) {
+      in->keys[i] = in->keys[i - 1];
+      in->children[i + 1] = in->children[i];
+    }
+    in->keys[at] = sep;
+    in->children[at + 1] = rchild;
+    ++in->count;
+    if (in->count < kFanout) return;
+
+    // Split the inner node; middle key moves up.
+    auto* rin = new Inner();
+    const std::uint16_t mid = kFanout / 2;
+    sep = in->keys[mid];
+    rin->count = static_cast<std::uint16_t>(in->count - mid - 1);
+    std::copy(in->keys.begin() + mid + 1, in->keys.begin() + in->count,
+              rin->keys.begin());
+    std::copy(in->children.begin() + mid + 1,
+              in->children.begin() + in->count + 1, rin->children.begin());
+    in->count = mid;
+    rchild = rin;
+    ++stats_.inner_splits;
+  }
+
+  // Root split: grow the tree by one level.
+  auto* nroot = new Inner();
+  nroot->count = 1;
+  nroot->keys[0] = sep;
+  nroot->children[0] = root_;
+  nroot->children[1] = rchild;
+  root_ = nroot;
+  ++stats_.height;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup / scan support
+// ---------------------------------------------------------------------------
+
+std::optional<Value> BTreeStore::get(Key k) const {
+  const Node* n = root_;
+  while (!n->leaf) {
+    const auto* in = static_cast<const Inner*>(n);
+    const auto* first = in->keys.data();
+    const auto i = static_cast<std::uint16_t>(
+        std::upper_bound(first, first + in->count, k) - first);
+    n = in->children[i];
+  }
+  const auto* leaf = static_cast<const Leaf*>(n);
+  const auto* first = leaf->keys.data();
+  const auto* last = first + leaf->count;
+  const auto* it = std::lower_bound(first, last, k);
+  if (it == last || *it != k) return std::nullopt;
+  return leaf->vals[static_cast<std::size_t>(it - first)];
+}
+
+const BTreeStore::Leaf* BTreeStore::first_leaf() const {
+  if (root_ == nullptr) return nullptr;
+  const Node* n = root_;
+  while (!n->leaf) n = static_cast<const Inner*>(n)->children[0];
+  return static_cast<const Leaf*>(n);
+}
+
+const BTreeStore::Leaf* BTreeStore::leaf_next(const Leaf* l) { return l->next; }
+std::size_t BTreeStore::leaf_count(const Leaf* l) { return l->count; }
+std::pair<Key, Value> BTreeStore::leaf_entry(const Leaf* l, std::size_t i) {
+  return {l->keys[i], l->vals[i]};
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DepthCheck {
+  int leaf_depth = -1;
+  bool ok = true;
+};
+
+void check(const Node* n, int depth, const Key* lo, const Key* hi,
+           DepthCheck& dc) {
+  if (!dc.ok) return;
+  if (n->leaf) {
+    if (dc.leaf_depth < 0) dc.leaf_depth = depth;
+    if (dc.leaf_depth != depth) {
+      dc.ok = false;
+      return;
+    }
+    const auto* l = static_cast<const BTreeStore::Leaf*>(n);
+    for (std::uint16_t i = 0; i < l->count; ++i) {
+      if (i > 0 && !(l->keys[i - 1] < l->keys[i])) dc.ok = false;
+      if (lo && l->keys[i] < *lo) dc.ok = false;
+      if (hi && !(l->keys[i] < *hi)) dc.ok = false;
+    }
+    return;
+  }
+  const auto* in = static_cast<const BTreeStore::Inner*>(n);
+  if (in->count == 0) {
+    dc.ok = false;
+    return;
+  }
+  for (std::uint16_t i = 0; i < in->count; ++i) {
+    if (i > 0 && !(in->keys[i - 1] < in->keys[i])) dc.ok = false;
+    if (lo && in->keys[i] < *lo) dc.ok = false;
+    if (hi && !(in->keys[i] < *hi)) dc.ok = false;
+  }
+  for (std::uint16_t i = 0; i <= in->count; ++i) {
+    const Key* clo = (i == 0) ? lo : &in->keys[i - 1];
+    const Key* chi = (i == in->count) ? hi : &in->keys[i];
+    check(in->children[i], depth + 1, clo, chi, dc);
+  }
+}
+
+}  // namespace
+
+bool BTreeStore::validate() const {
+  if (root_ == nullptr) return false;
+  DepthCheck dc;
+  check(root_, 0, nullptr, nullptr, dc);
+  if (!dc.ok) return false;
+  // Linked-leaf order must match tree order and cover exactly size_ keys.
+  std::size_t n = 0;
+  Key prev{};
+  bool first = true;
+  for (const Leaf* l = first_leaf(); l != nullptr; l = leaf_next(l)) {
+    for (std::size_t i = 0; i < leaf_count(l); ++i) {
+      const Key k = leaf_entry(l, i).first;
+      if (!first && !(prev < k)) return false;
+      prev = k;
+      first = false;
+      ++n;
+    }
+  }
+  return n == size_;
+}
+
+}  // namespace store

@@ -1,0 +1,86 @@
+// store/btree_store.hpp — B+tree with WAL (OLTP insert-path model).
+//
+// Models the per-row cost profile of a transactional RDBMS insert (the
+// Oracle TPC-C reference line of Fig. 2): every insert logs to the WAL
+// and descends a B+tree to maintain the primary index, splitting nodes
+// as it goes. The tree is a genuine order-`kFanout` B+tree with linked
+// leaves (ordered scans), not a std::map facade.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "store/kv_types.hpp"
+#include "store/wal.hpp"
+
+namespace store {
+
+struct BTreeStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t leaf_splits = 0;
+  std::uint64_t inner_splits = 0;
+  std::uint32_t height = 1;
+};
+
+class BTreeStore {
+ public:
+  /// Fanout chosen so a node is a few cache lines, like an in-memory
+  /// OLTP index (e.g. 64 keys/node).
+  static constexpr std::size_t kFanout = 64;
+
+  explicit BTreeStore(bool enable_wal = true);
+  ~BTreeStore();
+
+  BTreeStore(const BTreeStore&) = delete;
+  BTreeStore& operator=(const BTreeStore&) = delete;
+  BTreeStore(BTreeStore&&) noexcept;
+  BTreeStore& operator=(BTreeStore&&) noexcept;
+
+  /// value(key) += v; inserts the key when absent.
+  void insert(Key k, Value v);
+
+  std::optional<Value> get(Key k) const;
+
+  std::size_t size() const { return size_; }
+  const BTreeStats& stats() const { return stats_; }
+  std::uint64_t wal_bytes() const { return wal_.bytes_logged(); }
+
+  /// Ordered scan over linked leaves: f(key, value).
+  template <class F>
+  void scan(F&& f) const {
+    for (const Leaf* l = first_leaf(); l != nullptr; l = leaf_next(l))
+      for (std::size_t i = 0; i < leaf_count(l); ++i) {
+        auto [k, v] = leaf_entry(l, i);
+        f(k, v);
+      }
+  }
+
+  /// Structural invariants (key order, fill factors, uniform leaf depth).
+  bool validate() const;
+
+  // Node types are public so the out-of-line kernels (btree_store.cpp)
+  // can define them; they are not part of the supported API surface.
+  struct Node;
+  struct Leaf;
+  struct Inner;
+
+ private:
+
+  // Opaque-ish accessors so scan() can live in the header without
+  // exposing node layout.
+  const Leaf* first_leaf() const;
+  static const Leaf* leaf_next(const Leaf* l);
+  static std::size_t leaf_count(const Leaf* l);
+  static std::pair<Key, Value> leaf_entry(const Leaf* l, std::size_t i);
+
+  bool wal_enabled_;
+  WriteAheadLog wal_;
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  BTreeStats stats_;
+};
+
+}  // namespace store

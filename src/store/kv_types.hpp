@@ -1,0 +1,30 @@
+// store/kv_types.hpp — key/value types shared by the store baselines.
+//
+// The stores model database comparators of Fig. 2: keys are the (row,
+// col) coordinate of a traffic-matrix update, values are counts. Keys
+// order lexicographically by (row, col), matching a BigTable/Accumulo
+// rowkey built from source+destination IP.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "gbx/types.hpp"
+
+namespace store {
+
+struct Key {
+  gbx::Index row = 0;
+  gbx::Index col = 0;
+
+  friend constexpr auto operator<=>(const Key&, const Key&) = default;
+};
+
+using Value = double;
+
+struct KV {
+  Key key;
+  Value val{};
+};
+
+}  // namespace store

@@ -1,0 +1,128 @@
+#include "store/lsm_store.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace store {
+
+LsmStore::LsmStore(LsmOptions opt) : opt_(opt), wal_() {}
+
+void LsmStore::insert(Key k, Value v) {
+  if (opt_.enable_wal) wal_.append(k, v);
+  auto [it, fresh] = mem_.try_emplace(k, v);
+  if (!fresh) it->second += v;
+  ++stats_.inserts;
+  if (mem_.size() >= opt_.memtable_limit) flush();
+}
+
+LsmStore::Run LsmStore::make_run(std::vector<KV> kv) const {
+  Run run{std::move(kv), std::nullopt};
+  if (opt_.enable_bloom && !run.kv.empty()) {
+    run.bloom.emplace(run.kv.size(), opt_.bloom_fp_rate);
+    for (const auto& e : run.kv) run.bloom->add(e.key);
+  }
+  return run;
+}
+
+void LsmStore::flush() {
+  if (mem_.empty()) return;
+  std::vector<KV> run;
+  run.reserve(mem_.size());
+  for (const auto& [k, v] : mem_) run.push_back({k, v});
+  stats_.entries_written += run.size();
+  runs_.push_back(make_run(std::move(run)));
+  mem_.clear();
+  ++stats_.flushes;
+  maybe_compact();
+}
+
+void LsmStore::maybe_compact() {
+  if (runs_.size() <= opt_.compaction_fanin) return;
+  auto merged = merge_runs(runs_);
+  stats_.entries_written += merged.size();
+  runs_.clear();
+  runs_.push_back(make_run(std::move(merged)));
+  ++stats_.compactions;
+}
+
+void LsmStore::major_compact() {
+  flush();
+  if (runs_.size() <= 1) return;
+  auto merged = merge_runs(runs_);
+  stats_.entries_written += merged.size();
+  runs_.clear();
+  runs_.push_back(make_run(std::move(merged)));
+  ++stats_.compactions;
+}
+
+std::vector<KV> LsmStore::merge_runs(const std::vector<Run>& runs) {
+  // k-way merge with a heap of cursors; duplicate keys plus-combine.
+  struct Cursor {
+    const std::vector<KV>* run;
+    std::size_t pos;
+  };
+  auto cmp = [](const Cursor& a, const Cursor& b) {
+    return (*b.run)[b.pos].key < (*a.run)[a.pos].key;  // min-heap
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  std::size_t total = 0;
+  for (const auto& r : runs) {
+    total += r.kv.size();
+    if (!r.kv.empty()) heap.push({&r.kv, 0});
+  }
+  std::vector<KV> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    const KV& kv = (*c.run)[c.pos];
+    if (!out.empty() && out.back().key == kv.key) {
+      out.back().val += kv.val;
+    } else {
+      out.push_back(kv);
+    }
+    if (++c.pos < c.run->size()) heap.push(c);
+  }
+  return out;
+}
+
+std::optional<Value> LsmStore::get(Key k) const {
+  bool found = false;
+  Value acc{};
+  if (auto it = mem_.find(k); it != mem_.end()) {
+    acc += it->second;
+    found = true;
+  }
+  for (const auto& run : runs_) {
+    if (run.bloom && !run.bloom->may_contain(k)) {
+      ++stats_.bloom_skips;  // definite miss: skip the binary search
+      continue;
+    }
+    auto it = std::lower_bound(
+        run.kv.begin(), run.kv.end(), k,
+        [](const KV& kv, const Key& key) { return kv.key < key; });
+    if (it != run.kv.end() && it->key == k) {
+      acc += it->val;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return acc;
+}
+
+std::vector<KV> LsmStore::merged_view() const {
+  std::vector<Run> all;
+  all.reserve(runs_.size() + 1);
+  for (const auto& r : runs_) all.push_back(Run{r.kv, std::nullopt});
+  if (!mem_.empty()) {
+    std::vector<KV> m;
+    m.reserve(mem_.size());
+    for (const auto& [k, v] : mem_) m.push_back({k, v});
+    all.push_back(Run{std::move(m), std::nullopt});
+  }
+  return merge_runs(all);
+}
+
+std::size_t LsmStore::size() const { return merged_view().size(); }
+
+}  // namespace store

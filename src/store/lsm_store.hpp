@@ -1,0 +1,98 @@
+// store/lsm_store.hpp — log-structured merge store (Accumulo model).
+//
+// Models the ingest path of an Apache Accumulo tablet server (the
+// "Accumulo" and "Accumulo D4M" baselines of Fig. 2): every insert pays a
+// WAL append plus an ordered-memtable update; full memtables flush to
+// immutable sorted runs; size-tiered compaction merges runs. Duplicate
+// keys combine with plus, Accumulo SummingCombiner-style.
+//
+// The crucial contrast with hierarchical GraphBLAS: the memtable is an
+// ordered tree updated *per entry* (pointer-chasing into slow memory on
+// every insert), whereas the cascade appends to a flat buffer and defers
+// all ordering to batched merges. The rate gap in bench_fig2 comes from
+// exactly this difference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "store/bloom.hpp"
+#include "store/kv_types.hpp"
+#include "store/wal.hpp"
+
+namespace store {
+
+struct LsmOptions {
+  std::size_t memtable_limit = 1u << 16;  ///< entries before flush
+  std::size_t compaction_fanin = 8;       ///< max runs before compaction
+  bool enable_wal = true;
+  bool enable_bloom = true;               ///< per-run Bloom filters
+  double bloom_fp_rate = 0.01;
+};
+
+struct LsmStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t entries_written = 0;  ///< entries written during flush+compact
+  std::uint64_t bloom_skips = 0;      ///< run probes avoided by Bloom filters
+};
+
+class LsmStore {
+ public:
+  explicit LsmStore(LsmOptions opt = {});
+
+  /// value(key) += v (SummingCombiner semantics).
+  void insert(Key k, Value v);
+
+  /// Point lookup across memtable and runs (newest first is irrelevant
+  /// under summing semantics: all fragments are combined).
+  std::optional<Value> get(Key k) const;
+
+  /// Number of live (distinct-key) entries. O(total stored fragments).
+  std::size_t size() const;
+
+  /// Ordered scan of the fully-merged view: f(key, value) in key order.
+  template <class F>
+  void scan(F&& f) const {
+    auto merged = merged_view();
+    for (const auto& kv : merged) f(kv.key, kv.val);
+  }
+
+  /// Force-flush the memtable to a run.
+  void flush();
+
+  /// Merge all runs (and the memtable) into a single run.
+  void major_compact();
+
+  const LsmStats& stats() const { return stats_; }
+  std::size_t num_runs() const { return runs_.size(); }
+  std::size_t memtable_entries() const { return mem_.size(); }
+  std::uint64_t wal_bytes() const { return wal_.bytes_logged(); }
+
+  /// Full merged snapshot as a sorted vector (test/analysis hook).
+  std::vector<KV> merged_view() const;
+
+ private:
+  /// One immutable sorted run plus its (optional) Bloom filter, the shape
+  /// of an Accumulo RFile.
+  struct Run {
+    std::vector<KV> kv;
+    std::optional<BloomFilter> bloom;
+  };
+
+  void maybe_compact();
+  Run make_run(std::vector<KV> kv) const;
+  static std::vector<KV> merge_runs(const std::vector<Run>& runs);
+
+  LsmOptions opt_;
+  WriteAheadLog wal_;
+  std::map<Key, Value> mem_;  // ordered memtable (skip-list stand-in)
+  std::vector<Run> runs_;     // immutable sorted runs, oldest first
+  mutable LsmStats stats_;    // bloom_skips counted from const lookups
+};
+
+}  // namespace store

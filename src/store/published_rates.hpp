@@ -1,0 +1,69 @@
+// store/published_rates.hpp — published reference series for Fig. 2.
+//
+// Fig. 2 of the paper overlays previously *published* aggregate update
+// rates from other systems. We do not (and cannot) re-run Oracle, SciDB
+// or CrateDB; instead the figure bench reprints these literature values
+// as clearly-labelled reference series, exactly as the paper's figure
+// overlays them. Sources are the paper's own citations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <string_view>
+
+namespace store {
+
+struct PublishedPoint {
+  double servers;             ///< x-axis of Fig. 2
+  double updates_per_second;  ///< y-axis of Fig. 2
+};
+
+struct PublishedSeries {
+  std::string_view name;
+  std::string_view source;  ///< citation in the paper's reference list
+  // Two points spanning the line as drawn in Fig. 2 (log-log).
+  std::array<PublishedPoint, 2> span;
+};
+
+/// The non-measured overlay series of Fig. 2, in descending headline rate.
+inline constexpr std::array<PublishedSeries, 6> kPublishedSeries{{
+    {"Hierarchical D4M",
+     "Kepner et al., HPEC 2019 (1.9e9 updates/s) [24]; Reuther et al. 2018 [19]",
+     {{{1, 2.0e6}, {1100, 1.9e9}}}},
+    {"D4M",
+     "Gadepally et al., HPEC 2018 [18]",
+     {{{1, 8.0e5}, {1100, 2.8e8}}}},
+    {"Accumulo D4M",
+     "Kepner et al., HPEC 2014 (1.0e8 inserts/s on 216 nodes) [25]",
+     {{{1, 6.0e5}, {216, 1.0e8}}}},
+    {"SciDB D4M",
+     "Samsi et al., HPEC 2016 [26]",
+     {{{1, 3.0e5}, {100, 3.0e7}}}},
+    {"Accumulo",
+     "Sen et al., BigData Congress 2013 [27]",
+     {{{1, 4.0e5}, {100, 4.0e7}}}},
+    {"CrateDB",
+     "CrateDB big-cluster ingest blog, 2016 [28]",
+     {{{1, 2.0e5}, {32, 6.4e6}}}},
+}};
+
+/// Oracle TPC-C is drawn in Fig. 2 as a single-system reference level
+/// (order 1e6 updates/s); top published tpmC results correspond to
+/// roughly this insert rate.
+inline constexpr PublishedSeries kOracleTpcc{
+    "Oracle (TPC-C)",
+    "TPC-C published results (paper Fig. 2 overlay)",
+    {{{1, 5.0e5}, {100, 2.0e6}}}};
+
+/// Log-log interpolate/extrapolate a published series at `servers`.
+inline double published_rate_at(const PublishedSeries& s, double servers) {
+  const auto [x0, y0] = s.span[0];
+  const auto [x1, y1] = s.span[1];
+  if (x0 == x1) return y0;
+  const double lx0 = std::log(x0), lx1 = std::log(x1);
+  const double ly0 = std::log(y0), ly1 = std::log(y1);
+  const double t = (std::log(servers) - lx0) / (lx1 - lx0);
+  return std::exp(ly0 + t * (ly1 - ly0));
+}
+
+}  // namespace store

@@ -1,0 +1,9 @@
+// store/store.hpp — umbrella header for the database baselines.
+#pragma once
+
+#include "store/bloom.hpp"
+#include "store/btree_store.hpp"
+#include "store/kv_types.hpp"
+#include "store/lsm_store.hpp"
+#include "store/published_rates.hpp"
+#include "store/wal.hpp"

@@ -1,0 +1,53 @@
+// store/wal.hpp — write-ahead log model.
+//
+// Both database baselines pay a per-operation log append before touching
+// their index, as Accumulo tablet servers and OLTP engines do. The log is
+// an in-memory byte buffer (no fsync — we model the CPU/memory cost of
+// the write path, not disk latency; the paper's comparison is against
+// in-memory-buffered ingest too). The buffer recycles at `capacity` to
+// bound footprint, counting total bytes logged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "store/kv_types.hpp"
+
+namespace store {
+
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(std::size_t capacity_bytes = 64u << 20)
+      : cap_(capacity_bytes) {
+    buf_.reserve(cap_);
+  }
+
+  /// Append one record (serialized key, value, record header).
+  void append(const Key& k, Value v) {
+    // 8-byte LSN header + key + value, the shape of a real log record.
+    const std::uint64_t lsn = ++lsn_;
+    write_raw(&lsn, sizeof lsn);
+    write_raw(&k, sizeof k);
+    write_raw(&v, sizeof v);
+  }
+
+  std::uint64_t records() const { return lsn_; }
+  std::uint64_t bytes_logged() const { return total_; }
+
+ private:
+  void write_raw(const void* p, std::size_t n) {
+    if (buf_.size() + n > cap_) buf_.clear();  // recycle (checkpoint model)
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+    total_ += n;
+  }
+
+  std::size_t cap_;
+  std::vector<std::byte> buf_;
+  std::uint64_t lsn_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace store

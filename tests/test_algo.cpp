@@ -1,0 +1,260 @@
+// Tests for the graph algorithm layer (BFS, PageRank, triangles,
+// components, k-truss) over hypersparse matrices.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algo/algo.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+
+/// Path graph 0 -> 1 -> 2 -> ... -> n-1 embedded at a large offset to
+/// exercise hypersparse coordinates.
+Matrix<double> path_graph(Index n, Index offset = 0) {
+  Matrix<double> m(gbx::kIPv4Dim, gbx::kIPv4Dim);
+  for (Index k = 0; k + 1 < n; ++k)
+    m.set_element(offset + k, offset + k + 1, 1.0);
+  m.materialize();
+  return m;
+}
+
+TEST(Bfs, PathGraphLevels) {
+  const Index off = 1000000;
+  auto g = path_graph(5, off);
+  auto r = algo::bfs(g, off);
+  EXPECT_EQ(r.reached, 5u);
+  EXPECT_EQ(r.max_level, 4u);
+  for (const auto& [v, lvl] : r.levels) EXPECT_EQ(v - off, lvl);
+}
+
+TEST(Bfs, DisconnectedUnreached) {
+  Matrix<double> g(100, 100);
+  g.set_element(0, 1, 1.0);
+  g.set_element(1, 2, 1.0);
+  g.set_element(50, 51, 1.0);  // separate island
+  auto r = algo::bfs(g, 0);
+  EXPECT_EQ(r.reached, 3u);  // 0, 1, 2
+}
+
+TEST(Bfs, IsolatedSource) {
+  Matrix<double> g(100, 100);
+  g.set_element(5, 6, 1.0);
+  auto r = algo::bfs(g, 50);  // no out-edges at 50
+  EXPECT_EQ(r.reached, 1u);
+  EXPECT_EQ(r.max_level, 0u);
+}
+
+TEST(Bfs, CycleTerminates) {
+  Matrix<double> g(10, 10);
+  g.set_element(0, 1, 1.0);
+  g.set_element(1, 2, 1.0);
+  g.set_element(2, 0, 1.0);
+  auto r = algo::bfs(g, 0);
+  EXPECT_EQ(r.reached, 3u);
+  EXPECT_EQ(r.max_level, 2u);
+}
+
+TEST(Bfs, Validation) {
+  Matrix<double> rect(4, 5);
+  EXPECT_THROW(algo::bfs(rect, 0), gbx::DimensionMismatch);
+  Matrix<double> sq(4, 4);
+  EXPECT_THROW(algo::bfs(sq, 4), gbx::IndexOutOfBounds);
+}
+
+TEST(PageRank, UniformCycle) {
+  // A directed cycle: perfectly uniform ranks.
+  const Index n = 8;
+  Matrix<double> g(100, 100);
+  for (Index k = 0; k < n; ++k) g.set_element(k, (k + 1) % n, 1.0);
+  auto r = algo::pagerank(g);
+  ASSERT_EQ(r.ranks.size(), n);
+  for (const auto& [v, rank] : r.ranks) EXPECT_NEAR(rank, 1.0 / n, 1e-6);
+  EXPECT_LT(r.residual, 1e-7);
+}
+
+TEST(PageRank, HubGetsHighestRank) {
+  // Star pointing into vertex 0: it must rank first.
+  Matrix<double> g(1000, 1000);
+  for (Index k = 1; k <= 20; ++k) {
+    g.set_element(k, 0, 1.0);
+    g.set_element(0, k, 1.0);  // back edges so nothing dangles awkwardly
+  }
+  auto r = algo::pagerank(g);
+  ASSERT_FALSE(r.ranks.empty());
+  EXPECT_EQ(r.ranks[0].first, 0u);
+  EXPECT_GT(r.ranks[0].second, r.ranks[1].second * 2);
+}
+
+TEST(PageRank, RanksSumToOne) {
+  gen::KroneckerParams kp;
+  kp.scale = 8;
+  kp.seed = 5;
+  gen::KroneckerGenerator kg(kp);
+  Matrix<double> g(kg.nverts(), kg.nverts());
+  g.append(kg.batch<double>(2000));
+  g.materialize();
+  auto r = algo::pagerank(g);
+  double total = 0;
+  for (const auto& [v, rank] : r.ranks) total += rank;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PageRank, EmptyGraph) {
+  Matrix<double> g(10, 10);
+  auto r = algo::pagerank(g);
+  EXPECT_TRUE(r.ranks.empty());
+}
+
+TEST(PageRank, Validation) {
+  Matrix<double> g(4, 4);
+  algo::PageRankOptions opt;
+  opt.damping = 1.5;
+  EXPECT_THROW(algo::pagerank(g, opt), gbx::InvalidValue);
+}
+
+TEST(Triangles, SingleTriangle) {
+  Matrix<double> g(100, 100);
+  g.set_element(1, 2, 1.0);
+  g.set_element(2, 3, 1.0);
+  g.set_element(3, 1, 1.0);  // directed cycle = one undirected triangle
+  EXPECT_EQ(algo::triangle_count(g), 1u);
+}
+
+TEST(Triangles, CompleteGraphK5) {
+  // K5 has C(5,3) = 10 triangles.
+  Matrix<double> g(10, 10);
+  for (Index i = 0; i < 5; ++i)
+    for (Index j = 0; j < 5; ++j)
+      if (i != j) g.set_element(i, j, 1.0);
+  EXPECT_EQ(algo::triangle_count(g), 10u);
+}
+
+TEST(Triangles, TriangleFreeBipartite) {
+  Matrix<double> g(20, 20);
+  for (Index i = 0; i < 5; ++i)
+    for (Index j = 5; j < 10; ++j) g.set_element(i, j, 1.0);
+  EXPECT_EQ(algo::triangle_count(g), 0u);
+}
+
+TEST(Triangles, SelfLoopsIgnored) {
+  Matrix<double> g(10, 10);
+  g.set_element(1, 1, 1.0);
+  g.set_element(1, 2, 1.0);
+  g.set_element(2, 1, 1.0);
+  EXPECT_EQ(algo::triangle_count(g), 0u);
+}
+
+TEST(Triangles, VsBruteForceRandom) {
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<Index> coord(0, 29);
+  Matrix<double> g(30, 30);
+  bool adj[30][30] = {};
+  for (int e = 0; e < 120; ++e) {
+    Index i = coord(rng), j = coord(rng);
+    if (i == j) continue;
+    g.set_element(i, j, 1.0);
+    adj[i][j] = adj[j][i] = true;
+  }
+  std::uint64_t brute = 0;
+  for (int a = 0; a < 30; ++a)
+    for (int b = a + 1; b < 30; ++b)
+      for (int c = b + 1; c < 30; ++c)
+        if (adj[a][b] && adj[b][c] && adj[a][c]) ++brute;
+  EXPECT_EQ(algo::triangle_count(g), brute);
+}
+
+TEST(Components, TwoIslands) {
+  Matrix<double> g(gbx::kIPv4Dim, gbx::kIPv4Dim);
+  g.set_element(10, 11, 1.0);
+  g.set_element(11, 12, 1.0);
+  g.set_element(1000000, 1000001, 1.0);
+  auto r = algo::connected_components(g);
+  EXPECT_EQ(r.num_components, 2u);
+  // Labels are the minimum vertex id of each component.
+  for (const auto& [v, label] : r.labels) {
+    if (v <= 12) EXPECT_EQ(label, 10u);
+    else EXPECT_EQ(label, 1000000u);
+  }
+}
+
+TEST(Components, DirectionIgnored) {
+  Matrix<double> g(100, 100);
+  g.set_element(5, 3, 1.0);  // edge direction must not matter (weak CC)
+  g.set_element(3, 1, 1.0);
+  auto r = algo::connected_components(g);
+  EXPECT_EQ(r.num_components, 1u);
+  for (const auto& [v, label] : r.labels) EXPECT_EQ(label, 1u);
+}
+
+TEST(Components, EmptyGraph) {
+  Matrix<double> g(10, 10);
+  auto r = algo::connected_components(g);
+  EXPECT_EQ(r.num_components, 0u);
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(KTruss, TriangleIs3Truss) {
+  Matrix<double> g(10, 10);
+  g.set_element(1, 2, 1.0);
+  g.set_element(2, 3, 1.0);
+  g.set_element(3, 1, 1.0);
+  auto r = algo::ktruss(g, 3);
+  EXPECT_EQ(r.edges, 3u);
+}
+
+TEST(KTruss, PendantEdgesPruned) {
+  Matrix<double> g(10, 10);
+  // triangle 1-2-3 plus a dangling edge 3-4
+  g.set_element(1, 2, 1.0);
+  g.set_element(2, 3, 1.0);
+  g.set_element(3, 1, 1.0);
+  g.set_element(3, 4, 1.0);
+  auto r = algo::ktruss(g, 3);
+  EXPECT_EQ(r.edges, 3u);  // dangling edge gone
+  EXPECT_FALSE(r.subgraph.extract_element(3, 4).has_value());
+}
+
+TEST(KTruss, K4Survives4Truss) {
+  Matrix<double> g(10, 10);
+  for (Index i = 0; i < 4; ++i)
+    for (Index j = 0; j < 4; ++j)
+      if (i != j) g.set_element(i, j, 1.0);
+  // every edge of K4 is in 2 triangles -> survives k=4 (needs k-2=2)
+  auto r4 = algo::ktruss(g, 4);
+  EXPECT_EQ(r4.edges, 6u);
+  // but not k=5 (needs 3 triangles per edge)
+  auto r5 = algo::ktruss(g, 5);
+  EXPECT_EQ(r5.edges, 0u);
+}
+
+TEST(KTruss, Validation) {
+  Matrix<double> g(4, 4);
+  EXPECT_THROW(algo::ktruss(g, 2), gbx::InvalidValue);
+}
+
+TEST(AlgoOnStream, HierSnapshotIsAnalyzable) {
+  // The paper's end state: run graph algorithms on a live hierarchical
+  // traffic matrix snapshot.
+  gen::KroneckerParams kp;
+  kp.scale = 10;
+  kp.seed = 3;
+  gen::KroneckerGenerator kg(kp);
+  hier::HierMatrix<double> h(kg.nverts(), kg.nverts(),
+                             hier::CutPolicy::geometric(3, 512, 8));
+  for (int s = 0; s < 5; ++s) h.update(kg.batch<double>(2000));
+  auto snap = h.snapshot();
+
+  auto cc = algo::connected_components(snap);
+  EXPECT_GT(cc.num_components, 0u);
+  auto tri = algo::triangle_count(snap);
+  (void)tri;  // value depends on seed; just must not throw
+  auto pr = algo::pagerank(snap);
+  EXPECT_FALSE(pr.ranks.empty());
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Tests for traffic-matrix analytics: summaries, supernodes, degree
+// histograms, gravity background model.
+#include <gtest/gtest.h>
+
+#include "analytics/analytics.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+
+Matrix<double> traffic_fixture() {
+  // Two heavy talkers (rows 1, 2), one quiet host (row 7).
+  Matrix<double> m(100, 100);
+  m.set_element(1, 10, 50);
+  m.set_element(1, 11, 30);
+  m.set_element(1, 12, 20);
+  m.set_element(2, 10, 40);
+  m.set_element(2, 13, 10);
+  m.set_element(7, 14, 1);
+  m.materialize();
+  return m;
+}
+
+TEST(Summary, CountsAndAggregates) {
+  auto m = traffic_fixture();
+  auto s = analytics::summarize(m);
+  EXPECT_EQ(s.links, 6u);
+  EXPECT_DOUBLE_EQ(s.packets, 151.0);
+  EXPECT_EQ(s.sources, 3u);
+  EXPECT_EQ(s.destinations, 5u);
+  EXPECT_DOUBLE_EQ(s.max_link, 50.0);
+  EXPECT_NEAR(s.mean_link, 151.0 / 6.0, 1e-12);
+}
+
+TEST(Summary, Empty) {
+  Matrix<double> m(10, 10);
+  auto s = analytics::summarize(m);
+  EXPECT_EQ(s.links, 0u);
+  EXPECT_DOUBLE_EQ(s.packets, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_link, 0.0);
+}
+
+TEST(Supernodes, TopSourcesByVolume) {
+  auto m = traffic_fixture();
+  auto top = analytics::top_sources(m, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_DOUBLE_EQ(top[0].value, 100.0);
+  EXPECT_EQ(top[1].id, 2u);
+  EXPECT_DOUBLE_EQ(top[1].value, 50.0);
+}
+
+TEST(Supernodes, TopSourcesByLinks) {
+  auto m = traffic_fixture();
+  auto top = analytics::top_sources(m, 1, /*by_links=*/true);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_DOUBLE_EQ(top[0].value, 3.0);
+}
+
+TEST(Supernodes, TopDestinations) {
+  auto m = traffic_fixture();
+  auto top = analytics::top_destinations(m, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 10u);
+  EXPECT_DOUBLE_EQ(top[0].value, 90.0);
+}
+
+TEST(Supernodes, KLargerThanPopulation) {
+  auto m = traffic_fixture();
+  auto top = analytics::top_sources(m, 50);
+  EXPECT_EQ(top.size(), 3u);
+}
+
+TEST(DegreeHistogram, CountsDegrees) {
+  auto m = traffic_fixture();
+  auto h = analytics::out_degree_histogram(m);
+  // degrees: row1 -> 3, row2 -> 2, row7 -> 1
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], (std::pair<std::uint64_t, std::uint64_t>{1, 1}));
+  EXPECT_EQ(h[1], (std::pair<std::uint64_t, std::uint64_t>{2, 1}));
+  EXPECT_EQ(h[2], (std::pair<std::uint64_t, std::uint64_t>{3, 1}));
+}
+
+TEST(PowerLawSlope, FlatAndFalling) {
+  // Perfect power law count = degree^-2 -> slope -2.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hist;
+  for (std::uint64_t d = 1; d <= 64; d *= 2)
+    hist.emplace_back(d, std::max<std::uint64_t>(1, 4096 / (d * d)));
+  const double slope = analytics::power_law_slope(hist);
+  EXPECT_NEAR(slope, -2.0, 0.2);
+  EXPECT_DOUBLE_EQ(analytics::power_law_slope({}), 0.0);
+  EXPECT_DOUBLE_EQ(analytics::power_law_slope({{1, 5}}), 0.0);
+}
+
+TEST(Gravity, UniformMatrixHasNoAnomalies) {
+  // Rank-1 traffic (outer product) matches the gravity model exactly:
+  // every score is 1, nothing passes min_score = 1.5.
+  Matrix<double> m(8, 8);
+  for (Index i = 0; i < 4; ++i)
+    for (Index j = 0; j < 4; ++j)
+      m.set_element(i, j, static_cast<double>((i + 1) * (j + 1)));
+  m.materialize();
+  auto a = analytics::gravity_anomalies(m, 10, 1.5);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Gravity, PlantedAnomalySurfaces) {
+  // Uniform background chatter among hosts 0..15, plus one hot link
+  // between two otherwise-quiet hosts (the exfiltration pattern): its
+  // marginals are small, so the gravity expectation is tiny and the
+  // score large.
+  Matrix<double> m(32, 32);
+  for (Index i = 0; i < 16; ++i)
+    for (Index j = 0; j < 16; ++j) m.set_element(i, j, 1.0);
+  m.set_element(20, 21, 50.0);
+  m.materialize();
+  auto a = analytics::gravity_anomalies(m, 5, 2.0);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a[0].src, 20u);
+  EXPECT_EQ(a[0].dst, 21u);
+  EXPECT_GT(a[0].score, 5.0);
+}
+
+TEST(Gravity, EmptyMatrix) {
+  Matrix<double> m(4, 4);
+  EXPECT_TRUE(analytics::gravity_anomalies(m, 3).empty());
+  auto r = analytics::gravity_residual(m);
+  EXPECT_EQ(r.nvals(), 0u);
+}
+
+TEST(Gravity, ResidualSumsNearZero) {
+  auto m = traffic_fixture();
+  auto r = analytics::gravity_residual(m);
+  EXPECT_EQ(r.nvals(), m.nvals());
+  // Residual total is zero when marginals cover all mass... only for the
+  // stored pattern of a full outer product; here just check finite and
+  // smaller mass than the original.
+  const double obs = gbx::reduce_scalar<gbx::PlusMonoid<double>>(m);
+  const double res = std::abs(gbx::reduce_scalar<gbx::PlusMonoid<double>>(r));
+  EXPECT_LT(res, obs);
+}
+
+TEST(Integration, AnalyticsOnHierSnapshot) {
+  // The paper's streaming-analytics loop: update, snapshot, analyze.
+  gen::PowerLawParams pp;
+  pp.scale = 12;
+  pp.seed = 21;
+  gen::PowerLawGenerator g(pp);
+  hier::HierMatrix<double> h(pp.dim, pp.dim,
+                             hier::CutPolicy::geometric(3, 1024, 16));
+  for (int s = 0; s < 10; ++s) {
+    h.update(g.batch<double>(3000));
+    auto snap = h.snapshot();
+    auto sum = analytics::summarize(snap);
+    EXPECT_EQ(sum.links, snap.nvals());
+    auto top = analytics::top_sources(snap, 5);
+    EXPECT_LE(top.size(), 5u);
+    if (!top.empty()) EXPECT_GE(top[0].value, top.back().value);
+  }
+}
+
+}  // namespace

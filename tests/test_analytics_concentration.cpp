@@ -1,0 +1,108 @@
+// Tests for concentration measures (entropy, Gini) and window deltas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/analytics.hpp"
+#include "gen/gen.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+
+TEST(Entropy, SingleTalkerIsZero) {
+  Matrix<double> m(100, 100);
+  m.set_element(5, 1, 10.0);
+  m.set_element(5, 2, 30.0);
+  EXPECT_DOUBLE_EQ(analytics::source_entropy(m), 0.0);
+}
+
+TEST(Entropy, EvenTrafficIsLogN) {
+  Matrix<double> m(100, 100);
+  for (Index i = 0; i < 16; ++i) m.set_element(i, 50, 7.0);
+  EXPECT_NEAR(analytics::source_entropy(m), 4.0, 1e-9);  // log2(16)
+}
+
+TEST(Entropy, EmptyIsZero) {
+  Matrix<double> m(10, 10);
+  EXPECT_DOUBLE_EQ(analytics::source_entropy(m), 0.0);
+}
+
+TEST(Gini, EvenIsZeroSkewedIsHigh) {
+  Matrix<double> even(100, 100);
+  for (Index i = 0; i < 10; ++i) even.set_element(i, 0, 5.0);
+  EXPECT_NEAR(analytics::source_gini(even), 0.0, 1e-9);
+
+  Matrix<double> skew(100, 100);
+  skew.set_element(0, 0, 1.0);
+  for (Index i = 1; i < 10; ++i) skew.set_element(i, 0, 0.0001);
+  EXPECT_GT(analytics::source_gini(skew), 0.8);
+
+  Matrix<double> single(100, 100);
+  single.set_element(3, 3, 9.0);
+  EXPECT_DOUBLE_EQ(analytics::source_gini(single), 0.0);  // n < 2 convention
+}
+
+TEST(Gini, PowerLawMoreConcentratedThanUniform) {
+  gen::PowerLawParams pp;
+  pp.scale = 12;
+  pp.dim = 1u << 12;
+  pp.scatter = false;
+  pp.alpha = 1.5;
+  gen::PowerLawGenerator pg(pp);
+  Matrix<double> power(pp.dim, pp.dim);
+  power.append(pg.batch<double>(50000));
+  power.materialize();
+
+  gen::UniformParams up;
+  up.dim = 1u << 12;
+  gen::UniformGenerator ug(up);
+  Matrix<double> uniform(up.dim, up.dim);
+  uniform.append(ug.batch<double>(50000));
+  uniform.materialize();
+
+  EXPECT_GT(analytics::source_gini(power), analytics::source_gini(uniform) + 0.2);
+}
+
+TEST(WindowDelta, CountsChanges) {
+  Matrix<double> before(100, 100), now(100, 100);
+  before.set_element(1, 1, 10.0);  // persists, changes volume
+  before.set_element(2, 2, 5.0);   // vanishes
+  now.set_element(1, 1, 13.0);
+  now.set_element(3, 3, 7.0);      // new
+
+  auto d = analytics::window_delta(before, now);
+  EXPECT_EQ(d.new_links, 1u);
+  EXPECT_EQ(d.gone_links, 1u);
+  EXPECT_EQ(d.common_links, 1u);
+  EXPECT_DOUBLE_EQ(d.volume_change, 3.0);
+}
+
+TEST(WindowDelta, IdenticalWindows) {
+  Matrix<double> a(10, 10);
+  a.set_element(1, 1, 2.0);
+  auto d = analytics::window_delta(a, a);
+  EXPECT_EQ(d.new_links, 0u);
+  EXPECT_EQ(d.gone_links, 0u);
+  EXPECT_EQ(d.common_links, 1u);
+  EXPECT_DOUBLE_EQ(d.volume_change, 0.0);
+}
+
+TEST(WindowDelta, DimMismatch) {
+  Matrix<double> a(10, 10), b(10, 11);
+  EXPECT_THROW(analytics::window_delta(a, b), gbx::DimensionMismatch);
+}
+
+TEST(WindowDelta, OnTumblingWindows) {
+  analytics::TumblingWindows<double> w(2, 1000, 1000, hier::CutPolicy({1000}));
+  for (Index k = 0; k < 50; ++k) w.update(k, k, 1.0);
+  w.advance();
+  for (Index k = 25; k < 75; ++k) w.update(k, k, 1.0);
+  auto d = analytics::window_delta(w.window(1), w.window(0));
+  EXPECT_EQ(d.new_links, 25u);
+  EXPECT_EQ(d.gone_links, 25u);
+  EXPECT_EQ(d.common_links, 25u);
+}
+
+}  // namespace

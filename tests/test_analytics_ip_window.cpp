@@ -1,0 +1,140 @@
+// Tests for IP/CIDR utilities and temporal tumbling windows.
+#include <gtest/gtest.h>
+
+#include "analytics/analytics.hpp"
+#include "gen/gen.hpp"
+
+namespace {
+
+using gbx::Index;
+
+TEST(Ip, ParseFormatRoundTrip) {
+  for (const char* s : {"0.0.0.0", "10.0.0.1", "192.168.1.255", "255.255.255.255"}) {
+    auto ip = analytics::parse_ipv4(s);
+    ASSERT_TRUE(ip.has_value()) << s;
+    EXPECT_EQ(analytics::format_ipv4(*ip), s);
+  }
+  EXPECT_EQ(analytics::parse_ipv4("8.8.8.8").value(), 0x08080808u);
+}
+
+TEST(Ip, ParseRejectsMalformed) {
+  for (const char* s : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1..2.3",
+                        "a.b.c.d", "1.2.3.4 ", "1.2.3.-4", "0001.2.3.4"}) {
+    EXPECT_FALSE(analytics::parse_ipv4(s).has_value()) << s;
+  }
+}
+
+TEST(Ip, FormatRejectsOutOfRange) {
+  EXPECT_THROW(analytics::format_ipv4(gbx::Index{1} << 32), gbx::InvalidValue);
+}
+
+TEST(Cidr, ParseValid) {
+  auto r = analytics::parse_cidr("10.1.0.0/16");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->lo, 0x0A010000u);
+  EXPECT_EQ(r->hi, 0x0A020000u);
+  EXPECT_EQ(r->size(), 65536u);
+
+  auto slash32 = analytics::parse_cidr("1.2.3.4/32");
+  ASSERT_TRUE(slash32.has_value());
+  EXPECT_EQ(slash32->size(), 1u);
+
+  auto all = analytics::parse_cidr("0.0.0.0/0");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->size(), gbx::Index{1} << 32);
+}
+
+TEST(Cidr, ParseRejects) {
+  for (const char* s : {"10.1.0.0", "10.1.0.0/33", "10.1.0.0/-1", "10.1.0.1/16",
+                        "10.1.0.0/1x", "nope/8"}) {
+    EXPECT_FALSE(analytics::parse_cidr(s).has_value()) << s;
+  }
+}
+
+TEST(Cidr, SubnetView) {
+  gbx::Matrix<double> traffic(gbx::kIPv4Dim, gbx::kIPv4Dim);
+  const Index inside_src = analytics::parse_ipv4("10.1.2.3").value();
+  const Index inside_dst = analytics::parse_ipv4("172.16.0.5").value();
+  const Index outside = analytics::parse_ipv4("8.8.8.8").value();
+  traffic.set_element(inside_src, inside_dst, 100.0);
+  traffic.set_element(outside, inside_dst, 1.0);
+  traffic.set_element(inside_src, outside, 2.0);
+
+  auto src = analytics::parse_cidr("10.1.0.0/16").value();
+  auto dst = analytics::parse_cidr("172.16.0.0/12").value();
+  auto view = analytics::subnet_view(traffic, src, dst);
+  EXPECT_EQ(view.nvals(), 1u);
+  // Rebased coordinates: 10.1.2.3 - 10.1.0.0 = 0x0203
+  EXPECT_DOUBLE_EQ(view.extract_element(0x0203, 5).value(), 100.0);
+}
+
+TEST(Windows, UpdateGoesToCurrent) {
+  analytics::TumblingWindows<double> w(3, 100, 100, hier::CutPolicy({10}));
+  w.update(1, 1, 5.0);
+  EXPECT_DOUBLE_EQ(w.window(0).extract_element(1, 1).value(), 5.0);
+  EXPECT_EQ(w.window(1).nvals(), 0u);
+}
+
+TEST(Windows, AdvanceRotatesAndExpires) {
+  analytics::TumblingWindows<double> w(2, 100, 100, hier::CutPolicy({10}));
+  w.update(1, 1, 1.0);   // epoch 0
+  w.advance();
+  w.update(2, 2, 2.0);   // epoch 1
+  EXPECT_EQ(w.epoch(), 1u);
+  // window(1) is the old epoch
+  EXPECT_DOUBLE_EQ(w.window(1).extract_element(1, 1).value(), 1.0);
+  w.advance();           // recycles the slot holding epoch 0
+  w.update(3, 3, 3.0);
+  EXPECT_EQ(w.window(0).nvals(), 1u);
+  EXPECT_DOUBLE_EQ(w.window(1).extract_element(2, 2).value(), 2.0);
+  // epoch-0 contents are gone from every view
+  EXPECT_FALSE(w.total().extract_element(1, 1).has_value());
+}
+
+TEST(Windows, TotalIsUnionOfLiveWindows) {
+  analytics::TumblingWindows<double> w(3, 100, 100, hier::CutPolicy({10}));
+  w.update(1, 1, 1.0);
+  w.advance();
+  w.update(1, 1, 10.0);  // same coordinate in a newer window
+  w.update(2, 2, 2.0);
+  auto t = w.total();
+  EXPECT_DOUBLE_EQ(t.extract_element(1, 1).value(), 11.0);
+  EXPECT_DOUBLE_EQ(t.extract_element(2, 2).value(), 2.0);
+}
+
+TEST(Windows, OccupancyOrdering) {
+  analytics::TumblingWindows<double> w(3, 1000, 1000, hier::CutPolicy({1000}));
+  gbx::Tuples<double> batch;
+  for (Index k = 0; k < 100; ++k) batch.push_back(k, k, 1.0);
+  w.update(batch);
+  auto occ = w.occupancy();
+  ASSERT_EQ(occ.size(), 3u);
+  EXPECT_EQ(occ[0], 100u);
+  EXPECT_EQ(occ[1], 0u);
+}
+
+TEST(Windows, Validation) {
+  EXPECT_THROW(analytics::TumblingWindows<double>(0, 10, 10,
+                                                  hier::CutPolicy({5})),
+               gbx::InvalidValue);
+  analytics::TumblingWindows<double> w(2, 10, 10, hier::CutPolicy({5}));
+  EXPECT_THROW(w.window(2), gbx::IndexOutOfBounds);
+}
+
+TEST(Windows, SupernodeDriftAcrossWindows) {
+  // The motivating temporal-fluctuation analysis: the dominant talker in
+  // window 1 differs from window 2, visible via per-window top_sources.
+  analytics::TumblingWindows<double> w(2, 1000, 1000, hier::CutPolicy({100000}));
+  for (int k = 0; k < 100; ++k) w.update(7, static_cast<Index>(k), 10.0);
+  w.advance();
+  for (int k = 0; k < 100; ++k) w.update(42, static_cast<Index>(k), 10.0);
+
+  auto now = analytics::top_sources(w.window(0), 1);
+  auto before = analytics::top_sources(w.window(1), 1);
+  ASSERT_FALSE(now.empty());
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(now[0].id, 42u);
+  EXPECT_EQ(before[0].id, 7u);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Tests for D4M associative arrays: string pool, assoc array algebra,
+// hierarchical D4M.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "assoc/assoc.hpp"
+
+namespace {
+
+using assoc::AssocArray;
+using assoc::HierAssoc;
+using assoc::StringPool;
+
+TEST(StringPool, InternIsIdempotent) {
+  StringPool p;
+  const auto a = p.intern("10.0.0.1");
+  const auto b = p.intern("10.0.0.2");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(p.intern("10.0.0.1"), a);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.key(a), "10.0.0.1");
+}
+
+TEST(StringPool, FindDoesNotInsert) {
+  StringPool p;
+  EXPECT_EQ(p.find("nope"), gbx::kIndexMax);
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_FALSE(p.contains("nope"));
+}
+
+TEST(StringPool, StableUnderGrowth) {
+  // string_view keys must stay valid across many inserts (deque storage).
+  StringPool p;
+  std::vector<gbx::Index> ids;
+  for (int i = 0; i < 10000; ++i) ids.push_back(p.intern("key" + std::to_string(i)));
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(p.find("key" + std::to_string(i)), ids[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(StringPool, SortedIdsAndRange) {
+  StringPool p;
+  p.intern("banana");
+  p.intern("apple");
+  p.intern("cherry");
+  const auto& s = p.sorted_ids();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(p.key(s[0]), "apple");
+  EXPECT_EQ(p.key(s[2]), "cherry");
+
+  auto r = p.range("apple", "banana");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(p.key(r[0]), "apple");
+  EXPECT_EQ(p.key(r[1]), "banana");
+
+  // Range rebuilds correctly after more inserts.
+  p.intern("apricot");
+  auto r2 = p.range("ap", "az");
+  ASSERT_EQ(r2.size(), 2u);
+  EXPECT_EQ(p.key(r2[0]), "apple");
+  EXPECT_EQ(p.key(r2[1]), "apricot");
+}
+
+TEST(AssocArray, InsertAccumulates) {
+  AssocArray<double> a;
+  a.insert("1.2.3.4", "5.6.7.8", 1.0);
+  a.insert("1.2.3.4", "5.6.7.8", 2.0);
+  a.insert("1.2.3.4", "9.9.9.9", 5.0);
+  EXPECT_DOUBLE_EQ(a.get("1.2.3.4", "5.6.7.8"), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("1.2.3.4", "9.9.9.9"), 5.0);
+  EXPECT_DOUBLE_EQ(a.get("1.2.3.4", "absent"), 0.0);  // sparse zero
+  EXPECT_EQ(a.nvals(), 2u);
+  EXPECT_EQ(a.num_row_keys(), 1u);
+  EXPECT_EQ(a.num_col_keys(), 2u);
+}
+
+TEST(AssocArray, ForEachSeesKeys) {
+  AssocArray<double> a;
+  a.insert("src1", "dst1", 1.0);
+  a.insert("src2", "dst2", 2.0);
+  a.materialize();
+  int n = 0;
+  double total = 0;
+  a.for_each([&](const std::string& r, const std::string& c, double v) {
+    EXPECT_TRUE(r == "src1" || r == "src2");
+    EXPECT_TRUE(c == "dst1" || c == "dst2");
+    total += v;
+    ++n;
+  });
+  EXPECT_EQ(n, 2);
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(AssocArray, RowRangeQuery) {
+  AssocArray<double> a;
+  a.insert("10.0.0.1", "x", 1.0);
+  a.insert("10.0.0.2", "y", 2.0);
+  a.insert("10.0.1.1", "z", 3.0);
+  a.materialize();
+  auto rows = a.row_range("10.0.0.", "10.0.0.~");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(std::get<0>(rows[0]), "10.0.0.1");
+  EXPECT_EQ(std::get<1>(rows[1]), "y");
+}
+
+TEST(AssocArray, PlusAssignAlignsDictionaries) {
+  AssocArray<double> a, b;
+  a.insert("r1", "c1", 1.0);
+  a.insert("r2", "c2", 2.0);
+  // b interns keys in a DIFFERENT order: ids differ, keys must align.
+  b.insert("r2", "c2", 10.0);
+  b.insert("r3", "c3", 30.0);
+  a.plus_assign(b);
+  EXPECT_DOUBLE_EQ(a.get("r1", "c1"), 1.0);
+  EXPECT_DOUBLE_EQ(a.get("r2", "c2"), 12.0);
+  EXPECT_DOUBLE_EQ(a.get("r3", "c3"), 30.0);
+  EXPECT_EQ(a.nvals(), 3u);
+}
+
+TEST(AssocArray, RowSums) {
+  AssocArray<double> a;
+  a.insert("r1", "c1", 1.0);
+  a.insert("r1", "c2", 2.0);
+  a.insert("r2", "c1", 10.0);
+  auto sums = a.row_sums();
+  ASSERT_EQ(sums.size(), 2u);
+  double r1 = 0, r2 = 0;
+  for (const auto& [k, v] : sums) (k == "r1" ? r1 : r2) = v;
+  EXPECT_DOUBLE_EQ(r1, 3.0);
+  EXPECT_DOUBLE_EQ(r2, 10.0);
+}
+
+TEST(HierAssoc, MatchesFlatAssocArray) {
+  // The hierarchical D4M must agree with the flat associative array on
+  // any stream — same linearity property as HierMatrix.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> ip(0, 40);
+
+  HierAssoc<double> h(1u << 20, hier::CutPolicy::geometric(3, 16, 8));
+  AssocArray<double> flat(1u << 20);
+  for (int k = 0; k < 2000; ++k) {
+    const std::string r = "10.0.0." + std::to_string(ip(rng));
+    const std::string c = "10.0.1." + std::to_string(ip(rng));
+    h.insert(r, c, 1.0);
+    flat.insert(r, c, 1.0);
+  }
+  for (int i = 0; i <= 40; ++i)
+    for (int j = 0; j <= 40; ++j) {
+      const std::string r = "10.0.0." + std::to_string(i);
+      const std::string c = "10.0.1." + std::to_string(j);
+      EXPECT_DOUBLE_EQ(h.get(r, c), flat.get(r, c));
+    }
+  EXPECT_GT(h.stats().level[0].folds, 0u);
+}
+
+TEST(HierAssoc, BatchInsert) {
+  HierAssoc<double> h(1u << 16, hier::CutPolicy({100}));
+  std::vector<std::string> rows{"a", "b", "a"};
+  std::vector<std::string> cols{"x", "y", "x"};
+  std::vector<double> vals{1.0, 2.0, 3.0};
+  h.insert_batch(rows, cols, vals);
+  EXPECT_DOUBLE_EQ(h.get("a", "x"), 4.0);
+  EXPECT_DOUBLE_EQ(h.get("b", "y"), 2.0);
+  std::vector<double> bad{1.0};
+  EXPECT_THROW(h.insert_batch(rows, cols, bad), gbx::DimensionMismatch);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Tests for D4M associative array algebra (assoc_ops.hpp) and the flow
+// record reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analytics/flow_reader.hpp"
+#include "assoc/assoc.hpp"
+
+namespace {
+
+using assoc::AssocArray;
+
+AssocArray<double> make_a() {
+  AssocArray<double> a;
+  a.insert("r1", "c1", 1.0);
+  a.insert("r1", "c2", 2.0);
+  a.insert("r2", "c1", 3.0);
+  a.materialize();
+  return a;
+}
+
+AssocArray<double> make_b() {
+  AssocArray<double> b;
+  b.insert("r2", "c1", 10.0);
+  b.insert("r3", "c3", 30.0);
+  b.materialize();
+  return b;
+}
+
+TEST(AssocOps, AddUnionsDictionaries) {
+  auto c = assoc::add(make_a(), make_b());
+  EXPECT_EQ(c.nvals(), 4u);
+  EXPECT_DOUBLE_EQ(c.get("r1", "c1"), 1.0);
+  EXPECT_DOUBLE_EQ(c.get("r2", "c1"), 13.0);
+  EXPECT_DOUBLE_EQ(c.get("r3", "c3"), 30.0);
+}
+
+TEST(AssocOps, AddCommutes) {
+  auto ab = assoc::add(make_a(), make_b());
+  auto ba = assoc::add(make_b(), make_a());
+  EXPECT_TRUE(assoc::equal(ab, ba));
+}
+
+TEST(AssocOps, EwiseMultIntersects) {
+  auto c = assoc::ewise_mult(make_a(), make_b());
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(c.get("r2", "c1"), 30.0);
+}
+
+TEST(AssocOps, TransposeSwapsAxes) {
+  auto t = assoc::transpose(make_a());
+  EXPECT_DOUBLE_EQ(t.get("c1", "r1"), 1.0);
+  EXPECT_DOUBLE_EQ(t.get("c2", "r1"), 2.0);
+  EXPECT_DOUBLE_EQ(t.get("c1", "r2"), 3.0);
+  EXPECT_EQ(t.nvals(), 3u);
+  // double transpose is identity
+  EXPECT_TRUE(assoc::equal(assoc::transpose(t), make_a()));
+}
+
+TEST(AssocOps, Subsref) {
+  auto s = assoc::subsref(make_a(), {"r1", "r9"}, {"c1", "c2"});
+  EXPECT_EQ(s.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(s.get("r1", "c1"), 1.0);
+  EXPECT_DOUBLE_EQ(s.get("r1", "c2"), 2.0);
+  EXPECT_DOUBLE_EQ(s.get("r2", "c1"), 0.0);
+}
+
+TEST(AssocOps, ColSumsAndTopRows) {
+  auto a = make_a();
+  auto cs = assoc::col_sums(a);
+  ASSERT_EQ(cs.size(), 2u);
+  double c1 = 0, c2 = 0;
+  for (const auto& [k, v] : cs) (k == "c1" ? c1 : c2) = v;
+  EXPECT_DOUBLE_EQ(c1, 4.0);
+  EXPECT_DOUBLE_EQ(c2, 2.0);
+
+  auto top = assoc::top_rows(a, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, "r1");
+  EXPECT_DOUBLE_EQ(top[0].second, 3.0);
+}
+
+TEST(AssocOps, EqualDetectsDifferences) {
+  auto a = make_a();
+  auto b = make_a();
+  EXPECT_TRUE(assoc::equal(a, b));
+  b.insert("r1", "c1", 0.5);
+  b.materialize();
+  EXPECT_FALSE(assoc::equal(a, b));
+}
+
+TEST(FlowReader, ParsesGoodRecords) {
+  std::stringstream ss;
+  ss << "# traffic capture\n"
+     << "1583366400 10.1.2.3 8.8.8.8 42\n"
+     << "\n"
+     << "1583366401 10.1.2.4 8.8.4.4 1.5\n";
+  gbx::Tuples<double> batch;
+  auto st = analytics::read_flows(ss, batch);
+  EXPECT_EQ(st.records, 2u);
+  EXPECT_EQ(st.malformed, 0u);
+  EXPECT_EQ(st.first_timestamp, 1583366400u);
+  EXPECT_EQ(st.last_timestamp, 1583366401u);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].row, analytics::parse_ipv4("10.1.2.3").value());
+  EXPECT_DOUBLE_EQ(batch[0].val, 42.0);
+}
+
+TEST(FlowReader, SkipsMalformedLines) {
+  std::stringstream ss;
+  ss << "1 10.0.0.1 10.0.0.2 5\n"
+     << "garbage line\n"
+     << "2 300.0.0.1 10.0.0.2 5\n"      // bad IP
+     << "3 10.0.0.1 10.0.0.2 -5\n"      // negative count
+     << "4 10.0.0.1 10.0.0.2 5 extra\n" // trailing field
+     << "5 10.0.0.1 10.0.0.2 7\n";
+  gbx::Tuples<double> batch;
+  auto st = analytics::read_flows(ss, batch);
+  EXPECT_EQ(st.records, 2u);
+  EXPECT_EQ(st.malformed, 4u);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(FlowReader, RoundTripWithWriter) {
+  analytics::FlowRecord r{1000, analytics::parse_ipv4("1.2.3.4").value(),
+                          analytics::parse_ipv4("5.6.7.8").value(), 9.5};
+  std::stringstream ss;
+  analytics::write_flow(ss, r);
+  analytics::FlowRecord r2;
+  std::string line;
+  std::getline(ss, line);
+  ASSERT_TRUE(analytics::parse_flow_line(line, r2));
+  EXPECT_EQ(r2.timestamp, r.timestamp);
+  EXPECT_EQ(r2.src, r.src);
+  EXPECT_EQ(r2.dst, r.dst);
+  EXPECT_DOUBLE_EQ(r2.count, r.count);
+}
+
+TEST(FlowReader, StreamingCallbackSeesTimestamps) {
+  std::stringstream ss;
+  for (int t = 0; t < 10; ++t)
+    ss << (1000 + t) << " 10.0.0.1 10.0.0.2 1\n";
+  gbx::Tuples<double> batch;
+  std::vector<std::uint64_t> stamps;
+  analytics::read_flows(ss, batch, [&](const analytics::FlowRecord& r) {
+    stamps.push_back(r.timestamp);
+  });
+  ASSERT_EQ(stamps.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(stamps.begin(), stamps.end()));
+}
+
+}  // namespace

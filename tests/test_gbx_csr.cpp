@@ -1,0 +1,84 @@
+// Tests for the CSR format and format guidance (the hypersparse-vs-
+// sparse representation argument of the paper, made executable).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gbx/gbx.hpp"
+
+namespace {
+
+using gbx::Csr;
+using gbx::Dcsr;
+using gbx::Entry;
+using gbx::Index;
+
+TEST(Csr, BuildAndLookup) {
+  std::vector<Entry<double>> e{{0, 1, 1.0}, {0, 3, 2.0}, {2, 0, 3.0}};
+  auto c = Csr<double>::from_sorted_unique(4, 4, e);
+  EXPECT_TRUE(c.validate());
+  EXPECT_EQ(c.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(c.get(0, 3).value(), 2.0);
+  EXPECT_DOUBLE_EQ(c.get(2, 0).value(), 3.0);
+  EXPECT_FALSE(c.get(1, 1).has_value());
+  EXPECT_EQ(c.row_cols(0).size(), 2u);
+  EXPECT_EQ(c.row_cols(1).size(), 0u);  // empty row addressable in O(1)
+}
+
+TEST(Csr, RefusesHypersparseDimensions) {
+  // The whole point: CSR cannot represent an IPv4-dim matrix.
+  EXPECT_THROW(Csr<double>(gbx::kIPv4Dim, gbx::kIPv4Dim), gbx::InvalidValue);
+  EXPECT_NO_THROW(Csr<double>(Csr<double>::kMaxCsrRows, 10));
+}
+
+TEST(Csr, EmptyMatrixPaysPointerArray) {
+  // An empty 2^20-row CSR still burns ~8 MB on pointers; an empty DCSR
+  // burns nothing. This is Fig. 1's memory-pressure argument in code.
+  Csr<double> c(1u << 20, 1u << 20);
+  Dcsr<double> d;
+  EXPECT_GT(c.memory_bytes(), (1u << 20) * sizeof(gbx::Offset));
+  EXPECT_LT(d.memory_bytes(), 1024u);
+}
+
+TEST(Csr, DcsrRoundTrip) {
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<Index> coord(0, (1u << 16) - 1);
+  gbx::Tuples<double> t;
+  for (int k = 0; k < 20000; ++k)
+    t.push_back(coord(rng), coord(rng), static_cast<double>(k % 13));
+  t.sort_dedup<gbx::PlusMonoid<double>>();
+  auto d = Dcsr<double>::from_sorted_unique(t.entries());
+
+  auto c = Csr<double>::from_dcsr(1u << 16, 1u << 16, d);
+  EXPECT_TRUE(c.validate());
+  EXPECT_EQ(c.nnz(), d.nnz());
+  auto d2 = c.to_dcsr();
+  EXPECT_TRUE(d == d2);
+}
+
+TEST(Csr, ForEachOrdered) {
+  std::vector<Entry<int>> e{{1, 5, 10}, {1, 7, 20}, {3, 2, 30}};
+  auto c = Csr<int>::from_sorted_unique(8, 8, e);
+  std::vector<Entry<int>> seen;
+  c.for_each([&](Index i, Index j, int v) { seen.push_back({i, j, v}); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end(), gbx::entry_less<int>));
+}
+
+TEST(Csr, OutOfBoundsEntryRejected) {
+  std::vector<Entry<double>> e{{5, 0, 1.0}};
+  EXPECT_THROW(Csr<double>::from_sorted_unique(4, 4, e),
+               gbx::IndexOutOfBounds);
+}
+
+TEST(FormatAdvice, Crossover) {
+  using gbx::Format;
+  // IPv4-dim: always hypersparse, regardless of nnz.
+  EXPECT_EQ(gbx::format_advice(gbx::kIPv4Dim, 1u << 30), Format::kDcsr);
+  // Small dims, dense-ish: CSR.
+  EXPECT_EQ(gbx::format_advice(1u << 16, 1u << 16), Format::kCsr);
+  // Small dims, nearly empty: hypersparse still wins.
+  EXPECT_EQ(gbx::format_advice(1u << 20, 100), Format::kDcsr);
+}
+
+}  // namespace

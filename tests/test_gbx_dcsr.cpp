@@ -1,0 +1,152 @@
+// Tests for DCSR hypersparse storage and the Tuples buffer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gbx/coo.hpp"
+#include "gbx/dcsr.hpp"
+#include "gbx/monoid.hpp"
+
+namespace {
+
+using gbx::Dcsr;
+using gbx::Entry;
+using gbx::Index;
+using gbx::Tuples;
+
+TEST(Dcsr, EmptyInvariants) {
+  Dcsr<double> d;
+  EXPECT_EQ(d.nnz(), 0u);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.nrows_nonempty(), 0u);
+  EXPECT_TRUE(d.validate());
+  EXPECT_FALSE(d.get(0, 0).has_value());
+}
+
+TEST(Dcsr, FromSortedUnique) {
+  std::vector<Entry<double>> e{
+      {2, 1, 1.0}, {2, 5, 2.0}, {7, 0, 3.0}, {100, 100, 4.0}};
+  auto d = Dcsr<double>::from_sorted_unique(e);
+  EXPECT_EQ(d.nnz(), 4u);
+  EXPECT_EQ(d.nrows_nonempty(), 3u);
+  EXPECT_TRUE(d.validate());
+  EXPECT_DOUBLE_EQ(d.get(2, 5).value(), 2.0);
+  EXPECT_DOUBLE_EQ(d.get(100, 100).value(), 4.0);
+  EXPECT_FALSE(d.get(2, 2).has_value());
+  EXPECT_FALSE(d.get(3, 1).has_value());
+}
+
+TEST(Dcsr, HypersparseMemoryIndependentOfDimension) {
+  // 3 entries scattered across the 2^64 space: memory must be tiny.
+  std::vector<Entry<double>> e{
+      {0, 0, 1.0}, {gbx::kIndexMax / 2, 7, 2.0}, {gbx::kIndexMax - 1, 1, 3.0}};
+  auto d = Dcsr<double>::from_sorted_unique(e);
+  EXPECT_TRUE(d.validate());
+  EXPECT_LT(d.memory_bytes(), 4096u);
+  EXPECT_DOUBLE_EQ(d.get(gbx::kIndexMax / 2, 7).value(), 2.0);
+}
+
+TEST(Dcsr, ExtractRoundTrip) {
+  std::vector<Entry<double>> e{{1, 2, 1.5}, {1, 9, 2.5}, {4, 0, 3.5}};
+  auto d = Dcsr<double>::from_sorted_unique(e);
+  Tuples<double> out;
+  d.extract(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].row, 1u);
+  EXPECT_EQ(out[0].col, 2u);
+  EXPECT_DOUBLE_EQ(out[2].val, 3.5);
+}
+
+TEST(Dcsr, ForEachVisitsInOrder) {
+  std::vector<Entry<int>> e{{1, 2, 10}, {1, 9, 20}, {4, 0, 30}};
+  auto d = Dcsr<int>::from_sorted_unique(e);
+  std::vector<Entry<int>> seen;
+  d.for_each([&](Index i, Index j, int v) { seen.push_back({i, j, v}); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end(), gbx::entry_less<int>));
+}
+
+TEST(Dcsr, ClearAndReset) {
+  std::vector<Entry<double>> e{{1, 1, 1.0}};
+  auto d = Dcsr<double>::from_sorted_unique(e);
+  d.clear();
+  EXPECT_EQ(d.nnz(), 0u);
+  EXPECT_TRUE(d.validate());
+  d = Dcsr<double>::from_sorted_unique(e);
+  d.reset();
+  EXPECT_EQ(d.nnz(), 0u);
+  EXPECT_TRUE(d.validate());
+  EXPECT_LT(d.memory_bytes(), 64u);
+}
+
+TEST(Tuples, AppendAndSize) {
+  Tuples<double> t;
+  EXPECT_TRUE(t.empty());
+  t.push_back(1, 2, 3.0);
+  t.push_back(1, 2, 4.0);
+  EXPECT_EQ(t.size(), 2u);  // duplicates counted before fold
+  std::vector<Index> r{5, 6}, c{7, 8};
+  std::vector<double> v{1.0, 2.0};
+  t.append(r, c, v);
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(Tuples, AppendLengthMismatchThrows) {
+  Tuples<double> t;
+  std::vector<Index> r{1, 2}, c{3};
+  std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(t.append(r, c, v), gbx::DimensionMismatch);
+}
+
+TEST(Tuples, SortDedup) {
+  Tuples<double> t;
+  t.push_back(2, 2, 1.0);
+  t.push_back(1, 1, 1.0);
+  t.push_back(2, 2, 2.0);
+  t.sort_dedup<gbx::PlusMonoid<double>>();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].row, 1u);
+  EXPECT_DOUBLE_EQ(t[1].val, 3.0);
+}
+
+TEST(Tuples, ResetReleasesMemory) {
+  Tuples<double> t;
+  for (int i = 0; i < 10000; ++i) t.push_back(i, i, 1.0);
+  EXPECT_GT(t.memory_bytes(), 100000u);
+  t.reset();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.memory_bytes(), 0u);
+}
+
+// Parameterized: random build round-trips through extract for several
+// sizes and coordinate spaces.
+class DcsrRoundTrip
+    : public ::testing::TestWithParam<std::pair<std::size_t, Index>> {};
+
+TEST_P(DcsrRoundTrip, BuildExtractBuild) {
+  const auto [n, dim] = GetParam();
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<Index> coord(0, dim - 1);
+  Tuples<double> t;
+  for (std::size_t k = 0; k < n; ++k)
+    t.push_back(coord(rng), coord(rng), 1.0);
+  t.sort_dedup<gbx::PlusMonoid<double>>();
+  auto d = Dcsr<double>::from_sorted_unique(t.entries());
+  EXPECT_TRUE(d.validate());
+  EXPECT_EQ(d.nnz(), t.size());
+
+  Tuples<double> out;
+  d.extract(out);
+  auto d2 = Dcsr<double>::from_sorted_unique(out.entries());
+  EXPECT_TRUE(d == d2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DcsrRoundTrip,
+    ::testing::Values(std::make_pair(std::size_t{1}, Index{4}),
+                      std::make_pair(std::size_t{100}, Index{10}),
+                      std::make_pair(std::size_t{1000}, Index{1} << 16),
+                      std::make_pair(std::size_t{20000}, Index{1} << 30),
+                      std::make_pair(std::size_t{20000}, Index{64})));
+
+}  // namespace

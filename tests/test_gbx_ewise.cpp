@@ -1,0 +1,191 @@
+// Tests for eWiseAdd / eWiseMult merges and structural masks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "gbx/gbx.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+
+Matrix<double> random_matrix(Index dim, std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> coord(0, dim - 1);
+  std::uniform_real_distribution<double> val(1, 9);
+  Matrix<double> m(dim, dim);
+  for (std::size_t k = 0; k < n; ++k)
+    m.set_element(coord(rng), coord(rng), val(rng));
+  m.materialize();
+  return m;
+}
+
+std::map<std::pair<Index, Index>, double> to_map(const Matrix<double>& m) {
+  std::map<std::pair<Index, Index>, double> out;
+  m.for_each([&](Index i, Index j, double v) { out[{i, j}] = v; });
+  return out;
+}
+
+TEST(EwiseAdd, DisjointUnion) {
+  Matrix<double> a(10, 10), b(10, 10);
+  a.set_element(1, 1, 1.0);
+  b.set_element(2, 2, 2.0);
+  auto c = gbx::ewise_add<gbx::Plus<double>>(a, b);
+  EXPECT_EQ(c.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(c.extract_element(1, 1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(c.extract_element(2, 2).value(), 2.0);
+}
+
+TEST(EwiseAdd, OverlapCombines) {
+  Matrix<double> a(10, 10), b(10, 10);
+  a.set_element(1, 1, 1.0);
+  a.set_element(1, 2, 5.0);
+  b.set_element(1, 1, 10.0);
+  auto c = gbx::ewise_add<gbx::Plus<double>>(a, b);
+  EXPECT_EQ(c.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(c.extract_element(1, 1).value(), 11.0);
+  EXPECT_DOUBLE_EQ(c.extract_element(1, 2).value(), 5.0);
+}
+
+TEST(EwiseAdd, EmptyOperands) {
+  Matrix<double> a(10, 10), b(10, 10);
+  b.set_element(3, 3, 3.0);
+  auto c1 = gbx::ewise_add<gbx::Plus<double>>(a, b);
+  EXPECT_TRUE(gbx::equal(c1, b));
+  auto c2 = gbx::ewise_add<gbx::Plus<double>>(b, a);
+  EXPECT_TRUE(gbx::equal(c2, b));
+  auto c3 = gbx::ewise_add<gbx::Plus<double>>(a, a);
+  EXPECT_EQ(c3.nvals(), 0u);
+}
+
+TEST(EwiseAdd, DimMismatchThrows) {
+  Matrix<double> a(10, 10), b(11, 10);
+  EXPECT_THROW(gbx::ewise_add<gbx::Plus<double>>(a, b),
+               gbx::DimensionMismatch);
+}
+
+TEST(EwiseAdd, MinOpSelectsSmaller) {
+  Matrix<double> a(4, 4), b(4, 4);
+  a.set_element(0, 0, 5.0);
+  b.set_element(0, 0, 3.0);
+  auto c = gbx::ewise_add<gbx::Min<double>>(a, b);
+  EXPECT_DOUBLE_EQ(c.extract_element(0, 0).value(), 3.0);
+}
+
+TEST(EwiseMult, IntersectionOnly) {
+  Matrix<double> a(10, 10), b(10, 10);
+  a.set_element(1, 1, 2.0);
+  a.set_element(1, 2, 3.0);
+  b.set_element(1, 1, 4.0);
+  b.set_element(2, 2, 5.0);
+  auto c = gbx::ewise_mult<gbx::Times<double>>(a, b);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(c.extract_element(1, 1).value(), 8.0);
+}
+
+TEST(EwiseMult, EmptyIntersection) {
+  Matrix<double> a(10, 10), b(10, 10);
+  a.set_element(1, 1, 2.0);
+  b.set_element(2, 2, 4.0);
+  auto c = gbx::ewise_mult<gbx::Times<double>>(a, b);
+  EXPECT_EQ(c.nvals(), 0u);
+  EXPECT_TRUE(c.validate());
+}
+
+TEST(Mask, KeepAndDrop) {
+  Matrix<double> a(10, 10);
+  a.set_element(1, 1, 1.0);
+  a.set_element(2, 2, 2.0);
+  a.set_element(3, 3, 3.0);
+  Matrix<double> m(10, 10);
+  m.set_element(1, 1, 1.0);
+  m.set_element(3, 3, 0.0);  // structural: value irrelevant
+
+  auto kept = gbx::mask_keep(a, m);
+  EXPECT_EQ(kept.nvals(), 2u);
+  EXPECT_TRUE(kept.extract_element(1, 1).has_value());
+  EXPECT_TRUE(kept.extract_element(3, 3).has_value());
+
+  auto dropped = gbx::mask_drop(a, m);
+  EXPECT_EQ(dropped.nvals(), 1u);
+  EXPECT_TRUE(dropped.extract_element(2, 2).has_value());
+}
+
+TEST(Mask, DimMismatchThrows) {
+  Matrix<double> a(10, 10), m(9, 10);
+  EXPECT_THROW(gbx::mask_keep(a, m), gbx::DimensionMismatch);
+}
+
+// Properties of the union/intersection merges against map models, over a
+// sweep of densities and dimension scales (including the parallel paths).
+class EwiseProperty
+    : public ::testing::TestWithParam<std::tuple<Index, std::size_t, std::uint64_t>> {};
+
+TEST_P(EwiseProperty, AddMatchesModel) {
+  const auto [dim, n, seed] = GetParam();
+  auto a = random_matrix(dim, n, seed);
+  auto b = random_matrix(dim, n, seed + 1000);
+  auto c = gbx::ewise_add<gbx::Plus<double>>(a, b);
+
+  auto ma = to_map(a), mb = to_map(b);
+  for (const auto& [k, v] : mb) ma[k] += v;
+  auto mc = to_map(c);
+  ASSERT_EQ(mc.size(), ma.size());
+  for (const auto& [k, v] : ma) EXPECT_NEAR(mc.at(k), v, 1e-9);
+  EXPECT_TRUE(c.validate());
+}
+
+TEST_P(EwiseProperty, AddCommutes) {
+  const auto [dim, n, seed] = GetParam();
+  auto a = random_matrix(dim, n, seed);
+  auto b = random_matrix(dim, n, seed + 2000);
+  auto ab = gbx::ewise_add<gbx::Plus<double>>(a, b);
+  auto ba = gbx::ewise_add<gbx::Plus<double>>(b, a);
+  EXPECT_TRUE(gbx::equal(ab, ba));
+}
+
+TEST_P(EwiseProperty, AddAssociates) {
+  const auto [dim, n, seed] = GetParam();
+  auto a = random_matrix(dim, n, seed);
+  auto b = random_matrix(dim, n, seed + 3000);
+  auto c = random_matrix(dim, n, seed + 4000);
+  auto left = gbx::ewise_add<gbx::Plus<double>>(
+      gbx::ewise_add<gbx::Plus<double>>(a, b), c);
+  auto right = gbx::ewise_add<gbx::Plus<double>>(
+      a, gbx::ewise_add<gbx::Plus<double>>(b, c));
+  // float addition is not exactly associative; compare with tolerance.
+  auto ml = to_map(left), mr = to_map(right);
+  ASSERT_EQ(ml.size(), mr.size());
+  for (const auto& [k, v] : ml) EXPECT_NEAR(mr.at(k), v, 1e-9);
+}
+
+TEST_P(EwiseProperty, MultMatchesModel) {
+  const auto [dim, n, seed] = GetParam();
+  auto a = random_matrix(dim, n, seed);
+  auto b = random_matrix(dim, n, seed + 5000);
+  auto c = gbx::ewise_mult<gbx::Times<double>>(a, b);
+
+  auto ma = to_map(a), mb = to_map(b), mc = to_map(c);
+  std::size_t expect = 0;
+  for (const auto& [k, v] : ma) {
+    auto it = mb.find(k);
+    if (it == mb.end()) continue;
+    ++expect;
+    EXPECT_NEAR(mc.at(k), v * it->second, 1e-9);
+  }
+  EXPECT_EQ(mc.size(), expect);
+  EXPECT_TRUE(c.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EwiseProperty,
+    ::testing::Values(
+        std::make_tuple(Index{8}, std::size_t{30}, std::uint64_t{1}),
+        std::make_tuple(Index{64}, std::size_t{500}, std::uint64_t{2}),
+        std::make_tuple(Index{1} << 20, std::size_t{2000}, std::uint64_t{3}),
+        std::make_tuple(Index{1} << 30, std::size_t{20000}, std::uint64_t{4}),
+        std::make_tuple(Index{32}, std::size_t{2000}, std::uint64_t{5})));
+
+}  // namespace

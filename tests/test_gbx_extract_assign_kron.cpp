@@ -1,0 +1,164 @@
+// Tests for submatrix extraction, assignment, and Kronecker products.
+#include <gtest/gtest.h>
+
+#include "gbx/gbx.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+
+Matrix<double> grid(Index n) {
+  Matrix<double> m(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j)
+      m.set_element(i, j, static_cast<double>(i * n + j + 1));
+  m.materialize();
+  return m;
+}
+
+TEST(Extract, ListRemapsToPositions) {
+  auto m = grid(6);
+  std::vector<Index> I{1, 4};
+  std::vector<Index> J{0, 3, 5};
+  auto s = gbx::extract(m, I, J);
+  EXPECT_EQ(s.nrows(), 2u);
+  EXPECT_EQ(s.ncols(), 3u);
+  EXPECT_EQ(s.nvals(), 6u);
+  // s(0, 1) = m(1, 3) = 1*6+3+1 = 10
+  EXPECT_DOUBLE_EQ(s.extract_element(0, 1).value(), 10.0);
+  // s(1, 2) = m(4, 5) = 4*6+5+1 = 30
+  EXPECT_DOUBLE_EQ(s.extract_element(1, 2).value(), 30.0);
+}
+
+TEST(Extract, MissingRowsGiveEmptyResultRows) {
+  Matrix<double> m(10, 10);
+  m.set_element(2, 2, 1.0);
+  std::vector<Index> I{1, 2};
+  std::vector<Index> J{2, 3};
+  auto s = gbx::extract(m, I, J);
+  EXPECT_EQ(s.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(s.extract_element(1, 0).value(), 1.0);
+}
+
+TEST(Extract, ValidationErrors) {
+  auto m = grid(4);
+  std::vector<Index> unsorted{2, 1};
+  std::vector<Index> ok{0, 1};
+  std::vector<Index> dup{1, 1};
+  std::vector<Index> oob{3, 7};
+  std::vector<Index> empty;
+  EXPECT_THROW(gbx::extract(m, unsorted, ok), gbx::Error);
+  EXPECT_THROW(gbx::extract(m, dup, ok), gbx::Error);
+  EXPECT_THROW(gbx::extract(m, oob, ok), gbx::IndexOutOfBounds);
+  EXPECT_THROW(gbx::extract(m, empty, ok), gbx::InvalidValue);
+}
+
+TEST(ExtractRange, ShiftsToOrigin) {
+  auto m = grid(8);
+  auto s = gbx::extract_range(m, 2, 5, 3, 7);
+  EXPECT_EQ(s.nrows(), 3u);
+  EXPECT_EQ(s.ncols(), 4u);
+  EXPECT_EQ(s.nvals(), 12u);
+  // s(0, 0) = m(2, 3) = 2*8+3+1 = 20
+  EXPECT_DOUBLE_EQ(s.extract_element(0, 0).value(), 20.0);
+}
+
+TEST(ExtractRange, HypersparseWindow) {
+  Matrix<double> m(gbx::kIPv4Dim, gbx::kIPv4Dim);
+  m.set_element(1000000, 2000000, 7.0);
+  m.set_element(1000001, 2000001, 8.0);
+  m.set_element(5000000, 2000000, 9.0);
+  auto s = gbx::extract_range(m, 1000000, 1000002, 2000000, 2000002);
+  EXPECT_EQ(s.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(s.extract_element(0, 0).value(), 7.0);
+  EXPECT_DOUBLE_EQ(s.extract_element(1, 1).value(), 8.0);
+}
+
+TEST(ExtractRange, Errors) {
+  auto m = grid(4);
+  EXPECT_THROW(gbx::extract_range(m, 2, 2, 0, 1), gbx::InvalidValue);
+  EXPECT_THROW(gbx::extract_range(m, 0, 5, 0, 1), gbx::IndexOutOfBounds);
+}
+
+TEST(Assign, ReplacesRegion) {
+  auto m = grid(4);  // fully dense 4x4
+  Matrix<double> sub(2, 2);
+  sub.set_element(0, 0, 100.0);
+  // (1,3)x(0,2) region: entries not covered by sub are deleted.
+  std::vector<Index> I{1, 3};
+  std::vector<Index> J{0, 2};
+  gbx::assign(m, I, J, sub);
+  EXPECT_DOUBLE_EQ(m.extract_element(1, 0).value(), 100.0);
+  EXPECT_FALSE(m.extract_element(1, 2).has_value());
+  EXPECT_FALSE(m.extract_element(3, 0).has_value());
+  EXPECT_FALSE(m.extract_element(3, 2).has_value());
+  // outside the region untouched
+  EXPECT_DOUBLE_EQ(m.extract_element(0, 0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(m.extract_element(1, 1).value(), 6.0);
+  EXPECT_EQ(m.nvals(), 16u - 4u + 1u);
+}
+
+TEST(Assign, DimMismatchThrows) {
+  auto m = grid(4);
+  Matrix<double> sub(2, 3);
+  std::vector<Index> I{1, 3};
+  std::vector<Index> J{0, 2};
+  EXPECT_THROW(gbx::assign(m, I, J, sub), gbx::DimensionMismatch);
+}
+
+TEST(Assign, ExtractRoundTrip) {
+  auto m = grid(6);
+  std::vector<Index> I{0, 2, 4};
+  std::vector<Index> J{1, 3};
+  auto s = gbx::extract(m, I, J);
+  auto m2 = m;
+  gbx::assign(m2, I, J, s);  // assigning the extraction back is a no-op
+  EXPECT_TRUE(gbx::equal(m, m2));
+}
+
+TEST(Kron, TinyKnown) {
+  // kron([1 2], [3; 4]) = [[3, 6], [4, 8]] placed block-wise.
+  Matrix<double> a(1, 2), b(2, 1);
+  a.set_element(0, 0, 1);
+  a.set_element(0, 1, 2);
+  b.set_element(0, 0, 3);
+  b.set_element(1, 0, 4);
+  auto c = gbx::kron<gbx::Times<double>>(a, b);
+  EXPECT_EQ(c.nrows(), 2u);
+  EXPECT_EQ(c.ncols(), 2u);
+  EXPECT_DOUBLE_EQ(c.extract_element(0, 0).value(), 3.0);
+  EXPECT_DOUBLE_EQ(c.extract_element(1, 0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(c.extract_element(0, 1).value(), 6.0);
+  EXPECT_DOUBLE_EQ(c.extract_element(1, 1).value(), 8.0);
+}
+
+TEST(Kron, NnzMultiplies) {
+  auto a = grid(3);
+  auto b = grid(4);
+  auto c = gbx::kron<gbx::Times<double>>(a, b);
+  EXPECT_EQ(c.nvals(), a.nvals() * b.nvals());
+  EXPECT_EQ(c.nrows(), 12u);
+  EXPECT_TRUE(c.validate());
+}
+
+TEST(Kron, SelfPowerBuildsKroneckerGraph) {
+  // The Graph500 construction: kron of a small seed with itself grows a
+  // power-law-ish graph; nnz is seed_nnz^k.
+  Matrix<double> seed(2, 2);
+  seed.set_element(0, 0, 1);
+  seed.set_element(0, 1, 1);
+  seed.set_element(1, 0, 1);
+  auto g2 = gbx::kron<gbx::Times<double>>(seed, seed);
+  auto g3 = gbx::kron<gbx::Times<double>>(g2, seed);
+  EXPECT_EQ(g2.nvals(), 9u);
+  EXPECT_EQ(g3.nvals(), 27u);
+  EXPECT_EQ(g3.nrows(), 8u);
+}
+
+TEST(Kron, OverflowGuard) {
+  Matrix<double> a(gbx::kIPv6Dim, 2), b(gbx::kIPv6Dim, 2);
+  EXPECT_THROW((gbx::kron<gbx::Times<double>>(a, b)), gbx::InvalidValue);
+}
+
+}  // namespace

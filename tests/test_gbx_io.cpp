@@ -1,0 +1,77 @@
+// Tests for diagnostics and MatrixMarket round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gbx/gbx.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+
+TEST(Io, DescribeContainsBasics) {
+  Matrix<double> m(10, 20);
+  m.set_element(1, 2, 3.0);
+  const auto d = gbx::describe(m);
+  EXPECT_NE(d.find("10x20"), std::string::npos);
+  EXPECT_NE(d.find("fp64"), std::string::npos);
+  EXPECT_NE(d.find("pending=1"), std::string::npos);
+}
+
+TEST(Io, PrintTruncates) {
+  Matrix<double> m(100, 100);
+  for (Index i = 0; i < 50; ++i) m.set_element(i, i, 1.0);
+  std::ostringstream os;
+  gbx::print(os, m, 5);
+  EXPECT_NE(os.str().find("..."), std::string::npos);
+}
+
+TEST(Io, MatrixMarketRoundTrip) {
+  Matrix<double> m(7, 9);
+  m.set_element(0, 0, 1.5);
+  m.set_element(3, 8, -2.25);
+  m.set_element(6, 2, 100.0);
+  std::stringstream ss;
+  gbx::write_matrix_market(ss, m);
+  auto m2 = gbx::read_matrix_market<double>(ss);
+  EXPECT_EQ(m2.nrows(), 7u);
+  EXPECT_EQ(m2.ncols(), 9u);
+  EXPECT_TRUE(gbx::equal(m, m2));
+}
+
+TEST(Io, MatrixMarketHeaderAndComments) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "% a comment line\n"
+     << "3 3 2\n"
+     << "1 1 5\n"
+     << "3 2 7\n";
+  auto m = gbx::read_matrix_market<double>(ss);
+  EXPECT_EQ(m.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(m.extract_element(0, 0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(m.extract_element(2, 1).value(), 7.0);
+}
+
+TEST(Io, MatrixMarketTruncatedThrows) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "3 3 2\n"
+     << "1 1 5\n";
+  EXPECT_THROW(gbx::read_matrix_market<double>(ss), gbx::Error);
+}
+
+TEST(Io, MatrixMarketZeroBasedRejected) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "3 3 1\n"
+     << "0 1 5\n";
+  EXPECT_THROW(gbx::read_matrix_market<double>(ss), gbx::InvalidValue);
+}
+
+TEST(Io, MatrixMarketEmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(gbx::read_matrix_market<double>(ss), gbx::Error);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Unit tests for the gbx algebra layer: operators, monoids, semirings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+#include "gbx/monoid.hpp"
+#include "gbx/ops.hpp"
+#include "gbx/semiring.hpp"
+
+namespace {
+
+TEST(Ops, ArithmeticBinary) {
+  EXPECT_EQ(gbx::Plus<int>::apply(2, 3), 5);
+  EXPECT_EQ(gbx::Minus<int>::apply(2, 3), -1);
+  EXPECT_EQ(gbx::Times<int>::apply(2, 3), 6);
+  EXPECT_EQ(gbx::Div<int>::apply(7, 2), 3);
+  EXPECT_DOUBLE_EQ(gbx::Div<double>::apply(7, 2), 3.5);
+  EXPECT_EQ(gbx::Min<int>::apply(2, 3), 2);
+  EXPECT_EQ(gbx::Max<int>::apply(2, 3), 3);
+}
+
+TEST(Ops, SelectionBinary) {
+  EXPECT_EQ(gbx::First<int>::apply(2, 3), 2);
+  EXPECT_EQ(gbx::Second<int>::apply(2, 3), 3);
+  EXPECT_EQ(gbx::Any<int>::apply(7, 9), 7);
+}
+
+TEST(Ops, LogicalBinary) {
+  EXPECT_EQ(gbx::LogicalOr<int>::apply(0, 0), 0);
+  EXPECT_EQ(gbx::LogicalOr<int>::apply(0, 5), 1);
+  EXPECT_EQ(gbx::LogicalAnd<int>::apply(3, 5), 1);
+  EXPECT_EQ(gbx::LogicalAnd<int>::apply(3, 0), 0);
+  EXPECT_EQ(gbx::LogicalXor<int>::apply(3, 5), 0);
+  EXPECT_EQ(gbx::LogicalXor<int>::apply(3, 0), 1);
+}
+
+TEST(Ops, Comparisons) {
+  EXPECT_EQ(gbx::Eq<int>::apply(2, 2), 1);
+  EXPECT_EQ(gbx::Ne<int>::apply(2, 2), 0);
+  EXPECT_EQ(gbx::Lt<int>::apply(1, 2), 1);
+  EXPECT_EQ(gbx::Gt<int>::apply(1, 2), 0);
+}
+
+TEST(Ops, Unary) {
+  EXPECT_EQ(gbx::IdentityOp<int>::apply(42), 42);
+  EXPECT_EQ(gbx::AInv<int>::apply(42), -42);
+  EXPECT_DOUBLE_EQ(gbx::MInv<double>::apply(4.0), 0.25);
+  EXPECT_EQ(gbx::Abs<int>::apply(-42), 42);
+  EXPECT_EQ(gbx::Abs<std::uint32_t>::apply(42u), 42u);
+  EXPECT_EQ(gbx::LogicalNot<int>::apply(0), 1);
+  EXPECT_EQ(gbx::LogicalNot<int>::apply(3), 0);
+  EXPECT_EQ(gbx::One<int>::apply(99), 1);
+}
+
+TEST(Ops, Binders) {
+  gbx::Bind2nd<gbx::Plus<int>> add5{5};
+  EXPECT_EQ(add5.apply(2), 7);
+  gbx::Bind1st<gbx::Minus<int>> tenMinus{10};
+  EXPECT_EQ(tenMinus.apply(3), 7);
+}
+
+TEST(Monoids, Identities) {
+  EXPECT_EQ(gbx::PlusMonoid<int>::identity(), 0);
+  EXPECT_EQ(gbx::TimesMonoid<int>::identity(), 1);
+  EXPECT_EQ(gbx::MinMonoid<int>::identity(), std::numeric_limits<int>::max());
+  EXPECT_EQ(gbx::MaxMonoid<int>::identity(), std::numeric_limits<int>::lowest());
+  EXPECT_EQ(gbx::MinMonoid<double>::identity(), std::numeric_limits<double>::max());
+  EXPECT_EQ(gbx::LorMonoid<int>::identity(), 0);
+  EXPECT_EQ(gbx::LandMonoid<int>::identity(), 1);
+  EXPECT_EQ(gbx::LxorMonoid<int>::identity(), 0);
+}
+
+// `boolean_domain`: logical monoids are monoids over {0, 1} (values are
+// normalized to 0/1 by the op), so their laws are checked on that domain.
+template <class M>
+void check_monoid_laws(bool boolean_domain = false) {
+  using T = typename M::value_type;
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::int64_t> d(boolean_domain ? 0 : -50,
+                                                boolean_domain ? 1 : 50);
+  for (int trial = 0; trial < 200; ++trial) {
+    const T a = static_cast<T>(d(rng));
+    const T b = static_cast<T>(d(rng));
+    const T c = static_cast<T>(d(rng));
+    // identity
+    EXPECT_EQ(M::apply(a, M::identity()), a);
+    EXPECT_EQ(M::apply(M::identity(), a), a);
+    // commutativity
+    EXPECT_EQ(M::apply(a, b), M::apply(b, a));
+    // associativity
+    EXPECT_EQ(M::apply(M::apply(a, b), c), M::apply(a, M::apply(b, c)));
+  }
+}
+
+TEST(Monoids, LawsPlusInt64) { check_monoid_laws<gbx::PlusMonoid<std::int64_t>>(); }
+TEST(Monoids, LawsMinInt64) { check_monoid_laws<gbx::MinMonoid<std::int64_t>>(); }
+TEST(Monoids, LawsMaxInt64) { check_monoid_laws<gbx::MaxMonoid<std::int64_t>>(); }
+TEST(Monoids, LawsLorInt) { check_monoid_laws<gbx::LorMonoid<int>>(true); }
+TEST(Monoids, LawsLandInt) { check_monoid_laws<gbx::LandMonoid<int>>(true); }
+TEST(Monoids, LawsLxorInt) { check_monoid_laws<gbx::LxorMonoid<int>>(true); }
+
+template <class S>
+void check_semiring_laws(bool boolean_domain = false) {
+  using T = typename S::value_type;
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::int64_t> d(boolean_domain ? 0 : -20,
+                                                boolean_domain ? 1 : 20);
+  for (int trial = 0; trial < 200; ++trial) {
+    const T a = static_cast<T>(d(rng));
+    const T b = static_cast<T>(d(rng));
+    const T c = static_cast<T>(d(rng));
+    // additive identity is multiplicative annihilator-ish checks are not
+    // universal (min-plus!), but distributivity must hold:
+    EXPECT_EQ(S::mul(a, S::add(b, c)), S::add(S::mul(a, b), S::mul(a, c)));
+    EXPECT_EQ(S::mul(S::add(a, b), c), S::add(S::mul(a, c), S::mul(b, c)));
+    // additive identity
+    EXPECT_EQ(S::add(a, S::zero()), a);
+  }
+}
+
+TEST(Semirings, DistributivityPlusTimes) {
+  check_semiring_laws<gbx::PlusTimes<std::int64_t>>();
+}
+TEST(Semirings, DistributivityMinPlus) {
+  check_semiring_laws<gbx::MinPlus<std::int64_t>>();
+}
+TEST(Semirings, DistributivityMaxPlus) {
+  check_semiring_laws<gbx::MaxPlus<std::int64_t>>();
+}
+TEST(Semirings, DistributivityLorLand) {
+  check_semiring_laws<gbx::LorLand<int>>(true);
+}
+
+TEST(Semirings, MinPlusBehaves) {
+  using S = gbx::MinPlus<std::int64_t>;
+  EXPECT_EQ(S::add(3, 5), 3);
+  EXPECT_EQ(S::mul(3, 5), 8);
+  EXPECT_EQ(S::zero(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(TypeNames, Names) {
+  EXPECT_STREQ(gbx::type_name<double>(), "fp64");
+  EXPECT_STREQ(gbx::type_name<float>(), "fp32");
+  EXPECT_STREQ(gbx::type_name<std::int32_t>(), "int32");
+  EXPECT_STREQ(gbx::type_name<std::uint64_t>(), "uint64");
+  EXPECT_STREQ(gbx::type_name<bool>(), "bool");
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Tests for structural ops (concat/split/resize/diag/dup), vector
+// element-wise kernels, and index-unary apply.
+#include <gtest/gtest.h>
+
+#include "gbx/gbx.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+using gbx::SparseVector;
+
+Matrix<double> filled(Index rows, Index cols, double base) {
+  Matrix<double> m(rows, cols);
+  for (Index i = 0; i < rows; ++i)
+    for (Index j = 0; j < cols; ++j)
+      m.set_element(i, j, base + static_cast<double>(i * cols + j));
+  m.materialize();
+  return m;
+}
+
+TEST(Concat, TwoByTwoGrid) {
+  auto a = filled(2, 2, 0);    // top-left
+  auto b = filled(2, 3, 100);  // top-right
+  auto c = filled(1, 2, 200);  // bottom-left
+  auto d = filled(1, 3, 300);  // bottom-right
+  auto m = gbx::concat<double, gbx::PlusMonoid<double>>({&a, &b, &c, &d}, 2, 2);
+  EXPECT_EQ(m.nrows(), 3u);
+  EXPECT_EQ(m.ncols(), 5u);
+  EXPECT_EQ(m.nvals(), 4u + 6u + 2u + 3u);
+  EXPECT_DOUBLE_EQ(m.extract_element(0, 0).value(), 0.0);       // a(0,0)
+  EXPECT_DOUBLE_EQ(m.extract_element(0, 2).value(), 100.0);     // b(0,0)
+  EXPECT_DOUBLE_EQ(m.extract_element(2, 0).value(), 200.0);     // c(0,0)
+  EXPECT_DOUBLE_EQ(m.extract_element(2, 4).value(), 302.0);     // d(0,2)
+}
+
+TEST(Concat, ShapeValidation) {
+  auto a = filled(2, 2, 0);
+  auto b = filled(3, 2, 0);  // wrong height for same grid row
+  EXPECT_THROW((gbx::concat<double, gbx::PlusMonoid<double>>({&a, &b}, 1, 2)),
+               gbx::DimensionMismatch);
+  EXPECT_THROW((gbx::concat<double, gbx::PlusMonoid<double>>({&a}, 1, 2)),
+               gbx::InvalidValue);
+}
+
+TEST(Concat, HVConvenience) {
+  auto a = filled(2, 2, 0);
+  auto b = filled(2, 2, 10);
+  auto h = gbx::hconcat(a, b);
+  EXPECT_EQ(h.nrows(), 2u);
+  EXPECT_EQ(h.ncols(), 4u);
+  auto v = gbx::vconcat(a, b);
+  EXPECT_EQ(v.nrows(), 4u);
+  EXPECT_EQ(v.ncols(), 2u);
+  EXPECT_DOUBLE_EQ(v.extract_element(2, 0).value(), 10.0);
+}
+
+TEST(Split, RoundTripWithConcat) {
+  auto m = filled(5, 6, 0);
+  auto tiles = gbx::split(m, {2, 3}, {4, 2});
+  ASSERT_EQ(tiles.size(), 4u);
+  EXPECT_EQ(tiles[0].nrows(), 2u);
+  EXPECT_EQ(tiles[0].ncols(), 4u);
+  EXPECT_EQ(tiles[3].nrows(), 3u);
+  EXPECT_EQ(tiles[3].ncols(), 2u);
+  auto back = gbx::concat<double, gbx::PlusMonoid<double>>(
+      {&tiles[0], &tiles[1], &tiles[2], &tiles[3]}, 2, 2);
+  EXPECT_TRUE(gbx::equal(back, m));
+}
+
+TEST(Split, SizeValidation) {
+  auto m = filled(4, 4, 0);
+  EXPECT_THROW(gbx::split(m, {2, 3}, {4}), gbx::DimensionMismatch);
+  EXPECT_THROW(gbx::split(m, {4, 0}, {4}), gbx::InvalidValue);
+}
+
+TEST(Resize, GrowKeepsAll) {
+  auto m = filled(3, 3, 0);
+  auto big = gbx::resize(m, 1000, 1000);
+  EXPECT_EQ(big.nvals(), 9u);
+  EXPECT_EQ(big.nrows(), 1000u);
+  EXPECT_DOUBLE_EQ(big.extract_element(2, 2).value(), 8.0);
+}
+
+TEST(Resize, ShrinkDropsOutside) {
+  auto m = filled(4, 4, 0);
+  auto small = gbx::resize(m, 2, 3);
+  EXPECT_EQ(small.nvals(), 6u);
+  EXPECT_TRUE(small.extract_element(1, 2).has_value());   // inside
+  EXPECT_THROW(small.extract_element(2, 0), gbx::IndexOutOfBounds);
+  EXPECT_EQ(small.nrows(), 2u);
+}
+
+TEST(MatrixDiag, MainAndOffset) {
+  SparseVector<double> v(4);
+  std::vector<Index> idx{0, 2};
+  std::vector<double> val{5.0, 7.0};
+  v.build(idx, val);
+
+  auto d0 = gbx::matrix_diag(v);
+  EXPECT_EQ(d0.nrows(), 4u);
+  EXPECT_DOUBLE_EQ(d0.extract_element(0, 0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(d0.extract_element(2, 2).value(), 7.0);
+
+  auto dp = gbx::matrix_diag(v, 1);  // superdiagonal
+  EXPECT_EQ(dp.nrows(), 5u);
+  EXPECT_DOUBLE_EQ(dp.extract_element(0, 1).value(), 5.0);
+  EXPECT_DOUBLE_EQ(dp.extract_element(2, 3).value(), 7.0);
+
+  auto dm = gbx::matrix_diag(v, -2);  // subdiagonal
+  EXPECT_EQ(dm.nrows(), 6u);
+  EXPECT_DOUBLE_EQ(dm.extract_element(2, 0).value(), 5.0);
+}
+
+TEST(Dup, IndependentCopy) {
+  auto m = filled(3, 3, 0);
+  auto c = gbx::dup(m);
+  EXPECT_TRUE(gbx::equal(c, m));
+}
+
+TEST(VectorOps, EwiseAddUnion) {
+  SparseVector<double> u(10), v(10);
+  std::vector<Index> ui{1, 3};
+  std::vector<double> uv{1.0, 3.0};
+  u.build(ui, uv);
+  std::vector<Index> vi{3, 5};
+  std::vector<double> vv{30.0, 50.0};
+  v.build(vi, vv);
+  auto w = gbx::ewise_add<gbx::Plus<double>>(u, v);
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_DOUBLE_EQ(w.get(1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(w.get(3).value(), 33.0);
+  EXPECT_DOUBLE_EQ(w.get(5).value(), 50.0);
+}
+
+TEST(VectorOps, EwiseMultIntersection) {
+  SparseVector<double> u(10), v(10);
+  std::vector<Index> ui{1, 3};
+  std::vector<double> uv{2.0, 3.0};
+  u.build(ui, uv);
+  std::vector<Index> vi{3, 5};
+  std::vector<double> vv{10.0, 50.0};
+  v.build(vi, vv);
+  auto w = gbx::ewise_mult<gbx::Times<double>>(u, v);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(w.get(3).value(), 30.0);
+}
+
+TEST(VectorOps, DimMismatch) {
+  SparseVector<double> u(10), v(11);
+  EXPECT_THROW((gbx::ewise_add<gbx::Plus<double>>(u, v)),
+               gbx::DimensionMismatch);
+  EXPECT_THROW((gbx::dot<gbx::PlusTimes<double>>(u, v)),
+               gbx::DimensionMismatch);
+}
+
+TEST(VectorOps, ApplyAndSelect) {
+  SparseVector<double> u(10);
+  std::vector<Index> ui{1, 3, 5};
+  std::vector<double> uv{-2.0, 3.0, -5.0};
+  u.build(ui, uv);
+  auto a = gbx::apply<gbx::Abs<double>>(u);
+  EXPECT_DOUBLE_EQ(a.get(1).value(), 2.0);
+  EXPECT_DOUBLE_EQ(a.get(5).value(), 5.0);
+  auto s = gbx::select(u, [](Index, double x) { return x > 0; });
+  EXPECT_EQ(s.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(s.get(3).value(), 3.0);
+}
+
+TEST(VectorOps, DotProduct) {
+  SparseVector<double> u(10), v(10);
+  std::vector<Index> ui{1, 3, 7};
+  std::vector<double> uv{1.0, 2.0, 3.0};
+  u.build(ui, uv);
+  std::vector<Index> vi{3, 7, 9};
+  std::vector<double> vv{10.0, 10.0, 99.0};
+  v.build(vi, vv);
+  EXPECT_DOUBLE_EQ((gbx::dot<gbx::PlusTimes<double>>(u, v)), 50.0);
+  // min-plus dot: min(2+10, 3+10) = 12
+  EXPECT_DOUBLE_EQ((gbx::dot<gbx::MinPlus<double>>(u, v)), 12.0);
+}
+
+TEST(IndexApply, RowColDiag) {
+  Matrix<double> m(100, 100);
+  m.set_element(3, 7, 99.0);
+  m.set_element(10, 2, 99.0);
+  auto r = gbx::rowindex(m);
+  EXPECT_DOUBLE_EQ(r.extract_element(3, 7).value(), 3.0);
+  EXPECT_DOUBLE_EQ(r.extract_element(10, 2).value(), 10.0);
+  auto c = gbx::colindex(m);
+  EXPECT_DOUBLE_EQ(c.extract_element(3, 7).value(), 7.0);
+  auto d = gbx::diagindex(m);
+  EXPECT_DOUBLE_EQ(d.extract_element(3, 7).value(), 4.0);
+  EXPECT_DOUBLE_EQ(d.extract_element(10, 2).value(), -8.0);
+}
+
+TEST(IndexApply, CustomTransform) {
+  Matrix<double> m(10, 10);
+  m.set_element(2, 3, 5.0);
+  auto t = gbx::apply_index(
+      m, [](Index i, Index j, double v) { return v * static_cast<double>(i + j); });
+  EXPECT_DOUBLE_EQ(t.extract_element(2, 3).value(), 25.0);
+  EXPECT_EQ(t.nvals(), m.nvals());
+}
+
+}  // namespace

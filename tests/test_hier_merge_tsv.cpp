@@ -1,0 +1,126 @@
+// Tests for hierarchy merging / tree reduction and D4M TSV interchange.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "assoc/assoc.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+using gbx::Index;
+using hier::CutPolicy;
+using hier::HierMatrix;
+
+HierMatrix<double> streamed(std::uint64_t seed, int sets) {
+  gen::PowerLawParams pp;
+  pp.scale = 11;
+  pp.seed = seed;
+  gen::PowerLawGenerator g(pp);
+  HierMatrix<double> h(pp.dim, pp.dim, CutPolicy::geometric(3, 512, 4));
+  for (int s = 0; s < sets; ++s) h.update(g.batch<double>(1500));
+  return h;
+}
+
+TEST(Merge, EqualsSnapshotSum) {
+  auto a = streamed(1, 8);
+  auto b = streamed(2, 8);
+  auto expect = a.snapshot();
+  expect.plus_assign(b.snapshot());
+
+  hier::merge_into(a, std::move(b));
+  EXPECT_TRUE(gbx::equal(a.snapshot(), expect));
+  EXPECT_EQ(b.snapshot().nvals(), 0u);  // source consumed
+}
+
+TEST(Merge, CutInvariantsRestored) {
+  auto a = streamed(3, 12);
+  auto b = streamed(4, 12);
+  hier::merge_into(a, std::move(b));
+  // All bounded levels obey their cuts after the recascade.
+  for (std::size_t i = 0; i + 1 < a.num_levels(); ++i)
+    EXPECT_LE(a.level_entries(i), a.cut_policy().cut(i))
+        << "level " << i << " over its cut after merge";
+}
+
+TEST(Merge, DimAndLevelValidation) {
+  HierMatrix<double> a(100, 100, CutPolicy({10}));
+  HierMatrix<double> wrong_dim(100, 101, CutPolicy({10}));
+  EXPECT_THROW(hier::merge_into(a, std::move(wrong_dim)),
+               gbx::DimensionMismatch);
+  HierMatrix<double> wrong_levels(100, 100, CutPolicy({10, 100}));
+  EXPECT_THROW(hier::merge_into(a, std::move(wrong_levels)),
+               gbx::DimensionMismatch);
+}
+
+TEST(Merge, TreeReduceManyInstances) {
+  // The distributed allreduce shape: 7 instances (non-power-of-two on
+  // purpose) reduce into one; result equals the serial sum.
+  std::vector<HierMatrix<double>> instances;
+  gbx::Matrix<double> expect(1u << 24, 1u << 24);
+  for (std::uint64_t p = 0; p < 7; ++p) {
+    gen::PowerLawParams pp;
+    pp.scale = 10;
+    pp.dim = 1u << 24;
+    pp.seed = 100 + p;
+    gen::PowerLawGenerator g(pp);
+    HierMatrix<double> h(pp.dim, pp.dim, CutPolicy::geometric(3, 256, 4));
+    for (int s = 0; s < 4; ++s) {
+      auto b = g.batch<double>(800);
+      h.update(b);
+      expect.append(b);
+    }
+    instances.push_back(std::move(h));
+  }
+  expect.materialize();
+
+  hier::tree_reduce(instances);
+  EXPECT_TRUE(gbx::equal(instances[0].snapshot(), expect));
+  for (std::size_t p = 1; p < instances.size(); ++p)
+    EXPECT_EQ(instances[p].snapshot().nvals(), 0u);
+}
+
+TEST(Tsv, RoundTrip) {
+  assoc::AssocArray<double> a;
+  a.insert("10.0.0.1", "8.8.8.8", 42.0);
+  a.insert("10.0.0.2", "1.1.1.1", 7.5);
+  a.insert("10.0.0.1", "8.8.8.8", 1.0);  // accumulates to 43
+  a.materialize();
+
+  std::stringstream ss;
+  assoc::write_tsv(ss, a);
+  assoc::AssocArray<double> b;
+  auto st = assoc::read_tsv(ss, b);
+  EXPECT_EQ(st.triples, 2u);
+  EXPECT_EQ(st.malformed, 0u);
+  EXPECT_TRUE(assoc::equal(a, b));
+}
+
+TEST(Tsv, MalformedLinesCountedAndSkipped) {
+  std::stringstream ss;
+  ss << "# header comment\n"
+     << "r1\tc1\t5\n"
+     << "no tabs here\n"
+     << "r2\tc2\tnot_a_number\n"
+     << "r3\tc3\t4\textra\n"
+     << "\tc4\t1\n"
+     << "r5\tc5\t9\n";
+  assoc::AssocArray<double> a;
+  auto st = assoc::read_tsv(ss, a);
+  EXPECT_EQ(st.triples, 2u);
+  EXPECT_EQ(st.malformed, 4u);
+  EXPECT_DOUBLE_EQ(a.get("r1", "c1"), 5.0);
+  EXPECT_DOUBLE_EQ(a.get("r5", "c5"), 9.0);
+}
+
+TEST(Tsv, AccumulatesDuplicateTriples) {
+  std::stringstream ss;
+  ss << "r\tc\t1\nr\tc\t2\nr\tc\t3\n";
+  assoc::AssocArray<double> a;
+  assoc::read_tsv(ss, a);
+  EXPECT_DOUBLE_EQ(a.get("r", "c"), 6.0);
+  EXPECT_EQ(a.nvals(), 1u);
+}
+
+}  // namespace

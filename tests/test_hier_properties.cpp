@@ -1,0 +1,197 @@
+// Property tests for the central claim of the paper's Section II: the
+// hierarchical cascade is *exactly* equivalent to direct accumulation,
+// for any stream, any cut schedule, and any number of levels, because
+// GraphBLAS addition is a commutative monoid ("the strong mathematical
+// properties of the GraphBLAS allow a hierarchical implementation ...
+// via simple addition").
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+using gbx::Tuples;
+using hier::CutPolicy;
+using hier::HierMatrix;
+
+struct Config {
+  std::size_t levels;
+  std::size_t base;
+  std::size_t ratio;
+  std::size_t batches;
+  std::size_t batch_size;
+  int scale;
+  std::uint64_t seed;
+};
+
+class HierEquivalence : public ::testing::TestWithParam<Config> {};
+
+TEST_P(HierEquivalence, SnapshotEqualsDirectAccumulation) {
+  const Config c = GetParam();
+  gen::PowerLawParams pp;
+  pp.scale = c.scale;
+  pp.dim = gbx::kIPv4Dim;
+  pp.seed = c.seed;
+  gen::PowerLawGenerator g(pp);
+
+  HierMatrix<double> h(pp.dim, pp.dim,
+                       CutPolicy::geometric(c.levels, c.base, c.ratio));
+  Matrix<double> direct(pp.dim, pp.dim);
+
+  for (std::size_t s = 0; s < c.batches; ++s) {
+    auto batch = g.batch<double>(c.batch_size);
+    h.update(batch);
+    direct.append(batch);
+  }
+  direct.materialize();
+
+  auto snap = h.snapshot();
+  EXPECT_TRUE(gbx::equal(snap, direct))
+      << "hierarchical sum diverged from direct accumulation";
+  EXPECT_TRUE(snap.validate());
+}
+
+TEST_P(HierEquivalence, CollapseEqualsSnapshot) {
+  const Config c = GetParam();
+  gen::PowerLawParams pp;
+  pp.scale = c.scale;
+  pp.dim = gbx::kIPv4Dim;
+  pp.seed = c.seed + 77;
+  gen::PowerLawGenerator g(pp);
+
+  HierMatrix<double> h(pp.dim, pp.dim,
+                       CutPolicy::geometric(c.levels, c.base, c.ratio));
+  for (std::size_t s = 0; s < c.batches; ++s)
+    h.update(g.batch<double>(c.batch_size));
+
+  auto snap = h.snapshot();
+  const auto& collapsed = h.collapse();
+  EXPECT_TRUE(gbx::equal(snap, collapsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HierEquivalence,
+    ::testing::Values(
+        // levels base ratio batches batch_size scale seed
+        Config{2, 64, 4, 10, 500, 10, 1},       // minimal hierarchy
+        Config{3, 128, 8, 20, 1000, 12, 2},     // typical
+        Config{4, 256, 8, 20, 2000, 14, 3},     // deep
+        Config{5, 32, 2, 30, 300, 10, 4},       // slow growth, many folds
+        Config{6, 16, 2, 40, 100, 8, 5},        // tiny cuts, dup-heavy
+        Config{3, 100000, 10, 10, 1000, 12, 6}, // cuts never hit (no folds)
+        Config{4, 64, 16, 25, 1500, 16, 7}));   // wide fanout
+
+// Cross-monoid property: the equivalence holds for any commutative
+// monoid, not just plus.
+template <class M>
+void check_monoid_equivalence(std::uint64_t seed) {
+  using T = typename M::value_type;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> coord(0, 255);
+  std::uniform_int_distribution<int> val(-5, 5);
+
+  HierMatrix<T, M> h(256, 256, CutPolicy({7, 31}));
+  std::map<std::pair<Index, Index>, T> model;
+  for (int k = 0; k < 5000; ++k) {
+    const Index i = coord(rng), j = coord(rng);
+    const T v = static_cast<T>(val(rng));
+    h.update(i, j, v);
+    auto [it, fresh] = model.try_emplace({i, j}, v);
+    if (!fresh) it->second = M::apply(it->second, v);
+  }
+  auto snap = h.snapshot();
+  ASSERT_EQ(snap.nvals(), model.size());
+  for (const auto& [k, v] : model)
+    EXPECT_EQ(snap.extract_element(k.first, k.second).value(), v);
+}
+
+TEST(HierMonoids, PlusInt64) {
+  check_monoid_equivalence<gbx::PlusMonoid<std::int64_t>>(11);
+}
+TEST(HierMonoids, MinInt64) {
+  check_monoid_equivalence<gbx::MinMonoid<std::int64_t>>(12);
+}
+TEST(HierMonoids, MaxInt64) {
+  check_monoid_equivalence<gbx::MaxMonoid<std::int64_t>>(13);
+}
+TEST(HierMonoids, LorInt) {
+  check_monoid_equivalence<gbx::LorMonoid<int>>(14);
+}
+
+// Interleaving property: queries interleaved with updates never perturb
+// the final value (snapshot is pure).
+TEST(HierInterleaving, QueriesDoNotPerturb) {
+  gen::PowerLawParams pp;
+  pp.scale = 12;
+  pp.seed = 99;
+  gen::PowerLawGenerator g(pp);
+
+  HierMatrix<double> h1(pp.dim, pp.dim, CutPolicy::geometric(4, 128, 8));
+  HierMatrix<double> h2(pp.dim, pp.dim, CutPolicy::geometric(4, 128, 8));
+  gen::PowerLawParams pp2 = pp;
+  gen::PowerLawGenerator g2(pp2);
+
+  for (int s = 0; s < 15; ++s) {
+    auto b1 = g.batch<double>(700);
+    auto b2 = g2.batch<double>(700);
+    h1.update(b1);
+    h2.update(b2);
+    if (s % 3 == 0) (void)h2.snapshot();  // extra queries on h2 only
+    if (s % 5 == 0) h2.flush();           // and forced flushes
+  }
+  EXPECT_TRUE(gbx::equal(h1.snapshot(), h2.snapshot()));
+}
+
+// Fold-order property: explicit vs geometric cut schedules with the same
+// stream agree (fold timing must be unobservable in the result).
+TEST(HierFoldOrder, DifferentCutsSameResult) {
+  gen::PowerLawParams pp;
+  pp.scale = 13;
+  pp.seed = 123;
+
+  std::vector<CutPolicy> policies{
+      CutPolicy({10}),
+      CutPolicy({100, 10000}),
+      CutPolicy::geometric(5, 50, 4),
+      CutPolicy({1, 2, 3, 4, 5}),  // pathological: cascade nearly every update
+  };
+
+  std::vector<Matrix<double>> results;
+  for (const auto& pol : policies) {
+    gen::PowerLawGenerator g(pp);  // identical stream each time
+    HierMatrix<double> h(pp.dim, pp.dim, pol);
+    for (int s = 0; s < 8; ++s) h.update(g.batch<double>(400));
+    results.push_back(h.snapshot());
+  }
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_TRUE(gbx::equal(results[0], results[i]))
+        << "cut policy " << i << " changed the accumulated value";
+}
+
+// Memory property: with geometric cuts, lower levels stay bounded while
+// the stream grows — the "fast memory stays small" guarantee of Fig. 1.
+TEST(HierMemory, LowLevelsBounded) {
+  gen::PowerLawParams pp;
+  pp.scale = 16;
+  pp.seed = 5;
+  gen::PowerLawGenerator g(pp);
+  const std::size_t c1 = 1000, ratio = 10;
+  HierMatrix<double> h(pp.dim, pp.dim, CutPolicy::geometric(4, c1, ratio));
+  for (int s = 0; s < 50; ++s) {
+    h.update(g.batch<double>(2000));
+    // After each batched update+cascade, level 0 holds at most c1 worth
+    // of entries plus the batch that just landed (cascade triggers only
+    // when the bound exceeds the cut).
+    EXPECT_LE(h.level_entries(0), c1 + 2000);
+    EXPECT_LE(h.level_entries(1), c1 * ratio + c1 + 2000);
+  }
+  EXPECT_GT(h.stats().level[0].folds, 5u);
+}
+
+}  // namespace

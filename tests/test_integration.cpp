@@ -1,0 +1,174 @@
+// Cross-module integration tests: the full pipelines the examples and
+// benches rely on, with end-to-end value checks.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analytics/analytics.hpp"
+#include "assoc/assoc.hpp"
+#include "cluster/cluster.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using gbx::Index;
+
+// All four ingestion systems (hier GraphBLAS, direct GraphBLAS, LSM,
+// B+tree) fed the same stream must agree on the final traffic matrix.
+TEST(CrossSystem, AllStoresAgreeOnFinalState) {
+  gen::PowerLawParams pp;
+  pp.scale = 10;
+  pp.dim = 1u << 20;
+  pp.seed = 42;
+  gen::PowerLawGenerator g(pp);
+  auto batch = g.batch<double>(30000);
+
+  hier::HierMatrix<double> h(pp.dim, pp.dim, hier::CutPolicy::geometric(3, 512, 8));
+  gbx::Matrix<double> direct(pp.dim, pp.dim);
+  store::LsmStore lsm;
+  store::BTreeStore btree;
+
+  for (const auto& e : batch) {
+    h.update(e.row, e.col, e.val);
+    lsm.insert({e.row, e.col}, e.val);
+    btree.insert({e.row, e.col}, e.val);
+  }
+  direct.append(batch);
+  direct.materialize();
+
+  auto snap = h.snapshot();
+  ASSERT_TRUE(gbx::equal(snap, direct));
+  ASSERT_EQ(lsm.size(), snap.nvals());
+  ASSERT_EQ(btree.size(), snap.nvals());
+
+  snap.for_each([&](Index i, Index j, double v) {
+    EXPECT_NEAR(lsm.get({i, j}).value(), v, 1e-9);
+    EXPECT_NEAR(btree.get({i, j}).value(), v, 1e-9);
+  });
+}
+
+// The hierarchical D4M path agrees with hierarchical GraphBLAS modulo the
+// string dictionary.
+TEST(CrossSystem, HierAssocMatchesHierMatrix) {
+  gen::PowerLawParams pp;
+  pp.scale = 8;
+  pp.dim = 1u << 16;
+  pp.seed = 7;
+  gen::PowerLawGenerator g(pp);
+  auto batch = g.batch<double>(5000);
+
+  hier::HierMatrix<double> h(pp.dim, pp.dim, hier::CutPolicy({100, 1000}));
+  assoc::HierAssoc<double> ha(pp.dim, hier::CutPolicy({100, 1000}));
+
+  for (const auto& e : batch) {
+    h.update(e.row, e.col, e.val);
+    ha.insert(std::to_string(e.row), std::to_string(e.col), e.val);
+  }
+  auto snap = h.snapshot();
+  EXPECT_EQ(ha.hierarchy().snapshot().nvals(), snap.nvals());
+  snap.for_each([&](Index i, Index j, double v) {
+    EXPECT_NEAR(ha.get(std::to_string(i), std::to_string(j)), v, 1e-9);
+  });
+}
+
+// Multi-instance scaling harness: every instance independently equals a
+// direct single-threaded replay of its seed.
+TEST(CrossSystem, HarnessInstancesMatchReplays) {
+  cluster::WorkloadSpec w;
+  w.sets = 3;
+  w.set_size = 2000;
+  w.scale = 10;
+  w.seed = 500;
+
+  const std::size_t P = 3;
+  std::vector<gbx::Matrix<double>> replays;
+  for (std::size_t p = 0; p < P; ++p) {
+    gen::PowerLawParams pp;
+    pp.scale = w.scale;
+    pp.alpha = w.alpha;
+    pp.dim = w.dim;
+    pp.seed = w.seed + p;
+    gen::PowerLawGenerator g(pp);
+    gbx::Matrix<double> m(w.dim, w.dim);
+    for (std::size_t s = 0; s < w.sets; ++s) m.append(g.batch<double>(w.set_size));
+    m.materialize();
+    replays.push_back(std::move(m));
+  }
+
+  // Re-run through the harness machinery (run_instances drives the same
+  // generator seeds) and hold instances for comparison.
+  hier::InstanceArray<double> arr(P, w.dim, w.dim,
+                                  hier::CutPolicy::geometric(3, 1024, 8));
+  for (std::size_t s = 0; s < w.sets; ++s) {
+    std::vector<gbx::Tuples<double>> batches(P);
+    for (std::size_t p = 0; p < P; ++p) {
+      gen::PowerLawParams pp;
+      pp.scale = w.scale;
+      pp.dim = w.dim;
+      pp.seed = w.seed + p;
+      gen::PowerLawGenerator g(pp);
+      // advance to set s by regenerating prior sets (determinism check)
+      for (std::size_t skip = 0; skip < s; ++skip) (void)g.batch<double>(w.set_size);
+      batches[p] = g.batch<double>(w.set_size);
+    }
+    arr.update_parallel(batches);
+  }
+  for (std::size_t p = 0; p < P; ++p)
+    EXPECT_TRUE(gbx::equal(arr.instance(p).snapshot(), replays[p]));
+}
+
+// Streaming + windowed analytics: totals accumulate monotonically and the
+// final summary equals the one-shot summary.
+TEST(Pipeline, WindowedAnalyticsConsistent) {
+  gen::PowerLawParams pp;
+  pp.scale = 11;
+  pp.seed = 77;
+  gen::PowerLawGenerator g(pp);
+  hier::HierMatrix<double> h(pp.dim, pp.dim,
+                             hier::CutPolicy::geometric(4, 2048, 8));
+  gbx::Matrix<double> all(pp.dim, pp.dim);
+
+  double prev_packets = 0;
+  for (int s = 0; s < 8; ++s) {
+    auto batch = g.batch<double>(4000);
+    h.update(batch);
+    all.append(batch);
+    auto sum = analytics::summarize(h.snapshot());
+    EXPECT_GE(sum.packets, prev_packets);
+    prev_packets = sum.packets;
+  }
+  all.materialize();
+  auto direct_sum = analytics::summarize(all);
+  EXPECT_DOUBLE_EQ(direct_sum.packets, prev_packets);
+  EXPECT_EQ(direct_sum.links, h.snapshot().nvals());
+}
+
+// LSM and associative arrays compose: Accumulo-D4M style (string keys
+// over an LSM store) agrees with the assoc array on content.
+TEST(Pipeline, AccumuloD4mComposition) {
+  gen::PowerLawParams pp;
+  pp.scale = 8;
+  pp.dim = 1u << 16;
+  pp.seed = 3;
+  gen::PowerLawGenerator g(pp);
+  auto batch = g.batch<double>(3000);
+
+  assoc::AssocArray<double> a(pp.dim);
+  store::LsmStore lsm;
+  for (const auto& e : batch) {
+    a.insert(std::to_string(e.row), std::to_string(e.col), e.val);
+    lsm.insert({e.row, e.col}, e.val);
+  }
+  a.materialize();
+  EXPECT_EQ(a.nvals(), lsm.size());
+  std::size_t checked = 0;
+  lsm.scan([&](store::Key k, double v) {
+    EXPECT_NEAR(a.get(std::to_string(k.row), std::to_string(k.col)), v, 1e-9);
+    ++checked;
+  });
+  EXPECT_EQ(checked, lsm.size());
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Tests for binary serialization of matrices and hierarchical
+// checkpoint/restore.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "gbx/gbx.hpp"
+#include "gen/gen.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+
+TEST(Serialize, EmptyMatrixRoundTrip) {
+  Matrix<double> m(123, 456);
+  std::stringstream ss;
+  gbx::serialize(ss, m);
+  auto m2 = gbx::deserialize<double>(ss);
+  EXPECT_EQ(m2.nrows(), 123u);
+  EXPECT_EQ(m2.ncols(), 456u);
+  EXPECT_EQ(m2.nvals(), 0u);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<Index> coord(0, gbx::kIPv4Dim - 1);
+  Matrix<double> m(gbx::kIPv4Dim, gbx::kIPv4Dim);
+  for (int k = 0; k < 10000; ++k)
+    m.set_element(coord(rng), coord(rng), static_cast<double>(k) * 0.25);
+
+  std::stringstream ss;
+  gbx::serialize(ss, m);  // folds pending as a side effect
+  auto m2 = gbx::deserialize<double>(ss);
+  EXPECT_TRUE(gbx::equal(m, m2));
+  EXPECT_TRUE(m2.validate());
+}
+
+TEST(Serialize, PendingFoldedBeforeWrite) {
+  Matrix<double> m(10, 10);
+  m.set_element(1, 1, 1.0);
+  m.set_element(1, 1, 2.0);  // unfolded duplicate
+  std::stringstream ss;
+  gbx::serialize(ss, m);
+  auto m2 = gbx::deserialize<double>(ss);
+  EXPECT_EQ(m2.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(m2.extract_element(1, 1).value(), 3.0);
+}
+
+TEST(Serialize, IntegerTypes) {
+  Matrix<std::int64_t> m(100, 100);
+  m.set_element(5, 5, -42);
+  std::stringstream ss;
+  gbx::serialize(ss, m);
+  auto m2 = gbx::deserialize<std::int64_t>(ss);
+  EXPECT_EQ(m2.extract_element(5, 5).value(), -42);
+}
+
+TEST(Serialize, TypeMismatchRejected) {
+  Matrix<double> m(10, 10);
+  m.set_element(1, 1, 1.0);
+  std::stringstream ss;
+  gbx::serialize(ss, m);
+  EXPECT_THROW(gbx::deserialize<std::int64_t>(ss), gbx::Error);
+}
+
+TEST(Serialize, GarbageRejected) {
+  std::stringstream ss;
+  ss << "this is not a matrix";
+  EXPECT_THROW(gbx::deserialize<double>(ss), gbx::Error);
+}
+
+TEST(Serialize, TruncationRejected) {
+  Matrix<double> m(100, 100);
+  for (Index k = 0; k < 50; ++k) m.set_element(k, k, 1.0);
+  std::stringstream ss;
+  gbx::serialize(ss, m);
+  const auto full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(gbx::deserialize<double>(cut), gbx::Error);
+}
+
+TEST(Checkpoint, RoundTripPreservesLevelsAndStats) {
+  gen::PowerLawParams pp;
+  pp.scale = 12;
+  pp.seed = 17;
+  gen::PowerLawGenerator g(pp);
+  hier::HierMatrix<double> h(pp.dim, pp.dim,
+                             hier::CutPolicy::geometric(4, 1024, 8));
+  for (int s = 0; s < 12; ++s) h.update(g.batch<double>(3000));
+
+  std::stringstream ss;
+  hier::checkpoint(ss, h);
+  auto h2 = hier::restore<double>(ss);
+
+  EXPECT_EQ(h2.num_levels(), h.num_levels());
+  EXPECT_EQ(h2.cut_policy().cuts(), h.cut_policy().cuts());
+  for (std::size_t i = 0; i < h.num_levels(); ++i)
+    EXPECT_EQ(h2.level_entries(i), h.level_entries(i));
+  EXPECT_TRUE(gbx::equal(h2.snapshot(), h.snapshot()));
+  EXPECT_EQ(h2.stats().entries_appended, h.stats().entries_appended);
+  EXPECT_EQ(h2.stats().level[0].folds, h.stats().level[0].folds);
+}
+
+TEST(Checkpoint, StreamingResumesSeamlessly) {
+  // Stream A: 20 sets straight through. Stream B: 10 sets, checkpoint,
+  // restore, 10 more sets. Final states must be identical.
+  gen::PowerLawParams pp;
+  pp.scale = 11;
+  pp.seed = 23;
+
+  gen::PowerLawGenerator ga(pp);
+  hier::HierMatrix<double> a(pp.dim, pp.dim, hier::CutPolicy({500, 5000}));
+  for (int s = 0; s < 20; ++s) a.update(ga.batch<double>(1000));
+
+  gen::PowerLawGenerator gb(pp);
+  hier::HierMatrix<double> b(pp.dim, pp.dim, hier::CutPolicy({500, 5000}));
+  for (int s = 0; s < 10; ++s) b.update(gb.batch<double>(1000));
+  std::stringstream ss;
+  hier::checkpoint(ss, b);
+  auto b2 = hier::restore<double>(ss);
+  for (int s = 0; s < 10; ++s) b2.update(gb.batch<double>(1000));
+
+  EXPECT_TRUE(gbx::equal(a.snapshot(), b2.snapshot()));
+  EXPECT_EQ(a.stats().entries_appended, b2.stats().entries_appended);
+}
+
+TEST(Checkpoint, GarbageRejected) {
+  std::stringstream ss;
+  ss << "not a checkpoint at all, sorry";
+  EXPECT_THROW(hier::restore<double>(ss), gbx::Error);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Tests for Bloom filters and their integration into the LSM store.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "store/store.hpp"
+
+namespace {
+
+using store::BloomFilter;
+using store::Key;
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter f(1000, 0.01);
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<gbx::Index> coord(0, 1u << 30);
+  std::vector<Key> keys;
+  for (int k = 0; k < 1000; ++k) {
+    Key key{coord(rng), coord(rng)};
+    f.add(key);
+    keys.push_back(key);
+  }
+  for (const auto& k : keys) EXPECT_TRUE(f.may_contain(k));
+}
+
+TEST(Bloom, FalsePositiveRateNearTarget) {
+  const double target = 0.01;
+  BloomFilter f(10000, target);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<gbx::Index> coord(0, 1u << 29);
+  for (int k = 0; k < 10000; ++k) f.add({coord(rng), coord(rng)});
+
+  // Probe keys from a disjoint coordinate region.
+  int fp = 0;
+  const int probes = 20000;
+  std::uniform_int_distribution<gbx::Index> other(1u << 30, 1u << 31);
+  for (int k = 0; k < probes; ++k)
+    if (f.may_contain({other(rng), other(rng)})) ++fp;
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, target * 4) << "fp rate " << rate;
+}
+
+TEST(Bloom, EmptyFilterRejectsEverything) {
+  BloomFilter f(100);
+  EXPECT_FALSE(f.may_contain({1, 2}));
+  EXPECT_FALSE(f.may_contain({0, 0}));
+  EXPECT_EQ(f.keys_added(), 0u);
+}
+
+TEST(Bloom, SizingMonotoneInFpRate) {
+  BloomFilter strict(1000, 0.001);
+  BloomFilter loose(1000, 0.1);
+  EXPECT_GT(strict.bits(), loose.bits());
+  EXPECT_GE(strict.hash_count(), loose.hash_count());
+}
+
+TEST(Bloom, Validation) {
+  EXPECT_THROW(BloomFilter(0), gbx::InvalidValue);
+  EXPECT_THROW(BloomFilter(10, 0.0), gbx::InvalidValue);
+  EXPECT_THROW(BloomFilter(10, 1.0), gbx::InvalidValue);
+}
+
+TEST(LsmBloom, SkipsRunsOnMisses) {
+  store::LsmOptions opt;
+  opt.memtable_limit = 64;
+  opt.enable_bloom = true;
+  store::LsmStore s(opt);
+  // Build several runs with keys in a narrow region.
+  for (gbx::Index k = 0; k < 1000; ++k) s.insert({k, k}, 1.0);
+  ASSERT_GT(s.num_runs(), 1u);
+
+  // Point lookups far outside the key region: Bloom filters should skip
+  // essentially every run probe.
+  for (gbx::Index k = 0; k < 500; ++k)
+    EXPECT_FALSE(s.get({k + (gbx::Index{1} << 40), 7}).has_value());
+  EXPECT_GT(s.stats().bloom_skips, 100u);
+}
+
+TEST(LsmBloom, DisabledMeansNoSkips) {
+  store::LsmOptions opt;
+  opt.memtable_limit = 64;
+  opt.enable_bloom = false;
+  store::LsmStore s(opt);
+  for (gbx::Index k = 0; k < 1000; ++k) s.insert({k, k}, 1.0);
+  for (gbx::Index k = 0; k < 100; ++k)
+    (void)s.get({k + (gbx::Index{1} << 40), 7});
+  EXPECT_EQ(s.stats().bloom_skips, 0u);
+}
+
+TEST(LsmBloom, LookupsStillCorrectWithBloom) {
+  store::LsmOptions opt;
+  opt.memtable_limit = 32;
+  store::LsmStore s(opt);
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<gbx::Index> coord(0, 200);
+  std::map<std::pair<gbx::Index, gbx::Index>, double> model;
+  for (int k = 0; k < 2000; ++k) {
+    Key key{coord(rng), coord(rng)};
+    s.insert(key, 1.0);
+    model[{key.row, key.col}] += 1.0;
+  }
+  for (const auto& [k, v] : model)
+    EXPECT_DOUBLE_EQ(s.get({k.first, k.second}).value(), v);
+}
+
+}  // namespace

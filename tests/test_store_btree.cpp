@@ -1,0 +1,146 @@
+// Tests for the B+tree (OLTP-model) store: tree invariants under random
+// and adversarial insert orders, accumulate semantics, linked-leaf scans.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "store/store.hpp"
+
+namespace {
+
+using store::BTreeStore;
+using store::Key;
+
+TEST(BTree, InsertAndGet) {
+  BTreeStore t;
+  t.insert({1, 2}, 3.0);
+  EXPECT_DOUBLE_EQ(t.get({1, 2}).value(), 3.0);
+  EXPECT_FALSE(t.get({2, 1}).has_value());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BTree, AccumulatesDuplicates) {
+  BTreeStore t;
+  t.insert({5, 5}, 1.0);
+  t.insert({5, 5}, 2.5);
+  EXPECT_DOUBLE_EQ(t.get({5, 5}).value(), 3.5);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTree, SequentialInsertSplitsLeaves) {
+  BTreeStore t;
+  const std::size_t n = BTreeStore::kFanout * 10;
+  for (gbx::Index k = 0; k < n; ++k) t.insert({k, 0}, 1.0);
+  EXPECT_EQ(t.size(), n);
+  EXPECT_GT(t.stats().leaf_splits, 5u);
+  EXPECT_TRUE(t.validate());
+  for (gbx::Index k = 0; k < n; ++k)
+    ASSERT_TRUE(t.get({k, 0}).has_value()) << k;
+}
+
+TEST(BTree, ReverseInsert) {
+  BTreeStore t;
+  const std::size_t n = BTreeStore::kFanout * 6;
+  for (std::size_t k = n; k-- > 0;) t.insert({k, k}, 1.0);
+  EXPECT_EQ(t.size(), n);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BTree, GrowsMultipleLevels) {
+  BTreeStore t;
+  const std::size_t n = BTreeStore::kFanout * BTreeStore::kFanout * 2;
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<gbx::Index> coord(0, 1u << 30);
+  for (std::size_t k = 0; k < n; ++k) t.insert({coord(rng), coord(rng)}, 1.0);
+  EXPECT_GE(t.stats().height, 3u);
+  EXPECT_GT(t.stats().inner_splits, 0u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BTree, ScanIsSortedComplete) {
+  BTreeStore t;
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<gbx::Index> coord(0, 500);
+  std::map<std::pair<gbx::Index, gbx::Index>, double> model;
+  for (int k = 0; k < 4000; ++k) {
+    const Key key{coord(rng), coord(rng)};
+    t.insert(key, 2.0);
+    model[{key.row, key.col}] += 2.0;
+  }
+  std::vector<Key> seen;
+  t.scan([&](Key k, double v) {
+    seen.push_back(k);
+    EXPECT_DOUBLE_EQ(model.at({k.row, k.col}), v);
+  });
+  EXPECT_EQ(seen.size(), model.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(BTree, WalTracksInserts) {
+  BTreeStore t(true);
+  for (int k = 0; k < 100; ++k) t.insert({static_cast<gbx::Index>(k), 0}, 1.0);
+  EXPECT_EQ(t.stats().inserts, 100u);
+  EXPECT_GT(t.wal_bytes(), 100u * sizeof(Key));
+  BTreeStore t2(false);
+  t2.insert({1, 1}, 1.0);
+  EXPECT_EQ(t2.wal_bytes(), 0u);
+}
+
+TEST(BTree, MoveSemantics) {
+  BTreeStore t;
+  t.insert({1, 1}, 1.0);
+  BTreeStore u(std::move(t));
+  EXPECT_DOUBLE_EQ(u.get({1, 1}).value(), 1.0);
+  BTreeStore w;
+  w = std::move(u);
+  EXPECT_DOUBLE_EQ(w.get({1, 1}).value(), 1.0);
+  EXPECT_TRUE(w.validate());
+}
+
+TEST(BTree, HugeKeys) {
+  BTreeStore t;
+  t.insert({gbx::kIndexMax - 1, gbx::kIndexMax - 1}, 1.0);
+  t.insert({0, 0}, 2.0);
+  t.insert({gbx::kIndexMax - 1, 0}, 3.0);
+  EXPECT_DOUBLE_EQ(t.get({gbx::kIndexMax - 1, gbx::kIndexMax - 1}).value(), 1.0);
+  EXPECT_TRUE(t.validate());
+}
+
+class BTreeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BTreeFuzz, MatchesMapModel) {
+  BTreeStore t;
+  std::map<std::pair<gbx::Index, gbx::Index>, double> model;
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<gbx::Index> coord(0, 2000);
+  for (int k = 0; k < 20000; ++k) {
+    const Key key{coord(rng), coord(rng)};
+    const double v = static_cast<double>(k % 7 + 1);
+    t.insert(key, v);
+    model[{key.row, key.col}] += v;
+  }
+  ASSERT_EQ(t.size(), model.size());
+  ASSERT_TRUE(t.validate());
+  for (const auto& [k, v] : model)
+    EXPECT_NEAR(t.get({k.first, k.second}).value(), v, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(PublishedRates, LogLogInterpolation) {
+  // Rates must interpolate monotonically on the published spans.
+  for (const auto& s : store::kPublishedSeries) {
+    const double r1 = store::published_rate_at(s, s.span[0].servers);
+    const double r2 = store::published_rate_at(s, s.span[1].servers);
+    EXPECT_NEAR(r1, s.span[0].updates_per_second, 1e-6 * r1) << s.name;
+    EXPECT_NEAR(r2, s.span[1].updates_per_second, 1e-6 * r2) << s.name;
+    const double mid = store::published_rate_at(
+        s, 0.5 * (s.span[0].servers + s.span[1].servers));
+    EXPECT_GT(mid, r1);
+    EXPECT_LT(mid, r2);
+  }
+}
+
+}  // namespace

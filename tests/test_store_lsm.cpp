@@ -1,0 +1,145 @@
+// Tests for the LSM (Accumulo-model) store: combiner semantics, flush/
+// compaction machinery, sorted iteration under arbitrary interleavings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "store/store.hpp"
+
+namespace {
+
+using store::Key;
+using store::LsmOptions;
+using store::LsmStore;
+
+TEST(Lsm, InsertAndGet) {
+  LsmStore s;
+  s.insert({1, 2}, 3.0);
+  EXPECT_DOUBLE_EQ(s.get({1, 2}).value(), 3.0);
+  EXPECT_FALSE(s.get({2, 1}).has_value());
+}
+
+TEST(Lsm, SummingCombiner) {
+  LsmStore s;
+  s.insert({1, 2}, 3.0);
+  s.insert({1, 2}, 4.0);
+  EXPECT_DOUBLE_EQ(s.get({1, 2}).value(), 7.0);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Lsm, CombinesAcrossMemtableAndRuns) {
+  LsmOptions opt;
+  opt.memtable_limit = 4;
+  LsmStore s(opt);
+  s.insert({1, 1}, 1.0);
+  s.flush();  // {1,1} now in a run
+  s.insert({1, 1}, 2.0);  // and again in the memtable
+  EXPECT_DOUBLE_EQ(s.get({1, 1}).value(), 3.0);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Lsm, AutoFlushAtLimit) {
+  LsmOptions opt;
+  opt.memtable_limit = 8;
+  LsmStore s(opt);
+  for (gbx::Index k = 0; k < 20; ++k) s.insert({k, k}, 1.0);
+  EXPECT_GE(s.stats().flushes, 2u);
+  EXPECT_LT(s.memtable_entries(), 8u);
+  EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(Lsm, CompactionBoundsRunCount) {
+  LsmOptions opt;
+  opt.memtable_limit = 4;
+  opt.compaction_fanin = 3;
+  LsmStore s(opt);
+  for (gbx::Index k = 0; k < 200; ++k) s.insert({k, 0}, 1.0);
+  EXPECT_LE(s.num_runs(), opt.compaction_fanin + 1);
+  EXPECT_GT(s.stats().compactions, 0u);
+  EXPECT_EQ(s.size(), 200u);
+}
+
+TEST(Lsm, MajorCompactToSingleRun) {
+  LsmOptions opt;
+  opt.memtable_limit = 4;
+  LsmStore s(opt);
+  for (gbx::Index k = 0; k < 50; ++k) s.insert({k % 10, k / 10}, 1.0);
+  s.major_compact();
+  EXPECT_EQ(s.num_runs(), 1u);
+  EXPECT_EQ(s.memtable_entries(), 0u);
+  EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(Lsm, ScanIsSortedAndComplete) {
+  LsmOptions opt;
+  opt.memtable_limit = 16;
+  LsmStore s(opt);
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<gbx::Index> coord(0, 99);
+  std::map<std::pair<gbx::Index, gbx::Index>, double> model;
+  for (int k = 0; k < 3000; ++k) {
+    const Key key{coord(rng), coord(rng)};
+    s.insert(key, 1.0);
+    model[{key.row, key.col}] += 1.0;
+  }
+  std::vector<Key> seen;
+  double total = 0;
+  s.scan([&](Key k, double v) {
+    seen.push_back(k);
+    total += v;
+    EXPECT_DOUBLE_EQ(model.at({k.row, k.col}), v);
+  });
+  EXPECT_EQ(seen.size(), model.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_DOUBLE_EQ(total, 3000.0);
+}
+
+TEST(Lsm, WalRecordsEveryInsert) {
+  LsmStore s;
+  for (int k = 0; k < 10; ++k) s.insert({1, 1}, 1.0);
+  EXPECT_EQ(s.stats().inserts, 10u);
+  EXPECT_GT(s.wal_bytes(), 10u * (sizeof(Key) + sizeof(double)));
+}
+
+TEST(Lsm, WalDisabled) {
+  LsmOptions opt;
+  opt.enable_wal = false;
+  LsmStore s(opt);
+  s.insert({1, 1}, 1.0);
+  EXPECT_EQ(s.wal_bytes(), 0u);
+}
+
+// Fuzz: interleavings of insert/flush/compact match a map model.
+class LsmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LsmFuzz, MatchesMapModel) {
+  LsmOptions opt;
+  opt.memtable_limit = 32;
+  opt.compaction_fanin = 4;
+  LsmStore s(opt);
+  std::map<std::pair<gbx::Index, gbx::Index>, double> model;
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<gbx::Index> coord(0, 63);
+  std::uniform_int_distribution<int> act(0, 19);
+  for (int step = 0; step < 5000; ++step) {
+    const int a = act(rng);
+    if (a < 18) {
+      const Key k{coord(rng), coord(rng)};
+      const double v = static_cast<double>(a + 1);
+      s.insert(k, v);
+      model[{k.row, k.col}] += v;
+    } else if (a == 18) {
+      s.flush();
+    } else {
+      s.major_compact();
+    }
+  }
+  EXPECT_EQ(s.size(), model.size());
+  for (const auto& [k, v] : model)
+    EXPECT_NEAR(s.get({k.first, k.second}).value(), v, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmFuzz, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
