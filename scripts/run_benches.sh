@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Run every built benchmark and emit one BENCH_<name>.json per bench for
+# the perf trajectory. Each JSON records the exit code, wall seconds, the
+# bench's own machine-readable "BENCH_JSON {...}" line when it prints
+# one, and the path of the captured stdout.
+#
+# Usage: scripts/run_benches.sh [build-dir] [output-dir]
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
+PER_BENCH_TIMEOUT="${BENCH_TIMEOUT:-900}"
+
+if [ ! -d "${BUILD_DIR}/bench" ]; then
+  echo "error: ${BUILD_DIR}/bench not found — configure with -DHHGBX_BUILD_BENCH=ON and build first" >&2
+  exit 2
+fi
+
+mkdir -p "${OUT_DIR}"
+overall=0
+
+for exe in "${BUILD_DIR}"/bench/bench_*; do
+  [ -x "${exe}" ] || continue
+  name="$(basename "${exe}")"
+  log="${OUT_DIR}/${name}.txt"
+  json="${OUT_DIR}/BENCH_${name}.json"
+
+  echo "== ${name}"
+  start="$(date +%s.%N)"
+  timeout "${PER_BENCH_TIMEOUT}" "${exe}" >"${log}" 2>&1
+  code=$?
+  end="$(date +%s.%N)"
+  [ "${code}" -eq 0 ] || overall=1
+
+  # Last self-reported BENCH_JSON line, if the bench prints one.
+  inner="$(grep '^BENCH_JSON ' "${log}" | tail -1 | sed 's/^BENCH_JSON //')"
+  [ -n "${inner}" ] || inner=null
+
+  secs="$(awk -v a="${start}" -v b="${end}" 'BEGIN { printf "%.3f", b - a }')"
+  cat >"${json}" <<EOF
+{
+  "bench": "${name}",
+  "exit_code": ${code},
+  "wall_seconds": ${secs},
+  "stdout": "${log}",
+  "report": ${inner}
+}
+EOF
+  echo "   exit=${code} wall=${secs}s -> ${json}"
+done
+
+exit "${overall}"

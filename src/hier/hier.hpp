@@ -7,5 +7,6 @@
 #include "hier/hier_matrix.hpp"
 #include "hier/instance_array.hpp"
 #include "hier/merge.hpp"
+#include "hier/parallel_stream.hpp"
 #include "hier/sharded_hier.hpp"
 #include "hier/stats.hpp"

@@ -1,0 +1,285 @@
+// hier/parallel_stream.hpp — parallel multi-instance streaming-insert engine.
+//
+// The paper's scaling result (Fig. 2) comes from running P independent
+// hierarchical hypersparse matrices and summing their per-instance update
+// rates. InstanceArray::update_parallel covers the lock-step case where
+// every instance's batch is ready at once; ParallelStream generalizes it
+// to a continuously-fed engine: one worker thread per instance, each with
+// a bounded batch queue, so producers (parsers, collectors, generators)
+// and inserters overlap and back-pressure propagates to the feed when a
+// lane falls behind — the shape of a real network-telemetry ingest node.
+//
+// Two entry points:
+//   * ParallelStream — start()/submit()/drain()/stop() queue engine for
+//     externally produced batches (round-robin or explicit lane).
+//   * pump() — synchronous paper-shape run: per-instance generators built
+//     on the worker threads, generation untimed, inserts timed. This is
+//     what bench_parallel_stream measures.
+//
+// Instances never share state (the paper's process model), so worker
+// lanes need no locking around the matrix itself — only around their
+// queues. All timing uses std::chrono::steady_clock; the aggregate rate
+// is Σ_p entries_p / busy_p, exactly the quantity Fig. 2 plots.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gbx/coo.hpp"
+#include "gbx/error.hpp"
+#include "hier/instance_array.hpp"
+
+namespace hier {
+
+/// Per-lane (per-instance) ingest counters.
+struct LaneCounters {
+  std::uint64_t batches = 0;
+  std::uint64_t entries = 0;
+  double busy_seconds = 0;  ///< time spent inside HierMatrix::update
+};
+
+/// Whole-run summary, one per start()/stop() cycle or pump() call.
+struct ParallelStreamReport {
+  std::size_t instances = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t entries = 0;
+  double wall_seconds = 0;       ///< start→stop wall clock
+  double busy_seconds_mean = 0;  ///< mean per-lane insert time
+  double aggregate_rate = 0;     ///< Σ_p entries_p / busy_p (Fig. 2 metric)
+  double wall_rate = 0;          ///< entries / wall (incl. production)
+  std::vector<LaneCounters> lane;
+};
+
+namespace detail {
+
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+inline ParallelStreamReport summarize(std::size_t instances, double wall,
+                                      std::vector<LaneCounters> lane) {
+  ParallelStreamReport r;
+  r.instances = instances;
+  r.wall_seconds = wall;
+  r.lane = std::move(lane);
+  double busy_sum = 0;
+  for (const auto& lc : r.lane) {
+    r.batches += lc.batches;
+    r.entries += lc.entries;
+    busy_sum += lc.busy_seconds;
+    if (lc.busy_seconds > 0)
+      r.aggregate_rate += static_cast<double>(lc.entries) / lc.busy_seconds;
+  }
+  if (r.instances > 0)
+    r.busy_seconds_mean = busy_sum / static_cast<double>(r.instances);
+  if (r.wall_seconds > 0)
+    r.wall_rate = static_cast<double>(r.entries) / r.wall_seconds;
+  return r;
+}
+
+}  // namespace detail
+
+/// Continuously-fed streaming-insert engine over an InstanceArray.
+///
+///   ParallelStream<double> ps(array);
+///   ps.start();
+///   while (feed) ps.submit(producer.next());   // round-robin dispatch
+///   auto report = ps.stop();                   // drain + join + summarize
+///
+/// submit() blocks when the target lane's queue is full (back-pressure);
+/// batches submitted to one lane are applied in submission order, so a
+/// single-instance engine is exactly as deterministic as a serial loop.
+template <class T, class AddMonoid = gbx::PlusMonoid<T>>
+class ParallelStream {
+ public:
+  using array_type = InstanceArray<T, AddMonoid>;
+
+  struct Options {
+    /// Max queued batches per lane before submit() blocks. Small values
+    /// keep the fast-memory footprint bounded, matching the cascade's
+    /// cache-residency story.
+    std::size_t queue_capacity = 4;
+  };
+
+  explicit ParallelStream(array_type& array, Options opt = {})
+      : array_(&array), opt_(opt) {
+    GBX_CHECK_VALUE(opt_.queue_capacity > 0, "queue capacity must be > 0");
+    lanes_.reserve(array_->size());
+    for (std::size_t p = 0; p < array_->size(); ++p)
+      lanes_.push_back(std::make_unique<Lane>());
+  }
+
+  ParallelStream(const ParallelStream&) = delete;
+  ParallelStream& operator=(const ParallelStream&) = delete;
+
+  ~ParallelStream() {
+    if (running_) stop();
+  }
+
+  std::size_t instances() const { return lanes_.size(); }
+  bool running() const { return running_; }
+
+  /// Spawn one worker thread per instance and open the lanes.
+  void start() {
+    GBX_CHECK(!running_, "ParallelStream already started");
+    for (auto& lane : lanes_) {
+      lane->closed = false;
+      lane->counters = LaneCounters{};
+    }
+    t0_ = std::chrono::steady_clock::now();
+    threads_.reserve(lanes_.size());
+    for (std::size_t p = 0; p < lanes_.size(); ++p)
+      threads_.emplace_back([this, p] { worker(p); });
+    running_ = true;
+  }
+
+  /// Queue a batch for instance `p`; blocks while the lane is full.
+  /// Throws if the lane closes while waiting (stop() racing a blocked
+  /// submit would otherwise push a batch no worker will ever apply).
+  void submit(std::size_t p, gbx::Tuples<T> batch) {
+    GBX_CHECK(running_, "ParallelStream not started");
+    GBX_CHECK_INDEX(p < lanes_.size(), "lane index out of range");
+    Lane& lane = *lanes_[p];
+    std::unique_lock<std::mutex> lk(lane.m);
+    lane.cv_space.wait(lk, [&] {
+      return lane.closed || lane.queue.size() < opt_.queue_capacity;
+    });
+    GBX_CHECK(!lane.closed, "submit raced ParallelStream::stop");
+    lane.queue.push_back(std::move(batch));
+    lane.cv_work.notify_one();
+  }
+
+  /// Queue a batch on the next lane round-robin. Safe to call from
+  /// multiple producer threads concurrently.
+  void submit(gbx::Tuples<T> batch) {
+    submit(rr_.fetch_add(1, std::memory_order_relaxed) % lanes_.size(),
+           std::move(batch));
+  }
+
+  /// Block until every queued batch has been applied.
+  void drain() {
+    GBX_CHECK(running_, "ParallelStream not started");
+    for (auto& lptr : lanes_) {
+      Lane& lane = *lptr;
+      std::unique_lock<std::mutex> lk(lane.m);
+      lane.cv_space.wait(lk, [&] { return lane.queue.empty() && !lane.applying; });
+    }
+  }
+
+  /// Drain, join the workers, and return the run summary.
+  ParallelStreamReport stop() {
+    GBX_CHECK(running_, "ParallelStream not started");
+    for (auto& lptr : lanes_) {
+      std::lock_guard<std::mutex> lk(lptr->m);
+      lptr->closed = true;
+      lptr->cv_work.notify_one();
+      lptr->cv_space.notify_all();  // wake producers blocked in submit()
+    }
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+    running_ = false;
+    const double wall = detail::seconds_since(t0_);
+    std::vector<LaneCounters> lane;
+    lane.reserve(lanes_.size());
+    for (const auto& lptr : lanes_) lane.push_back(lptr->counters);
+    return detail::summarize(lanes_.size(), wall, std::move(lane));
+  }
+
+ private:
+  struct Lane {
+    std::mutex m;
+    std::condition_variable cv_work;   ///< batch queued or lane closed
+    std::condition_variable cv_space;  ///< batch applied / queue shrank
+    std::deque<gbx::Tuples<T>> queue;
+    bool closed = false;
+    bool applying = false;
+    LaneCounters counters;
+  };
+
+  void worker(std::size_t p) {
+    Lane& lane = *lanes_[p];
+    auto& matrix = array_->instance(p);
+    for (;;) {
+      gbx::Tuples<T> batch;
+      {
+        std::unique_lock<std::mutex> lk(lane.m);
+        lane.cv_work.wait(lk, [&] { return !lane.queue.empty() || lane.closed; });
+        if (lane.queue.empty()) return;  // closed and fully drained
+        batch = std::move(lane.queue.front());
+        lane.queue.pop_front();
+        lane.applying = true;
+        // A slot is free the moment the batch is popped: wake producers
+        // now so production overlaps the update below. drain() is not
+        // fooled — its predicate also requires !applying.
+        lane.cv_space.notify_all();
+      }
+      const auto b0 = std::chrono::steady_clock::now();
+      matrix.update(batch);
+      const double dt = detail::seconds_since(b0);
+      {
+        std::lock_guard<std::mutex> lk(lane.m);
+        lane.applying = false;
+        ++lane.counters.batches;
+        lane.counters.entries += batch.size();
+        lane.counters.busy_seconds += dt;
+        lane.cv_space.notify_all();
+      }
+    }
+  }
+
+  array_type* array_;
+  Options opt_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> rr_{0};
+  std::chrono::steady_clock::time_point t0_{};
+  // Written only by the controlling thread (start/stop) but read from
+  // producer threads inside submit(), hence atomic.
+  std::atomic<bool> running_{false};
+};
+
+/// Synchronous paper-shape run: one thread per instance, each building its
+/// own generator with make_gen(p) (distinct seeds -> independent streams),
+/// streaming `sets` batches of `set_size` entries. Generation happens on
+/// the worker thread but outside the timed window, playing the role of the
+/// paper's per-stream packet-capture work; only HierMatrix::update is
+/// timed. Returns the same report shape as the queue engine.
+template <class T, class AddMonoid, class MakeGen>
+ParallelStreamReport pump(InstanceArray<T, AddMonoid>& array, std::size_t sets,
+                          std::size_t set_size, MakeGen&& make_gen) {
+  const std::size_t n = array.size();
+  std::vector<LaneCounters> lane(n);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    threads.emplace_back([&, p] {
+      auto gen = make_gen(p);
+      auto& matrix = array.instance(p);
+      gbx::Tuples<T> batch;
+      for (std::size_t s = 0; s < sets; ++s) {
+        batch.clear();
+        gen.batch(set_size, batch);
+        const auto b0 = std::chrono::steady_clock::now();
+        matrix.update(batch);
+        lane[p].busy_seconds += detail::seconds_since(b0);
+        ++lane[p].batches;
+        lane[p].entries += batch.size();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return detail::summarize(n, detail::seconds_since(t0), std::move(lane));
+}
+
+}  // namespace hier

@@ -159,7 +159,9 @@ TEST(Integration, AnalyticsOnHierSnapshot) {
     EXPECT_EQ(sum.links, snap.nvals());
     auto top = analytics::top_sources(snap, 5);
     EXPECT_LE(top.size(), 5u);
-    if (!top.empty()) EXPECT_GE(top[0].value, top.back().value);
+    if (!top.empty()) {
+      EXPECT_GE(top[0].value, top.back().value);
+    }
   }
 }
 
