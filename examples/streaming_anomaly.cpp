@@ -1,13 +1,18 @@
 // streaming_anomaly — continuous network monitoring with windowed
-// background models.
+// background models, analyzed WHILE the stream is ingesting.
 //
 // Demonstrates the paper's "analyze extremely large streaming network
-// data sets" use case: a hierarchical hypersparse matrix ingests traffic
-// continuously while an analyst thread-of-control periodically snapshots
-// it (snapshots are non-destructive — streaming never pauses), fits the
-// gravity background model, and reports links that deviate from it. An
-// exfiltration flow is planted mid-stream and must surface.
+// data sets" use case in its production shape: a ParallelStream worker
+// ingests traffic batches continuously while a separate analyst thread
+// takes epoch snapshots (hier::SnapshotEngine) — no drain, no pause —
+// fits the gravity background model on each frozen image, and reports
+// links that deviate from it. An exfiltration flow is planted mid-stream
+// and must surface. Every analyst pass prints the snapshot's epoch: the
+// exact prefix of the stream it represents.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "analytics/analytics.hpp"
 #include "gen/gen.hpp"
@@ -21,43 +26,67 @@ int main() {
   params.seed = 11;
   gen::PowerLawGenerator traffic(params);
 
-  hier::HierMatrix<double> tm(gbx::kIPv4Dim, gbx::kIPv4Dim,
-                              hier::CutPolicy::geometric(4, 4096, 8));
+  hier::InstanceArray<double> array(
+      1, gbx::kIPv4Dim, gbx::kIPv4Dim,
+      hier::CutPolicy::geometric(4, 4096, 8));
+  hier::ParallelStream<double> stream(array);
+  hier::SnapshotEngine<hier::ParallelStream<double>> engine(stream);
 
   // Two quiet hosts that will start a covert heavy flow at window 5.
   const gbx::Index covert_src = 0xC0A80042;  // 192.168.0.66
   const gbx::Index covert_dst = 0x2D4F3A19;
 
-  std::printf("window\tlinks\tpackets\ttop_anomaly_score\tcovert_detected\n");
+  stream.start();
+
+  // The analyst: periodic snapshots concurrent with live ingest.
+  std::atomic<bool> feed_done{false};
+  std::thread analyst([&] {
+    std::printf("epoch\tlinks\tpackets\ttop_anomaly_score\tcovert_detected\n");
+    while (!feed_done.load(std::memory_order_relaxed)) {
+      auto snap = engine.acquire();
+      auto tm = snap.to_matrix();  // frozen Σ Ai, detached from ingest
+      auto summary = analytics::summarize(tm);
+      auto anomalies = analytics::gravity_anomalies(tm, 3, 3.0, 100.0);
+
+      bool covert_found = false;
+      for (const auto& a : anomalies)
+        covert_found |= (a.src == covert_src && a.dst == covert_dst);
+
+      std::printf("%llu\t%llu\t%.0f\t%.1f\t%s\n",
+                  static_cast<unsigned long long>(snap.epoch()),
+                  static_cast<unsigned long long>(summary.links),
+                  summary.packets,
+                  anomalies.empty() ? 0.0 : anomalies[0].score,
+                  covert_found ? "YES" : "-");
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  // The feed: ten windows of continuous traffic; the stream never stops
+  // for the analyst.
   for (int window = 1; window <= 10; ++window) {
-    // Continuous ingest (the stream never stops).
-    tm.update(traffic.batch<double>(50000));
+    stream.submit(0, traffic.batch<double>(50000));
     if (window >= 5) {
       // The covert channel: large repeated transfers between two hosts
       // with no other traffic.
-      for (int k = 0; k < 200; ++k) tm.update(covert_src, covert_dst, 25.0);
+      gbx::Tuples<double> covert;
+      for (int k = 0; k < 200; ++k)
+        covert.push_back(covert_src, covert_dst, 25.0);
+      stream.submit(0, covert);
     }
-
-    // Analyst pass: snapshot (non-destructive) + background model. The
-    // support threshold (min 100 packets observed) suppresses the long
-    // tail of one-packet flows.
-    auto snap = tm.snapshot();
-    auto summary = analytics::summarize(snap);
-    auto anomalies = analytics::gravity_anomalies(snap, 3, 3.0, 100.0);
-
-    bool covert_found = false;
-    for (const auto& a : anomalies)
-      covert_found |= (a.src == covert_src && a.dst == covert_dst);
-
-    std::printf("%d\t%llu\t%.0f\t%.1f\t%s\n", window,
-                static_cast<unsigned long long>(summary.links),
-                summary.packets,
-                anomalies.empty() ? 0.0 : anomalies[0].score,
-                covert_found ? "YES" : "-");
   }
+  stream.drain();
+  feed_done.store(true);
+  analyst.join();
 
-  auto final_anoms = analytics::gravity_anomalies(tm.snapshot(), 3, 3.0, 100.0);
-  std::printf("\nfinal top anomalies (observed / expected = score):\n");
+  // Final pass on the fully drained stream (epoch == every batch).
+  auto final_snap = engine.acquire();
+  auto final_tm = final_snap.to_matrix();
+  (void)stream.stop();
+  auto final_anoms = analytics::gravity_anomalies(final_tm, 3, 3.0, 100.0);
+  std::printf("\nfinal snapshot epoch %llu — top anomalies "
+              "(observed / expected = score):\n",
+              static_cast<unsigned long long>(final_snap.epoch()));
   for (const auto& a : final_anoms)
     std::printf("  %#llx -> %#llx : %.0f / %.2f = %.1f%s\n",
                 static_cast<unsigned long long>(a.src),

@@ -28,8 +28,10 @@ struct TrafficSummary {
   double mean_link = 0;           ///< packets / links
 };
 
-template <class T, class M>
-TrafficSummary summarize(const gbx::Matrix<T, M>& A) {
+/// Summary of an immutable snapshot view: touches only the frozen block,
+/// so it is safe while the owning matrix keeps streaming.
+template <class T>
+TrafficSummary summarize(const gbx::MatrixView<T>& A) {
   TrafficSummary s;
   s.links = A.nvals();
   s.packets = static_cast<double>(gbx::reduce_scalar<gbx::PlusMonoid<T>>(A));
@@ -40,6 +42,11 @@ TrafficSummary summarize(const gbx::Matrix<T, M>& A) {
     s.mean_link = s.packets / static_cast<double>(s.links);
   }
   return s;
+}
+
+template <class T, class M>
+TrafficSummary summarize(const gbx::Matrix<T, M>& A) {
+  return summarize(A.view());  // folds pending, then reads the view
 }
 
 /// One vertex with an associated magnitude (degree, traffic volume, ...).

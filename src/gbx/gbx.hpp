@@ -41,3 +41,4 @@
 #include "gbx/types.hpp"
 #include "gbx/vector.hpp"
 #include "gbx/vector_ops.hpp"
+#include "gbx/view.hpp"

@@ -3,6 +3,11 @@
 // For consumers that need stateful traversal (merging external streams
 // against a matrix, pagination in services) rather than the internal
 // for_each. Iterates the materialized DCSR in (row, col) order.
+//
+// The iterator holds a refcounted handle on the block it was created
+// from, so it stays valid — and sees a stable image — even if the
+// source matrix folds, clears, or is updated mid-iteration (the cursor
+// then walks the pre-update value; copy-on-fold keeps the block alive).
 #pragma once
 
 #include "gbx/matrix.hpp"
@@ -12,7 +17,8 @@ namespace gbx {
 template <class T, class M = PlusMonoid<T>>
 class MatrixIterator {
  public:
-  explicit MatrixIterator(const Matrix<T, M>& A) : s_(&A.storage()) {}
+  explicit MatrixIterator(const Matrix<T, M>& A)
+      : hold_(A.shared_storage()), s_(hold_.get()) {}
 
   bool done() const { return k_ >= s_->nrows_nonempty(); }
 
@@ -51,6 +57,7 @@ class MatrixIterator {
   }
 
  private:
+  std::shared_ptr<const Dcsr<T>> hold_;  // pins the block being walked
   const Dcsr<T>* s_;
   std::size_t k_ = 0;
   Offset p_ = 0;

@@ -11,9 +11,19 @@
 // The fold monoid is a class-level policy (default: plus). All pending
 // folds combine duplicate coordinates with this monoid, so a Matrix is
 // semantically "the monoid-sum of everything ever appended".
+//
+// Storage is held by shared pointer with copy-on-fold semantics: folds
+// and clears *replace* the compressed block rather than mutating it
+// whenever anyone else holds a reference (a published MatrixView, an
+// aliased copy). Publishing an immutable view of the current value is
+// therefore O(1) and the view stays valid — and untouched — while the
+// matrix keeps streaming. In-place mutation happens only when this
+// matrix holds the sole reference.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <utility>
@@ -24,6 +34,7 @@
 #include "gbx/ewise.hpp"
 #include "gbx/monoid.hpp"
 #include "gbx/types.hpp"
+#include "gbx/view.hpp"
 
 namespace gbx {
 
@@ -50,28 +61,31 @@ class Matrix {
   /// GrB_Matrix_nvals semantics).
   std::size_t nvals() const {
     materialize();
-    return stor_.nnz();
+    return stor_->nnz();
   }
 
   /// Cheap upper bound on nvals: compressed entries + buffered updates
   /// (duplicates still counted). This is what hierarchical cut checks
   /// compare against — it never forces a fold.
-  std::size_t nvals_bound() const { return stor_.nnz() + pending_.size(); }
+  std::size_t nvals_bound() const { return stor_->nnz() + pending_.size(); }
 
   /// Number of un-folded buffered updates.
   std::size_t pending_count() const { return pending_.size(); }
 
-  bool empty() const { return stor_.empty() && pending_.empty(); }
+  bool empty() const { return stor_->empty() && pending_.empty(); }
 
-  /// Remove all entries, keeping capacity.
+  /// Remove all entries, keeping capacity when no view shares the block.
   void clear() {
-    stor_.clear();
+    if (sole_owner()) stor_->clear();
+    else stor_ = std::make_shared<Dcsr<T>>();
     pending_.clear();
   }
 
-  /// Remove all entries and release memory (cascade level reset).
+  /// Remove all entries and release memory (cascade level reset). Shared
+  /// blocks are detached, not destroyed: live views keep their data.
   void reset() {
-    stor_.reset();
+    if (sole_owner()) stor_->reset();
+    else stor_ = std::make_shared<Dcsr<T>>();
     pending_.reset();
   }
 
@@ -107,55 +121,92 @@ class Matrix {
   std::optional<T> extract_element(Index i, Index j) const {
     check_bounds(i, j);
     materialize();
-    return stor_.get(i, j);
+    return stor_->get(i, j);
   }
 
   /// Emit all entries in (row, col) order (folds pending first).
   Tuples<T> extract_tuples() const {
     materialize();
     Tuples<T> out;
-    stor_.extract(out);
+    stor_->extract(out);
     return out;
   }
 
   /// Fold the pending buffer into DCSR storage. Idempotent. Logically
   /// const: a fold never changes the matrix's mathematical value.
+  /// Copy-on-fold: the merged result lands in a *new* block, so views
+  /// published before the fold are never disturbed.
   void materialize() const {
     if (pending_.empty()) return;
     pending_.template sort_dedup<AddMonoid>();
     Dcsr<T> delta = Dcsr<T>::from_sorted_unique(pending_.entries());
     pending_.reset();
-    if (stor_.empty()) {
-      stor_ = std::move(delta);
+    if (stor_->empty()) {
+      stor_ = std::make_shared<Dcsr<T>>(std::move(delta));
     } else {
-      stor_ = ewise_add<add_op>(stor_, delta);
+      stor_ = std::make_shared<Dcsr<T>>(ewise_add<add_op>(*stor_, delta));
     }
   }
 
-  /// A ⊕= other, over the fold monoid. The cascade's fold step.
+  /// A ⊕= other, over the fold monoid. The cascade's fold step. Folding
+  /// into an empty matrix aliases the source block (O(1)) instead of
+  /// copying it; copy-on-fold keeps the alias safe.
   void plus_assign(const Matrix& other) {
     GBX_CHECK_DIM(nrows_ == other.nrows_ && ncols_ == other.ncols_,
                   "plus_assign dimension mismatch");
     materialize();
     other.materialize();
-    if (other.stor_.empty()) return;
-    if (stor_.empty()) {
+    if (other.stor_->empty()) return;
+    if (stor_->empty()) {
       stor_ = other.stor_;
     } else {
-      stor_ = ewise_add<add_op>(stor_, other.stor_);
+      stor_ = std::make_shared<Dcsr<T>>(ewise_add<add_op>(*stor_, *other.stor_));
+    }
+  }
+
+  /// A ⊕= view: folds a frozen immutable block into this matrix (the
+  /// snapshot materialization path — Σ Ai over published level views).
+  /// Folding into an empty matrix aliases the view's block in O(1), like
+  /// the Matrix overload. The const cast is sound: every published block
+  /// originates as a non-const Dcsr inside a Matrix, and copy-on-fold
+  /// means this matrix will only mutate it in place once it is again the
+  /// block's sole owner.
+  void plus_assign(const MatrixView<T>& other) {
+    GBX_CHECK_DIM(nrows_ == other.nrows() && ncols_ == other.ncols(),
+                  "plus_assign dimension mismatch");
+    materialize();
+    const Dcsr<T>& d = other.storage();
+    if (d.empty()) return;
+    if (stor_->empty()) {
+      stor_ = std::const_pointer_cast<Dcsr<T>>(other.shared_storage());
+    } else {
+      stor_ = std::make_shared<Dcsr<T>>(ewise_add<add_op>(*stor_, d));
     }
   }
 
   /// Materialized DCSR view (folds pending first).
   const Dcsr<T>& storage() const {
     materialize();
+    return *stor_;
+  }
+
+  /// Refcounted immutable handle on the materialized storage. The handle
+  /// stays valid — and frozen at today's value — while this matrix keeps
+  /// streaming (copy-on-fold). This is the epoch-snapshot publish step.
+  std::shared_ptr<const Dcsr<T>> shared_storage() const {
+    materialize();
     return stor_;
+  }
+
+  /// Immutable zero-copy view of the current value (folds pending first).
+  MatrixView<T> view() const {
+    return MatrixView<T>(nrows_, ncols_, shared_storage());
   }
 
   /// Adopt existing DCSR storage (kernel output assembly).
   static Matrix adopt(Index nrows, Index ncols, Dcsr<T> stor) {
     Matrix m(nrows, ncols);
-    m.stor_ = std::move(stor);
+    m.stor_ = std::make_shared<Dcsr<T>>(std::move(stor));
     return m;
   }
 
@@ -163,21 +214,35 @@ class Matrix {
   template <class F>
   void for_each(F&& f) const {
     materialize();
-    stor_.for_each(std::forward<F>(f));
+    stor_->for_each(std::forward<F>(f));
   }
 
   /// Heap bytes currently held (compressed + pending).
   std::size_t memory_bytes() const {
-    return stor_.memory_bytes() + pending_.memory_bytes();
+    return stor_->memory_bytes() + pending_.memory_bytes();
   }
 
   /// Structural invariants of the compressed part.
-  bool validate() const { return stor_.validate(); }
+  bool validate() const { return stor_->validate(); }
 
  private:
   void check_bounds(Index i, Index j) const {
     GBX_CHECK_INDEX(i < nrows_, "row index out of bounds");
     GBX_CHECK_INDEX(j < ncols_, "column index out of bounds");
+  }
+
+  /// True when no view/alias shares the block, i.e. in-place mutation is
+  /// allowed. New references are only ever created from this matrix on
+  /// the owning thread, so an observed count of 1 is stable — but the
+  /// last external release may have happened on a reader thread, whose
+  /// final loads must be ordered before our stores: hence the acquire
+  /// fence pairing with the release-decrement inside shared_ptr (the
+  /// classic COW publication edge; TSan models this as always
+  /// synchronizing and cannot flag its absence).
+  bool sole_owner() const {
+    if (stor_.use_count() != 1) return false;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return true;
   }
 
   Index nrows_;
@@ -186,8 +251,13 @@ class Matrix {
   // materialization from const accessors is logically const. A Matrix is
   // NOT safe for concurrent access from multiple threads (kernels use
   // OpenMP internally; instance-level parallelism uses one matrix per
-  // thread, as the paper does with one matrix per process).
-  mutable Dcsr<T> stor_;
+  // thread, as the paper does with one matrix per process). Views handed
+  // out by shared_storage()/view() ARE safe to read from other threads:
+  // every mutation path re-points stor_ when the block is shared, and
+  // mutates in place only when use_count()==1 — which, with views created
+  // solely on the owner's thread, proves no concurrent reader exists.
+  // Invariant: stor_ is never null.
+  mutable std::shared_ptr<Dcsr<T>> stor_ = std::make_shared<Dcsr<T>>();
   mutable Tuples<T> pending_;
 };
 

@@ -5,13 +5,15 @@
 
 #include "gbx/matrix.hpp"
 #include "gbx/vector.hpp"
+#include "gbx/view.hpp"
 
 namespace gbx {
 
-/// Fold every stored value into one scalar. Identity for an empty matrix.
-template <class MonoidT, class T, class M>
-T reduce_scalar(const Matrix<T, M>& A) {
-  const Dcsr<T>& s = A.storage();
+namespace detail {
+
+/// Shared reduction core over raw DCSR storage.
+template <class MonoidT, class T>
+T reduce_scalar_dcsr(const Dcsr<T>& s) {
   const auto nr = s.nrows_nonempty();
   std::vector<T> partial(nr, MonoidT::identity());
 #pragma omp parallel for schedule(guided)
@@ -26,11 +28,25 @@ T reduce_scalar(const Matrix<T, M>& A) {
   return acc;
 }
 
-/// Row reduction: out(i) = ⊕_j A(i,j). Result is hypersparse — only rows
-/// with entries appear. (GrB_Matrix_reduce to a vector.)
+}  // namespace detail
+
+/// Fold every stored value into one scalar. Identity for an empty matrix.
 template <class MonoidT, class T, class M>
-SparseVector<T> reduce_rows(const Matrix<T, M>& A) {
-  const Dcsr<T>& s = A.storage();
+T reduce_scalar(const Matrix<T, M>& A) {
+  return detail::reduce_scalar_dcsr<MonoidT>(A.storage());
+}
+
+/// Scalar reduction of an immutable view — the query-while-ingest read
+/// path: no fold, no copy, safe concurrently with the owner's streaming.
+template <class MonoidT, class T>
+T reduce_scalar(const MatrixView<T>& A) {
+  return detail::reduce_scalar_dcsr<MonoidT>(A.storage());
+}
+
+namespace detail {
+
+template <class MonoidT, class T>
+SparseVector<T> reduce_rows_dcsr(const Dcsr<T>& s, Index nrows) {
   const auto nr = s.nrows_nonempty();
   std::vector<Index> idx(nr);
   std::vector<T> val(nr);
@@ -42,15 +58,30 @@ SparseVector<T> reduce_rows(const Matrix<T, M>& A) {
     idx[k] = s.rows()[k];
     val[k] = acc;
   }
-  SparseVector<T> out(A.nrows());
+  SparseVector<T> out(nrows);
   out.adopt(std::move(idx), std::move(val));
   return out;
 }
 
-/// Column reduction: out(j) = ⊕_i A(i,j). Sort-based gather by column.
+}  // namespace detail
+
+/// Row reduction: out(i) = ⊕_j A(i,j). Result is hypersparse — only rows
+/// with entries appear. (GrB_Matrix_reduce to a vector.)
 template <class MonoidT, class T, class M>
-SparseVector<T> reduce_cols(const Matrix<T, M>& A) {
-  const Dcsr<T>& s = A.storage();
+SparseVector<T> reduce_rows(const Matrix<T, M>& A) {
+  return detail::reduce_rows_dcsr<MonoidT>(A.storage(), A.nrows());
+}
+
+/// Row reduction of an immutable view (zero-copy read path).
+template <class MonoidT, class T>
+SparseVector<T> reduce_rows(const MatrixView<T>& A) {
+  return detail::reduce_rows_dcsr<MonoidT>(A.storage(), A.nrows());
+}
+
+namespace detail {
+
+template <class MonoidT, class T>
+SparseVector<T> reduce_cols_dcsr(const Dcsr<T>& s, Index ncols) {
   std::vector<std::pair<Index, T>> acc;
   acc.reserve(s.nnz());
   s.for_each([&](Index, Index j, T v) { acc.emplace_back(j, v); });
@@ -66,9 +97,23 @@ SparseVector<T> reduce_cols(const Matrix<T, M>& A) {
       val.push_back(v);
     }
   }
-  SparseVector<T> out(A.ncols());
+  SparseVector<T> out(ncols);
   out.adopt(std::move(idx), std::move(val));
   return out;
+}
+
+}  // namespace detail
+
+/// Column reduction: out(j) = ⊕_i A(i,j). Sort-based gather by column.
+template <class MonoidT, class T, class M>
+SparseVector<T> reduce_cols(const Matrix<T, M>& A) {
+  return detail::reduce_cols_dcsr<MonoidT>(A.storage(), A.ncols());
+}
+
+/// Column reduction of an immutable view (zero-copy read path).
+template <class MonoidT, class T>
+SparseVector<T> reduce_cols(const MatrixView<T>& A) {
+  return detail::reduce_cols_dcsr<MonoidT>(A.storage(), A.ncols());
 }
 
 }  // namespace gbx

@@ -12,6 +12,7 @@
 #include <ostream>
 
 #include "gbx/matrix.hpp"
+#include "gbx/view.hpp"
 
 namespace gbx {
 
@@ -73,23 +74,36 @@ std::vector<T> read_vec(std::istream& is) {
   return v;
 }
 
+/// Shared writer: header + raw DCSR arrays for a materialized block.
+template <class T>
+void serialize_dcsr(std::ostream& os, Index nrows, Index ncols,
+                    const Dcsr<T>& s) {
+  write_pod(os, kSerializeMagic);
+  write_pod(os, kSerializeVersion);
+  write_pod(os, type_tag<T>());
+  write_pod<std::uint32_t>(os, 0);  // reserved/padding
+  write_pod<Index>(os, nrows);
+  write_pod<Index>(os, ncols);
+  write_vec(os, std::vector<Index>(s.rows().begin(), s.rows().end()));
+  write_vec(os, std::vector<Offset>(s.ptr().begin(), s.ptr().end()));
+  write_vec(os, std::vector<Index>(s.cols().begin(), s.cols().end()));
+  write_vec(os, std::vector<T>(s.vals().begin(), s.vals().end()));
+  GBX_CHECK(os.good(), "serialize: write failure");
+}
+
 }  // namespace detail
 
 /// Write A (canonicalized) to the stream.
 template <class T, class M>
 void serialize(std::ostream& os, const Matrix<T, M>& A) {
-  const Dcsr<T>& s = A.storage();  // folds pending
-  detail::write_pod(os, detail::kSerializeMagic);
-  detail::write_pod(os, detail::kSerializeVersion);
-  detail::write_pod(os, detail::type_tag<T>());
-  detail::write_pod<std::uint32_t>(os, 0);  // reserved/padding
-  detail::write_pod<Index>(os, A.nrows());
-  detail::write_pod<Index>(os, A.ncols());
-  detail::write_vec(os, std::vector<Index>(s.rows().begin(), s.rows().end()));
-  detail::write_vec(os, std::vector<Offset>(s.ptr().begin(), s.ptr().end()));
-  detail::write_vec(os, std::vector<Index>(s.cols().begin(), s.cols().end()));
-  detail::write_vec(os, std::vector<T>(s.vals().begin(), s.vals().end()));
-  GBX_CHECK(os.good(), "serialize: write failure");
+  detail::serialize_dcsr(os, A.nrows(), A.ncols(), A.storage());
+}
+
+/// Write an immutable view — views are already canonical, so this never
+/// touches the owning matrix (live-snapshot checkpoints use it).
+template <class T>
+void serialize(std::ostream& os, const MatrixView<T>& A) {
+  detail::serialize_dcsr(os, A.nrows(), A.ncols(), A.storage());
 }
 
 /// Read a matrix previously written by serialize<T>.

@@ -1,0 +1,81 @@
+// gbx/view.hpp — shared-immutable views of hypersparse storage.
+//
+// MatrixView is a read-only handle on a Matrix's compressed DCSR block,
+// shared by reference count rather than copied. Publishing a view costs
+// one shared_ptr copy; the owning Matrix keeps streaming afterwards
+// because its folds *replace* the storage block instead of mutating it
+// (copy-on-fold, see Matrix::materialize). This is what makes epoch
+// snapshots of the hierarchical cascade O(levels) instead of O(nnz):
+// readers hold the frozen blocks, writers move on to fresh ones, and the
+// last reference frees each block — the same discipline as an MVCC
+// storage engine's immutable version chain.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "gbx/dcsr.hpp"
+#include "gbx/types.hpp"
+
+namespace gbx {
+
+template <class T>
+class MatrixView {
+ public:
+  using value_type = T;
+
+  /// Empty view (no storage, zero dimensions). A default-constructed
+  /// snapshot slot before its first freeze.
+  MatrixView() = default;
+
+  MatrixView(Index nrows, Index ncols, std::shared_ptr<const Dcsr<T>> stor)
+      : nrows_(nrows), ncols_(ncols), stor_(std::move(stor)) {}
+
+  Index nrows() const { return nrows_; }
+  Index ncols() const { return ncols_; }
+
+  /// Exact stored-entry count. Views are always materialized (the fold
+  /// happened at publish time), so this is O(1) — no pending buffer.
+  std::size_t nvals() const { return stor_ ? stor_->nnz() : 0; }
+  bool empty() const { return !stor_ || stor_->empty(); }
+
+  /// Value lookup; nullopt when the coordinate holds no entry.
+  std::optional<T> get(Index i, Index j) const {
+    if (!stor_) return std::nullopt;
+    return stor_->get(i, j);
+  }
+
+  /// Row-major traversal f(row, col, value) over the frozen entries.
+  template <class F>
+  void for_each(F&& f) const {
+    if (stor_) stor_->for_each(std::forward<F>(f));
+  }
+
+  /// The underlying compressed block (valid as long as any view holds it).
+  /// Returns a shared empty block when the view is default-constructed.
+  const Dcsr<T>& storage() const {
+    if (!stor_) return empty_storage();
+    return *stor_;
+  }
+
+  /// Refcounted handle, for stitching views into snapshots/checkpoints.
+  const std::shared_ptr<const Dcsr<T>>& shared_storage() const { return stor_; }
+
+  bool validate() const { return !stor_ || stor_->validate(); }
+
+  std::size_t memory_bytes() const { return stor_ ? stor_->memory_bytes() : 0; }
+
+ private:
+  static const Dcsr<T>& empty_storage() {
+    static const Dcsr<T> kEmpty;
+    return kEmpty;
+  }
+
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  std::shared_ptr<const Dcsr<T>> stor_;
+};
+
+}  // namespace gbx

@@ -11,28 +11,33 @@
 
 #include "gbx/serialize.hpp"
 #include "hier/hier_matrix.hpp"
+#include "hier/snapshot.hpp"
 
 namespace hier {
 
 namespace detail {
+
 inline constexpr std::uint64_t kCkptMagic = 0x48484752'43503031ull;  // "HHGRCP01"
-}
 
-template <class T, class M>
-void checkpoint(std::ostream& os, const HierMatrix<T, M>& h) {
-  gbx::detail::write_pod(os, detail::kCkptMagic);
-  gbx::detail::write_pod<gbx::Index>(os, h.nrows());
-  gbx::detail::write_pod<gbx::Index>(os, h.ncols());
+/// The single definition of the checkpoint container. Both public
+/// overloads feed it; `emit_level(os, i)` writes level i (a Matrix or a
+/// frozen MatrixView — gbx::serialize produces identical bytes for
+/// both, so restore() cannot tell the sources apart).
+template <class EmitLevel>
+void write_checkpoint(std::ostream& os, gbx::Index nrows, gbx::Index ncols,
+                      const std::vector<std::size_t>& cuts,
+                      std::size_t num_levels, const HierStats& st,
+                      EmitLevel&& emit_level) {
+  gbx::detail::write_pod(os, kCkptMagic);
+  gbx::detail::write_pod<gbx::Index>(os, nrows);
+  gbx::detail::write_pod<gbx::Index>(os, ncols);
 
-  const auto& cuts = h.cut_policy().cuts();
   gbx::detail::write_vec(os, std::vector<std::uint64_t>(cuts.begin(), cuts.end()));
 
-  gbx::detail::write_pod<std::uint64_t>(os, h.num_levels());
-  for (std::size_t i = 0; i < h.num_levels(); ++i)
-    gbx::serialize(os, h.level(i));
+  gbx::detail::write_pod<std::uint64_t>(os, num_levels);
+  for (std::size_t i = 0; i < num_levels; ++i) emit_level(os, i);
 
   // Statistics (so monitoring survives restarts).
-  const auto& st = h.stats();
   gbx::detail::write_pod(os, st.updates);
   gbx::detail::write_pod(os, st.entries_appended);
   gbx::detail::write_pod(os, st.queries);
@@ -43,6 +48,29 @@ void checkpoint(std::ostream& os, const HierMatrix<T, M>& h) {
     gbx::detail::write_pod(os, ls.max_entries);
   }
   GBX_CHECK(os.good(), "checkpoint: write failure");
+}
+
+}  // namespace detail
+
+template <class T, class M>
+void checkpoint(std::ostream& os, const HierMatrix<T, M>& h) {
+  detail::write_checkpoint(
+      os, h.nrows(), h.ncols(), h.cut_policy().cuts(), h.num_levels(),
+      h.stats(),
+      [&](std::ostream& o, std::size_t i) { gbx::serialize(o, h.level(i)); });
+}
+
+/// Checkpoint a live epoch snapshot: byte-for-byte the same container as
+/// the HierMatrix overload (restore() reads either), but sourced from
+/// immutable frozen views — so it can run on a reader thread while the
+/// origin matrix keeps ingesting, and the file is guaranteed to be the
+/// consistent image the snapshot's epoch names.
+template <class T, class M>
+void checkpoint(std::ostream& os, const HierSnapshot<T, M>& snap) {
+  detail::write_checkpoint(
+      os, snap.nrows(), snap.ncols(), snap.cuts(), snap.num_levels(),
+      snap.stats(),
+      [&](std::ostream& o, std::size_t i) { gbx::serialize(o, snap.level(i)); });
 }
 
 template <class T, class M = gbx::PlusMonoid<T>>

@@ -9,4 +9,5 @@
 #include "hier/merge.hpp"
 #include "hier/parallel_stream.hpp"
 #include "hier/sharded_hier.hpp"
+#include "hier/snapshot.hpp"
 #include "hier/stats.hpp"

@@ -28,6 +28,7 @@
 #include "gbx/matrix.hpp"
 #include "gbx/matrix_ops.hpp"
 #include "hier/cut_policy.hpp"
+#include "hier/snapshot.hpp"
 #include "hier/stats.hpp"
 
 namespace hier {
@@ -105,6 +106,24 @@ class HierMatrix {
     for (const auto& l : levels_) acc.plus_assign(l);
     return acc;
   }
+
+  /// Epoch snapshot: swap out the level-1 pending buffer (fold it into
+  /// level 1's compressed block) and publish one immutable view per
+  /// level. No entry data is copied — views share the compressed blocks,
+  /// and copy-on-fold keeps them frozen while streaming continues. The
+  /// caller may read the snapshot from any thread; further update()
+  /// calls on this matrix must stay on the owning thread as always.
+  HierSnapshot<T, AddMonoid> freeze() const {
+    ++stats_.queries;
+    std::vector<gbx::MatrixView<T>> views;
+    views.reserve(levels_.size());
+    for (const auto& l : levels_) views.push_back(l.view());
+    return HierSnapshot<T, AddMonoid>(nrows_, ncols_, std::move(views),
+                                      cuts_.cuts(), stats_, stats_.updates);
+  }
+
+  /// Epoch watermark: update() calls applied so far.
+  std::uint64_t epoch() const { return stats_.updates; }
 
   /// Destructive query: folds every level into the top one and returns a
   /// reference to it. Cheaper than snapshot when streaming is finished.

@@ -14,12 +14,22 @@
 //     externally produced batches (round-robin or explicit lane).
 //   * pump() — synchronous paper-shape run: per-instance generators built
 //     on the worker threads, generation untimed, inserts timed. This is
-//     what bench_parallel_stream measures.
+//     what bench_parallel_stream measures. The member pump() routes the
+//     same workload through the lanes so snapshots can be taken while it
+//     runs; the free function remains the zero-queue-overhead variant.
 //
 // Instances never share state (the paper's process model), so worker
 // lanes need no locking around the matrix itself — only around their
 // queues. All timing uses std::chrono::steady_clock; the aggregate rate
 // is Σ_p entries_p / busy_p, exactly the quantity Fig. 2 plots.
+//
+// snapshot() captures an epoch-consistent image WITHOUT stopping the
+// workers: each lane is asked to freeze its matrix at its next batch
+// boundary (a ticketed handshake through the lane mutex), so every
+// lane's contribution is exactly the monoid-sum of a prefix of the
+// batches submitted to that lane, and the watermark records the prefix
+// length. Readers wait at most one in-flight batch per lane; ingest
+// never drains, never pauses globally.
 #pragma once
 
 #include <atomic>
@@ -37,6 +47,7 @@
 #include "gbx/coo.hpp"
 #include "gbx/error.hpp"
 #include "hier/instance_array.hpp"
+#include "hier/snapshot.hpp"
 
 namespace hier {
 
@@ -133,8 +144,10 @@ class ParallelStream {
   void start() {
     GBX_CHECK(!running_, "ParallelStream already started");
     for (auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lk(lane->m);
       lane->closed = false;
       lane->counters = LaneCounters{};
+      lane->worker_alive = true;
     }
     t0_ = std::chrono::steady_clock::now();
     threads_.reserve(lanes_.size());
@@ -195,16 +208,133 @@ class ParallelStream {
     return detail::summarize(lanes_.size(), wall, std::move(lane));
   }
 
+  /// Epoch-consistent snapshot of all lanes WITHOUT stopping the
+  /// workers. Per lane, the image equals the monoid-sum of exactly the
+  /// first `watermark(p).batches` update batches the lane's matrix has
+  /// ever applied (lanes apply in submission order, and the count
+  /// survives stop()/start() restarts because it is the matrix's own
+  /// epoch), frozen at that lane's next batch boundary. Tickets are
+  /// posted to every lane up front so the lanes freeze concurrently;
+  /// the caller then collects the published views. Safe from any
+  /// thread, any number of readers, stream running or not.
+  StreamSnapshot<T, AddMonoid> snapshot() {
+    std::vector<std::uint64_t> tickets(lanes_.size(), 0);
+    for (std::size_t p = 0; p < lanes_.size(); ++p) {
+      Lane& lane = *lanes_[p];
+      std::lock_guard<std::mutex> lk(lane.m);
+      if (lane.worker_alive) {
+        tickets[p] = ++lane.freeze_ticket;
+        ++lane.freeze_waiters;
+        lane.cv_work.notify_one();
+      }
+    }
+    std::vector<HierSnapshot<T, AddMonoid>> parts;
+    std::vector<SnapshotWatermark> marks;
+    parts.reserve(lanes_.size());
+    marks.reserve(lanes_.size());
+    std::uint64_t epoch = 0;
+    for (std::size_t p = 0; p < lanes_.size(); ++p) {
+      Lane& lane = *lanes_[p];
+      std::unique_lock<std::mutex> lk(lane.m);
+      // A worker may have started between the ticketing pass and now
+      // (start() racing snapshot()): post the missed ticket here rather
+      // than freezing under a live worker's feet.
+      if (tickets[p] == 0 && lane.worker_alive) {
+        tickets[p] = ++lane.freeze_ticket;
+        ++lane.freeze_waiters;
+        lane.cv_work.notify_one();
+      }
+      if (tickets[p] > 0) {
+        // Workers serve every pending ticket before exiting, so on
+        // wake-up freeze_done always covers our ticket.
+        lane.cv_frozen.wait(lk, [&] { return lane.freeze_done >= tickets[p]; });
+        parts.push_back(lane.frozen);
+        marks.push_back(lane.frozen_mark);
+        // Last collector with no newer ticket pending: release the
+        // lane's pin on the frozen blocks (collectors keep them alive).
+        if (--lane.freeze_waiters == 0 &&
+            lane.freeze_done == lane.freeze_ticket)
+          lane.frozen = HierSnapshot<T, AddMonoid>();
+      } else {
+        // Worker not running (never started, stopped, or already
+        // exited): the matrix is quiescent, freeze it directly under
+        // the lane lock — nothing is published into the lane.
+        parts.push_back(array_->instance(p).freeze());
+        marks.push_back(SnapshotWatermark{
+            parts.back().epoch(), parts.back().stats().entries_appended});
+      }
+      epoch += marks.back().batches;
+    }
+    return StreamSnapshot<T, AddMonoid>(std::move(parts), std::move(marks),
+                                        epoch);
+  }
+
+  /// SnapshotEngine-compatible alias.
+  StreamSnapshot<T, AddMonoid> freeze() { return snapshot(); }
+
+  /// Paper-shape run through the lanes: one producer thread per lane
+  /// builds its own generator with make_gen(p) and submits `sets`
+  /// batches of `set_size` entries to lane p; workers apply them with
+  /// only HierMatrix::update timed. Unlike the free pump(), snapshots
+  /// can be taken concurrently while this runs — that is its purpose.
+  /// Returns the run summary (the engine is stopped on return).
+  template <class MakeGen>
+  ParallelStreamReport pump(std::size_t sets, std::size_t set_size,
+                            MakeGen&& make_gen) {
+    start();
+    std::vector<std::thread> producers;
+    producers.reserve(lanes_.size());
+    for (std::size_t p = 0; p < lanes_.size(); ++p) {
+      producers.emplace_back([this, p, sets, set_size, &make_gen] {
+        auto gen = make_gen(p);
+        for (std::size_t s = 0; s < sets; ++s) {
+          gbx::Tuples<T> batch;
+          gen.batch(set_size, batch);
+          submit(p, std::move(batch));
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    return stop();
+  }
+
  private:
   struct Lane {
     std::mutex m;
-    std::condition_variable cv_work;   ///< batch queued or lane closed
-    std::condition_variable cv_space;  ///< batch applied / queue shrank
+    std::condition_variable cv_work;    ///< batch queued, lane closed, or freeze asked
+    std::condition_variable cv_space;   ///< batch applied / queue shrank
+    std::condition_variable cv_frozen;  ///< freeze published or worker exited
     std::deque<gbx::Tuples<T>> queue;
     bool closed = false;
     bool applying = false;
+    bool worker_alive = false;
     LaneCounters counters;
+    // Freeze handshake: readers take a ticket; the worker freezes its
+    // matrix at the next batch boundary and publishes the result. One
+    // freeze satisfies every ticket issued before it. The last waiting
+    // collector clears `frozen` so the lane does not pin stale level
+    // blocks between snapshots (the views live on in the collectors).
+    std::uint64_t freeze_ticket = 0;
+    std::uint64_t freeze_done = 0;
+    std::uint64_t freeze_waiters = 0;
+    HierSnapshot<T, AddMonoid> frozen;
+    SnapshotWatermark frozen_mark;
   };
+
+  /// Freeze the lane's matrix and publish it into the lane. Called by
+  /// the lane's worker, holding lane.m. The watermark is derived from
+  /// the frozen matrix itself (lifetime update count, one per batch), so
+  /// it stays exact across stop()/start() restarts — lane counters are
+  /// per-run for reporting, but a restarted engine's matrices retain
+  /// their data and the watermark must cover it.
+  static void do_freeze(Lane& lane,
+                        const HierMatrix<T, AddMonoid>& matrix) {
+    lane.frozen = matrix.freeze();
+    lane.frozen_mark = SnapshotWatermark{
+        lane.frozen.epoch(), lane.frozen.stats().entries_appended};
+    lane.freeze_done = lane.freeze_ticket;
+    lane.cv_frozen.notify_all();
+  }
 
   void worker(std::size_t p) {
     Lane& lane = *lanes_[p];
@@ -213,8 +343,21 @@ class ParallelStream {
       gbx::Tuples<T> batch;
       {
         std::unique_lock<std::mutex> lk(lane.m);
-        lane.cv_work.wait(lk, [&] { return !lane.queue.empty() || lane.closed; });
-        if (lane.queue.empty()) return;  // closed and fully drained
+        lane.cv_work.wait(lk, [&] {
+          return !lane.queue.empty() || lane.closed ||
+                 lane.freeze_done < lane.freeze_ticket;
+        });
+        // Serve freezes first so readers never wait behind a deep queue:
+        // a freeze between batches is exactly a batch-boundary snapshot.
+        if (lane.freeze_done < lane.freeze_ticket) {
+          do_freeze(lane, matrix);
+          continue;
+        }
+        if (lane.queue.empty()) {  // closed and fully drained
+          lane.worker_alive = false;
+          lane.cv_frozen.notify_all();
+          return;
+        }
         batch = std::move(lane.queue.front());
         lane.queue.pop_front();
         lane.applying = true;

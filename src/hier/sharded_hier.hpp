@@ -8,13 +8,28 @@
 // contend only when they hit the same shard. The logical value is the
 // monoid sum of the shards — associativity makes sharding invisible to
 // queries, the same algebra that makes the cascade exact.
+//
+// Snapshot consistency: a batched update touches several shards, so
+// per-shard locking alone would let a concurrent reader observe half a
+// batch. Writers therefore hold a shared (reader) slot on `snap_mu_`
+// for the whole batch, while freeze() takes it exclusively: every
+// frozen image contains only whole batches — for each writer thread, a
+// prefix of the batches it submitted (writers complete their batches in
+// program order). freeze() is cheap (per-shard pending fold + view
+// publication, no data copy), so the exclusive window is tiny; the
+// legacy snapshot() keeps the old per-shard-consistent, never-blocking
+// behaviour.
 #pragma once
 
+#include <atomic>
 #include <mutex>
+#include <shared_mutex>
+#include <thread>
 #include <vector>
 
 #include "gen/rng.hpp"
 #include "hier/hier_matrix.hpp"
+#include "hier/snapshot.hpp"
 
 namespace hier {
 
@@ -37,14 +52,20 @@ class ShardedHier {
 
   /// Thread-safe single update.
   void update(gbx::Index i, gbx::Index j, T v) {
+    std::shared_lock<std::shared_mutex> batch_guard(writer_slot());
     const std::size_t s = shard_of(i);
-    std::lock_guard<std::mutex> g(locks_[s]);
-    shards_[s].update(i, j, v);
+    {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      shards_[s].update(i, j, v);
+    }
+    epoch_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Thread-safe batched update: the batch is split by shard once, then
-  /// each shard is locked exactly once.
+  /// each shard is locked exactly once. The whole batch lands inside one
+  /// shared slot of `snap_mu_`, so no freeze() can observe half of it.
   void update(const gbx::Tuples<T>& batch) {
+    std::shared_lock<std::shared_mutex> batch_guard(writer_slot());
     std::vector<gbx::Tuples<T>> parts(shards_.size());
     for (const auto& e : batch)
       parts[shard_of(e.row)].push_back(e.row, e.col, e.val);
@@ -53,6 +74,7 @@ class ShardedHier {
       std::lock_guard<std::mutex> g(locks_[s]);
       shards_[s].update(parts[s]);
     }
+    epoch_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Logical value: monoid sum across shards (each shard snapshot is
@@ -65,6 +87,52 @@ class ShardedHier {
       acc.plus_assign(shards_[s].snapshot());
     }
     return acc;
+  }
+
+  /// Epoch-consistent snapshot: freeze every shard inside one exclusive
+  /// section. The result contains only whole batches — for each writer
+  /// thread a prefix of its submitted batches — with per-shard epochs
+  /// stitched into the part watermarks and the global batch count as the
+  /// snapshot epoch. No entry data is copied; writers resume the moment
+  /// the per-shard views are published.
+  ///
+  /// Watermark units: part p's watermark counts SHARD-p update
+  /// applications (its per-shard epoch) — one logical batch lands on
+  /// every shard it touches, so Σ_p watermark(p).batches ≥ epoch() and
+  /// SnapshotSet::total_batches() is NOT the whole-batch count here;
+  /// epoch() is. (ParallelStream lanes, by contrast, partition batches,
+  /// so there the two coincide.)
+  ShardedSnapshot<T, AddMonoid> freeze() const {
+    // Announce the pending freeze first: std::shared_mutex gives no
+    // fairness guarantee (glibc's rwlock prefers readers by default), so
+    // under sustained ingest new writers could otherwise be admitted
+    // forever while this exclusive acquire waits. Writers back off in
+    // writer_slot() while any freeze is pending — a counter, so
+    // concurrent freezes cannot erase each other's announcement.
+    freeze_pending_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::shared_mutex> freeze_guard(snap_mu_);
+    freeze_pending_.fetch_sub(1, std::memory_order_relaxed);
+    std::vector<HierSnapshot<T, AddMonoid>> parts;
+    std::vector<SnapshotWatermark> marks;
+    parts.reserve(shards_.size());
+    marks.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      // Writers are excluded by snap_mu_, but the legacy snapshot() path
+      // only takes shard locks — take them here too (same order as
+      // writers: snap_mu_ first, shard lock second).
+      std::lock_guard<std::mutex> g(locks_[s]);
+      parts.push_back(shards_[s].freeze());
+      const auto& st = shards_[s].stats();
+      marks.push_back(SnapshotWatermark{st.updates, st.entries_appended});
+    }
+    return ShardedSnapshot<T, AddMonoid>(
+        std::move(parts), std::move(marks),
+        epoch_.load(std::memory_order_relaxed));
+  }
+
+  /// Whole batches applied so far (the freeze() epoch source).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
   }
 
   /// Aggregate statistics across shards.
@@ -87,6 +155,17 @@ class ShardedHier {
   }
 
  private:
+  /// Writers pass through here before taking their shared slot: while a
+  /// freeze is waiting for exclusivity, incoming writers yield instead
+  /// of piling onto the reader side of the lock. Best-effort (a writer
+  /// can slip through the window between flag-check and lock), but it
+  /// breaks the continuous-admission pattern that starves freeze().
+  std::shared_mutex& writer_slot() const {
+    while (freeze_pending_.load(std::memory_order_relaxed) > 0)
+      std::this_thread::yield();
+    return snap_mu_;
+  }
+
   std::size_t shard_of(gbx::Index row) const {
     // Hash so that dense row ranges spread evenly (row-block partitions
     // would put one hot subnet entirely on one shard).
@@ -97,6 +176,10 @@ class ShardedHier {
   gbx::Index ncols_;
   std::vector<HierMatrix<T, AddMonoid>> shards_;
   mutable std::vector<std::mutex> locks_;
+  // Writers shared, freeze() exclusive: whole-batch snapshot atomicity.
+  mutable std::shared_mutex snap_mu_;
+  mutable std::atomic<std::uint32_t> freeze_pending_{0};
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace hier

@@ -1,0 +1,262 @@
+// hier/snapshot.hpp — epoch-based consistent read snapshots.
+//
+// The paper completes "all pending updates for analysis" by summing the
+// layers: A = Σ Ai. The seed implementation could only do that on a
+// quiesced matrix — every reader had to drain the stream first. This
+// header is the concurrent answer: a snapshot is a set of *immutable
+// per-level views* (gbx::MatrixView) published at a batch boundary,
+// stamped with the epoch (number of updates applied) it represents.
+// Copy-on-fold in gbx::Matrix guarantees the views never change after
+// publication, so analytics run on them while ingest keeps streaming —
+// the same immutable-version discipline as an MVCC storage engine.
+//
+// Three sources produce snapshots:
+//   * HierMatrix::freeze()      — single matrix, caller's thread.
+//   * ParallelStream::snapshot()— per-lane freeze at each lane's next
+//     batch boundary, workers never stop (lane watermarks record the
+//     exact submitted-batch prefix each lane contributed).
+//   * ShardedHier::freeze()     — all shards frozen inside one exclusive
+//     section, so the result contains only whole cross-shard batches.
+//
+// SnapshotEngine wraps any of the three behind one acquire() facade and
+// tracks epochs across successive snapshots.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gbx/matrix.hpp"
+#include "gbx/monoid.hpp"
+#include "gbx/reduce.hpp"
+#include "gbx/view.hpp"
+#include "hier/stats.hpp"
+
+namespace hier {
+
+/// A consistent frozen image of one hierarchical matrix: one immutable
+/// view per level plus the cut schedule, statistics, and epoch at the
+/// freeze point. All reads are safe concurrently with further streaming
+/// into the source matrix.
+template <class T, class AddMonoid = gbx::PlusMonoid<T>>
+class HierSnapshot {
+ public:
+  using value_type = T;
+  using matrix_type = gbx::Matrix<T, AddMonoid>;
+
+  HierSnapshot() = default;
+
+  HierSnapshot(gbx::Index nrows, gbx::Index ncols,
+               std::vector<gbx::MatrixView<T>> levels,
+               std::vector<std::size_t> cuts, HierStats stats,
+               std::uint64_t epoch)
+      : nrows_(nrows),
+        ncols_(ncols),
+        levels_(std::move(levels)),
+        cuts_(std::move(cuts)),
+        stats_(std::move(stats)),
+        epoch_(epoch) {}
+
+  gbx::Index nrows() const { return nrows_; }
+  gbx::Index ncols() const { return ncols_; }
+  std::size_t num_levels() const { return levels_.size(); }
+  const gbx::MatrixView<T>& level(std::size_t i) const { return levels_[i]; }
+
+  /// Number of update() calls the frozen image contains — the snapshot's
+  /// position in the source's update sequence.
+  std::uint64_t epoch() const { return epoch_; }
+
+  const std::vector<std::size_t>& cuts() const { return cuts_; }
+  const HierStats& stats() const { return stats_; }
+
+  bool empty() const {
+    for (const auto& v : levels_) if (!v.empty()) return false;
+    return true;
+  }
+
+  /// Sum of per-level entry counts (coordinates living in several levels
+  /// counted once per level) — the bound cut thresholds act on.
+  std::size_t nvals_bound() const {
+    std::size_t n = 0;
+    for (const auto& v : levels_) n += v.nvals();
+    return n;
+  }
+
+  /// Entry lookup across levels, duplicates combined with the fold
+  /// monoid: the value A(i,j) of the logical matrix Σ Ai.
+  std::optional<T> extract_element(gbx::Index i, gbx::Index j) const {
+    std::optional<T> acc;
+    for (const auto& v : levels_) {
+      if (auto x = v.get(i, j)) {
+        acc = acc ? std::optional<T>(AddMonoid::apply(*acc, *x)) : x;
+      }
+    }
+    return acc;
+  }
+
+  /// Fold every value of Σ Ai into one scalar with the snapshot's own
+  /// monoid, without ever materializing the sum: reduce each frozen
+  /// level, then combine the per-level results. This is only valid for
+  /// the fold monoid itself — a coordinate split across levels holds
+  /// partial values that AddMonoid recombines transparently here; any
+  /// other reduction monoid would see the partials, so for those
+  /// materialize first (reduce_scalar over to_matrix()).
+  T reduce() const {
+    auto acc = AddMonoid::identity();
+    for (const auto& v : levels_)
+      acc = AddMonoid::apply(acc, gbx::reduce_scalar<AddMonoid>(v));
+    return acc;
+  }
+
+  /// Materialize A = Σ Ai as a standalone matrix. This is the bridge to
+  /// every existing algo/ and analytics/ kernel: the result is an
+  /// ordinary gbx::Matrix, fully detached from the streaming source.
+  matrix_type to_matrix() const {
+    GBX_CHECK_VALUE(nrows_ > 0 && ncols_ > 0,
+                    "to_matrix on a default-constructed snapshot");
+    matrix_type acc(nrows_, ncols_);
+    for (const auto& v : levels_) acc.plus_assign(v);
+    return acc;
+  }
+
+  /// Heap bytes pinned by this snapshot (shared with the source until
+  /// the source folds past the frozen blocks).
+  std::size_t memory_bytes() const {
+    std::size_t n = 0;
+    for (const auto& v : levels_) n += v.memory_bytes();
+    return n;
+  }
+
+ private:
+  gbx::Index nrows_ = 0;
+  gbx::Index ncols_ = 0;
+  std::vector<gbx::MatrixView<T>> levels_;
+  std::vector<std::size_t> cuts_;
+  HierStats stats_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Per-part watermark: how much of that part's submitted sequence the
+/// snapshot contains.
+struct SnapshotWatermark {
+  std::uint64_t batches = 0;  ///< update batches applied before the freeze
+  std::uint64_t entries = 0;  ///< raw entries inside that prefix
+};
+
+/// A stitched snapshot over several independent hierarchical matrices
+/// (ParallelStream lanes, ShardedHier shards): one HierSnapshot per part
+/// plus the watermark saying which submitted-batch prefix it represents.
+template <class T, class AddMonoid = gbx::PlusMonoid<T>>
+class SnapshotSet {
+ public:
+  using part_type = HierSnapshot<T, AddMonoid>;
+  using matrix_type = gbx::Matrix<T, AddMonoid>;
+
+  SnapshotSet() = default;
+
+  SnapshotSet(std::vector<part_type> parts,
+              std::vector<SnapshotWatermark> marks, std::uint64_t epoch)
+      : parts_(std::move(parts)), marks_(std::move(marks)), epoch_(epoch) {
+    GBX_CHECK_DIM(parts_.size() == marks_.size(),
+                  "snapshot parts/watermarks size mismatch");
+  }
+
+  std::size_t size() const { return parts_.size(); }
+  const part_type& part(std::size_t p) const { return parts_[p]; }
+  const SnapshotWatermark& watermark(std::size_t p) const { return marks_[p]; }
+
+  /// Source-wide epoch: for ShardedHier the number of whole batches the
+  /// snapshot contains; for ParallelStream the sum of lane watermarks.
+  std::uint64_t epoch() const { return epoch_; }
+
+  std::uint64_t total_batches() const {
+    std::uint64_t n = 0;
+    for (const auto& m : marks_) n += m.batches;
+    return n;
+  }
+  std::uint64_t total_entries() const {
+    std::uint64_t n = 0;
+    for (const auto& m : marks_) n += m.entries;
+    return n;
+  }
+
+  /// Fold all parts' values into one scalar with the fold monoid (no
+  /// materialization; same partial-value caveat as HierSnapshot::reduce).
+  T reduce() const {
+    auto acc = AddMonoid::identity();
+    for (const auto& p : parts_) acc = AddMonoid::apply(acc, p.reduce());
+    return acc;
+  }
+
+  /// Materialize the union Σ_p Σ_i A_{p,i} as one matrix.
+  matrix_type to_matrix() const {
+    GBX_CHECK_VALUE(!parts_.empty(), "to_matrix on an empty snapshot set");
+    matrix_type acc(parts_.front().nrows(), parts_.front().ncols());
+    for (const auto& p : parts_)
+      for (std::size_t i = 0; i < p.num_levels(); ++i)
+        acc.plus_assign(p.level(i));
+    return acc;
+  }
+
+  std::size_t memory_bytes() const {
+    std::size_t n = 0;
+    for (const auto& p : parts_) n += p.memory_bytes();
+    return n;
+  }
+
+ private:
+  std::vector<part_type> parts_;
+  std::vector<SnapshotWatermark> marks_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Snapshot of a ParallelStream: one part per lane.
+template <class T, class AddMonoid = gbx::PlusMonoid<T>>
+using StreamSnapshot = SnapshotSet<T, AddMonoid>;
+
+/// Snapshot of a ShardedHier: one part per shard.
+template <class T, class AddMonoid = gbx::PlusMonoid<T>>
+using ShardedSnapshot = SnapshotSet<T, AddMonoid>;
+
+/// Uniform reader facade over every snapshot source (HierMatrix,
+/// ShardedHier, ParallelStream — anything with freeze()). Reader threads
+/// share one engine; acquire() is as thread-safe as the source's freeze.
+template <class Source>
+class SnapshotEngine {
+ public:
+  explicit SnapshotEngine(Source& source) : source_(&source) {}
+
+  /// Take a fresh consistent snapshot and record its epoch.
+  auto acquire() {
+    auto snap = source_->freeze();
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+    // CAS-max: with concurrent readers, a slower thread's older epoch
+    // must not overwrite a newer one — last_epoch() never goes back.
+    std::uint64_t seen = last_epoch_.load(std::memory_order_relaxed);
+    while (seen < snap.epoch() &&
+           !last_epoch_.compare_exchange_weak(seen, snap.epoch(),
+                                              std::memory_order_relaxed)) {
+    }
+    return snap;
+  }
+
+  std::uint64_t snapshots_taken() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+  /// Highest epoch among acquired snapshots (0 before the first);
+  /// monotone even with concurrent readers.
+  std::uint64_t last_epoch() const {
+    return last_epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Source* source_;
+  std::atomic<std::uint64_t> snapshots_{0};
+  std::atomic<std::uint64_t> last_epoch_{0};
+};
+
+}  // namespace hier

@@ -1,6 +1,12 @@
 // Stress tests: sustained streams, deep cascades, and multi-instance
 // runs at sizes well beyond the unit tests — invariants must hold at
 // scale, not just on toys. Kept to a few seconds total.
+//
+// Seeds are pinned (reproducible by default) and perturbed by the
+// HHGBX_SEED environment variable, under which CTest re-runs this whole
+// suite several times; failures always print the effective seed. Every
+// assertion below is seed-robust: it checks structural invariants and
+// exact algebraic equivalences, not sample-specific values.
 #include <gtest/gtest.h>
 
 #include <omp.h>
@@ -9,14 +15,16 @@
 #include "cluster/cluster.hpp"
 #include "gen/gen.hpp"
 #include "hier/hier.hpp"
+#include "prop_util.hpp"
 
 namespace {
 
 TEST(Stress, MillionEntryStreamEquivalence) {
+  HHGBX_PROP_SEED(seed, 42);
   // 1M entries through a deep hierarchy vs direct accumulation.
   gen::PowerLawParams pp;
   pp.scale = 18;
-  pp.seed = 42;
+  pp.seed = seed;
   gen::PowerLawGenerator g(pp);
 
   hier::HierMatrix<double> h(pp.dim, pp.dim,
@@ -40,11 +48,12 @@ TEST(Stress, MillionEntryStreamEquivalence) {
 TEST(Stress, TinyCutsMaximalFoldChurn) {
   // Pathologically small cuts force a fold on nearly every update; the
   // value must still be exact and memory must not blow up.
+  HHGBX_PROP_SEED(seed, 3);
   hier::HierMatrix<double> h(gbx::kIPv4Dim, gbx::kIPv4Dim,
                              hier::CutPolicy({1, 2, 4, 8, 16}));
   gen::PowerLawParams pp;
   pp.scale = 10;
-  pp.seed = 3;
+  pp.seed = seed;
   gen::PowerLawGenerator g(pp);
   gbx::Matrix<double> direct(pp.dim, pp.dim);
   for (int k = 0; k < 300; ++k) {
@@ -60,12 +69,13 @@ TEST(Stress, TinyCutsMaximalFoldChurn) {
 TEST(Stress, ManyInstancesSaturated) {
   // One instance per hardware thread, real parallel ingest; totals and
   // values verified per instance.
+  HHGBX_PROP_SEED(seed, 77);
   const auto threads = static_cast<std::size_t>(omp_get_max_threads());
   cluster::WorkloadSpec w;
   w.sets = 2;
   w.set_size = 20000;
   w.scale = 14;
-  w.seed = 77;
+  w.seed = seed;
   auto r = cluster::run_hier_gbx(threads, w,
                                  hier::CutPolicy::geometric(4, 2048, 8));
   EXPECT_EQ(r.instances, threads);
@@ -76,12 +86,13 @@ TEST(Stress, ManyInstancesSaturated) {
 
 TEST(Stress, LongWindowRotation) {
   // Hundreds of window rotations: ring indexing and recycling stay sound.
+  HHGBX_PROP_SEED(seed, 9);
   analytics::TumblingWindows<double> w(5, 1u << 20, 1u << 20,
                                        hier::CutPolicy({256}));
   gen::PowerLawParams pp;
   pp.scale = 10;
   pp.dim = 1u << 20;
-  pp.seed = 9;
+  pp.seed = seed;
   gen::PowerLawGenerator g(pp);
   for (int epoch = 0; epoch < 200; ++epoch) {
     w.update(g.batch<double>(200));
@@ -97,9 +108,10 @@ TEST(Stress, LongWindowRotation) {
 TEST(Stress, SnapshotUnderContinuousQueries) {
   // Query every batch — the worst-case analysis cadence. Rate will be
   // query-bound but values must track exactly.
+  HHGBX_PROP_SEED(seed, 5);
   gen::PowerLawParams pp;
   pp.scale = 14;
-  pp.seed = 5;
+  pp.seed = seed;
   gen::PowerLawGenerator g(pp);
   hier::HierMatrix<double> h(pp.dim, pp.dim,
                              hier::CutPolicy::geometric(4, 8192, 8));
