@@ -1,0 +1,168 @@
+// Experiment E8 — incremental analytics on snapshot deltas.
+//
+// The paper's analysis step materializes A = Σ Ai per query; PR 2 made
+// it concurrent, this PR makes it incremental: successive snapshots
+// share unchanged level blocks by identity, so an analytics pass only
+// has to touch what changed. This bench measures that claim at the
+// ISSUE's operating point — ≤1% churn between passes — and enforces
+// both gates:
+//
+//   * speedup: engine.refresh() must be ≥ 5x faster than the
+//     from-scratch pass (freeze → to_matrix → summarize → PageRank →
+//     triangles) on the same snapshot (BENCH_DELTA_MIN_SPEEDUP
+//     overrides the threshold).
+//   * exactness: per window, the incremental Σ Ai must equal the full
+//     materialization bit-for-bit (gbx::equal), the incremental
+//     triangle count and summary cardinalities must match exactly, and
+//     the warm-started PageRank must agree with the cold rerun to
+//     within the convergence tolerance. Any mismatch fails the bench
+//     regardless of speed.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "algo/algo.hpp"
+#include "analytics/analytics.hpp"
+#include "bench_util.hpp"
+#include "gen/kronecker.hpp"
+#include "hier/hier.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const gbx::Index dim = gbx::Index{1} << 14;
+  const std::size_t warmup_batches = 6, warmup_size = 50000;
+  const std::size_t windows = 8;
+  const std::uint64_t seed = 20200316;
+
+  double min_speedup = 5.0;
+  if (const char* env = std::getenv("BENCH_DELTA_MIN_SPEEDUP"))
+    min_speedup = std::atof(env);
+
+  algo::PageRankOptions pr_opt;
+  pr_opt.tol = 1e-10;
+  pr_opt.max_iters = 200;
+
+  hier::HierMatrix<double> h(dim, dim,
+                             hier::CutPolicy::geometric(4, 1u << 13, 8));
+  analytics::IncrementalOptions iopt;
+  iopt.pagerank = pr_opt;
+  iopt.pagerank_warm_start = true;
+  analytics::IncrementalEngine<hier::HierMatrix<double>> eng(h, iopt);
+
+  gen::KroneckerParams kp;
+  kp.scale = 14;
+  kp.seed = seed;
+  gen::KroneckerGenerator g(kp);
+
+  benchutil::header(
+      "E8 — incremental analytics on snapshot deltas (hier::snapshot_diff)",
+      "engine.refresh() vs from-scratch freeze -> Σ Ai -> summarize -> "
+      "PageRank -> triangles at ≤1% churn");
+
+  for (std::size_t s = 0; s < warmup_batches; ++s)
+    h.update(g.batch<double>(warmup_size));
+  eng.refresh();  // initial full recompute (builds all derived state)
+
+  const std::size_t nnz = eng.sum().nvals();
+  const std::size_t churn = std::max<std::size_t>(1, nnz / 200);  // 0.5%
+  benchutil::note("graph: " + std::to_string(nnz) + " links, churn/window: " +
+                  std::to_string(churn) + " entries (" +
+                  std::to_string(100.0 * static_cast<double>(churn) /
+                                 static_cast<double>(nnz)) +
+                  "% of nnz)");
+  benchutil::note("pagerank: warm-start, tol 1e-10; triangles: delta "
+                  "neighborhood update");
+
+  std::printf("\nwindow\tfull_ms\tincr_ms\tspeedup\treuse%%\ttouched\n");
+
+  double full_total = 0, incr_total = 0;
+  bool exact_sum = true, exact_tri = true, exact_counts = true;
+  double pr_max_diff = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    h.update(g.batch<double>(churn));
+
+    // Incremental pass FIRST: its freeze pays the level-0 pending fold
+    // for this window's churn, so the measured refresh cost includes it
+    // (timing the full pass first would hand the incremental side a
+    // pre-folded snapshot and overstate the gated speedup).
+    const auto t_incr = std::chrono::steady_clock::now();
+    const auto& rep = eng.refresh();
+    const double incr_s = seconds_since(t_incr);
+
+    // Full from-scratch pass (reference analyst) on the same state.
+    const auto t_full = std::chrono::steady_clock::now();
+    auto snap = h.freeze();
+    auto full = snap.to_matrix();
+    auto full_sum = analytics::summarize(full);
+    auto full_pr = algo::pagerank(full, pr_opt);
+    auto full_tri = algo::triangle_count(full);
+    const double full_s = seconds_since(t_full);
+
+    full_total += full_s;
+    incr_total += incr_s;
+
+    // --- exactness gates.
+    exact_sum &= gbx::equal(eng.sum(), full);
+    exact_tri &= eng.triangles() == full_tri;
+    exact_counts &= eng.summary().links == full_sum.links &&
+                    eng.summary().sources == full_sum.sources &&
+                    eng.summary().destinations == full_sum.destinations &&
+                    eng.summary().max_link == full_sum.max_link;
+    std::map<gbx::Index, double> got;
+    for (const auto& [v, r] : eng.pagerank().ranks) got[v] = r;
+    for (const auto& [v, r] : full_pr.ranks) {
+      auto it = got.find(v);
+      const double diff = it == got.end() ? 1.0 : std::abs(it->second - r);
+      pr_max_diff = std::max(pr_max_diff, diff);
+    }
+
+    std::printf("%zu\t%.2f\t%.2f\t%.1fx\t%.1f\t%zu\n", w, full_s * 1e3,
+                incr_s * 1e3, full_s / incr_s,
+                100.0 * rep.delta.reuse_ratio(), rep.added + rep.changed);
+    std::fflush(stdout);
+  }
+
+  const double speedup = full_total / incr_total;
+  const bool exact_pr = pr_max_diff < 1e-7;
+  const bool pass =
+      speedup >= min_speedup && exact_sum && exact_tri && exact_counts && exact_pr;
+
+  std::printf("\naggregate: full %.1f ms vs incremental %.1f ms -> %.1fx "
+              "(threshold %.1fx)\n",
+              full_total * 1e3, incr_total * 1e3, speedup, min_speedup);
+  std::printf("exact-match: sum=%s triangles=%s counts=%s "
+              "pagerank_max_abs_diff=%.2e (tolerance-exact=%s)\n",
+              exact_sum ? "yes" : "NO", exact_tri ? "yes" : "NO",
+              exact_counts ? "yes" : "NO", pr_max_diff,
+              exact_pr ? "yes" : "NO");
+
+  std::string json =
+      std::string("{\"bench\":\"snapshot_delta\"") +
+      ",\"nnz\":" + std::to_string(nnz) +
+      ",\"churn\":" + std::to_string(churn) +
+      ",\"windows\":" + std::to_string(windows) +
+      ",\"full_ms\":" + std::to_string(full_total * 1e3) +
+      ",\"incr_ms\":" + std::to_string(incr_total * 1e3) +
+      ",\"speedup\":" + std::to_string(speedup) +
+      ",\"threshold\":" + std::to_string(min_speedup) +
+      ",\"exact_sum\":" + (exact_sum ? "true" : "false") +
+      ",\"exact_triangles\":" + (exact_tri ? "true" : "false") +
+      ",\"exact_counts\":" + (exact_counts ? "true" : "false") +
+      ",\"pagerank_max_abs_diff\":" + std::to_string(pr_max_diff) +
+      ",\"pass\":" + (pass ? "true" : "false") + "}";
+  std::printf("BENCH_JSON %s\n", json.c_str());
+
+  return pass ? 0 : 1;
+}

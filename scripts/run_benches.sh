@@ -10,6 +10,14 @@
 #                           (< SNAPQ_MAX_DEGRADATION with 4 readers,
 #                           enforced only on hosts with enough hardware
 #                           threads; see the bench for details).
+#   bench_snapshot_delta  — incremental analytics on snapshot deltas:
+#                           engine.refresh() must be ≥
+#                           BENCH_DELTA_MIN_SPEEDUP times faster than a
+#                           from-scratch pass at ≤1% churn AND match it
+#                           exactly (bit-identical Σ Ai, exact triangle
+#                           and summary counts, tolerance-exact warm
+#                           PageRank). Exactness is enforced on every
+#                           host; the bench exits non-zero on any miss.
 #
 # Usage: scripts/run_benches.sh [build-dir] [output-dir]
 set -u
@@ -19,6 +27,8 @@ OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
 PER_BENCH_TIMEOUT="${BENCH_TIMEOUT:-900}"
 # Degradation budget for bench_snapshot_query (ISSUE acceptance: 0.30).
 export SNAPQ_MAX_DEGRADATION="${SNAPQ_MAX_DEGRADATION:-0.30}"
+# Speedup floor for bench_snapshot_delta (ISSUE acceptance: 5x).
+export BENCH_DELTA_MIN_SPEEDUP="${BENCH_DELTA_MIN_SPEEDUP:-5.0}"
 
 if [ ! -d "${BUILD_DIR}/bench" ]; then
   echo "error: ${BUILD_DIR}/bench not found — configure with -DHHGBX_BUILD_BENCH=ON and build first" >&2

@@ -13,6 +13,7 @@
 #include "gbx/coo.hpp"
 #include "gbx/csr.hpp"
 #include "gbx/dcsr.hpp"
+#include "gbx/delta.hpp"
 #include "gbx/error.hpp"
 #include "gbx/ewise.hpp"
 #include "gbx/ewise_union.hpp"

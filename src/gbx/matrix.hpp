@@ -203,6 +203,12 @@ class Matrix {
     return MatrixView<T>(nrows_, ncols_, shared_storage());
   }
 
+  /// The current compressed block WITHOUT folding the pending buffer —
+  /// a side-effect-free peek for identity tests and memory accounting
+  /// (hier::snapshot_memory). Unlike shared_storage(), the returned
+  /// block does not necessarily cover pending updates.
+  std::shared_ptr<const Dcsr<T>> storage_handle() const { return stor_; }
+
   /// Adopt existing DCSR storage (kernel output assembly).
   static Matrix adopt(Index nrows, Index ncols, Dcsr<T> stor) {
     Matrix m(nrows, ncols);

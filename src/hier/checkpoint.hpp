@@ -1,17 +1,33 @@
-// hier/checkpoint.hpp — checkpoint/restore for hierarchical matrices.
+// hier/checkpoint.hpp — checkpoint/restore/recover for hierarchical
+// matrices.
 //
 // Persists the *entire* level structure (not the collapsed sum), so a
 // restored matrix resumes streaming with identical cascade behaviour and
 // the restart is invisible to both ingest and query paths. Cut schedule
 // and cascade statistics ride along.
+//
+// Crash recovery: BatchWal logs every update batch to a store::RecordLog
+// stream stamped with the epoch it produced (HierMatrix::epoch counts
+// update() calls, so record k carries epoch k). recover() stitches the
+// two automatically — restore the checkpoint, read its epoch E from the
+// persisted statistics, and replay exactly the log records with epoch
+// > E, verifying the suffix is whole: the first replayed record must be
+// E+1 and the epochs contiguous from there. Torn tails (crash mid-
+// append), overlapping records (epoch not strictly increasing — e.g.
+// two writers on one log), and gapped suffixes (log truncated from the
+// front past the checkpoint) are all rejected rather than replayed into
+// a silently-wrong matrix.
 #pragma once
 
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "gbx/serialize.hpp"
 #include "hier/hier_matrix.hpp"
 #include "hier/snapshot.hpp"
+#include "store/wal.hpp"
 
 namespace hier {
 
@@ -105,6 +121,98 @@ HierMatrix<T, M> restore(std::istream& is) {
     ls.max_entries = gbx::detail::read_pod<std::uint64_t>(is);
   }
   h.restore_stats(std::move(st));
+  return h;
+}
+
+/// Write-ahead logger for streaming ingest: call log() with every batch
+/// BEFORE applying it, stamping the epoch the batch will produce (the
+/// matrix's epoch after the update — i.e. epoch() + 1 at call time).
+/// recover() replays these records above a checkpoint's epoch.
+template <class T>
+class BatchWal {
+ public:
+  explicit BatchWal(std::ostream& os) : writer_(os) {}
+
+  /// Log one update batch as record `epoch`. Epochs must be appended in
+  /// strictly increasing order (one record per update() call).
+  void log(std::uint64_t epoch, const gbx::Tuples<T>& batch) {
+    const auto& entries = batch.entries();
+    writer_.append(epoch, entries.data(),
+                   entries.size() * sizeof(gbx::Entry<T>));
+  }
+
+  /// Convenience: log the batch about to be applied to `h`, then apply
+  /// it — the epoch stamp and the matrix's epoch cannot drift apart.
+  template <class M>
+  void log_and_update(HierMatrix<T, M>& h, const gbx::Tuples<T>& batch) {
+    log(h.epoch() + 1, batch);
+    h.update(batch);
+  }
+
+  std::uint64_t records() const { return writer_.records(); }
+  std::uint64_t bytes_logged() const { return writer_.bytes_logged(); }
+
+ private:
+  store::RecordLogWriter writer_;
+};
+
+/// What recover() found and did.
+struct RecoveryReport {
+  std::uint64_t checkpoint_epoch = 0;  ///< E, read from the checkpoint
+  std::uint64_t skipped_records = 0;   ///< log records with epoch <= E
+  std::uint64_t replayed_records = 0;  ///< log records applied (epoch > E)
+  std::uint64_t replayed_entries = 0;  ///< entries inside those records
+};
+
+/// Automatic crash recovery: restore the checkpoint, read its epoch E,
+/// and replay exactly the WAL records with epoch > E. The WAL must hold
+/// one record per update() call stamped with the epoch that update
+/// produced (BatchWal enforces the shape). Throws gbx::Error on:
+///   * torn suffix       — truncated/corrupt frame (store::RecordLogReader),
+///   * overlapping suffix— epochs not strictly increasing,
+///   * gapped suffix     — first record above E is not E+1, or a later
+///                         record skips an epoch.
+template <class T, class M = gbx::PlusMonoid<T>>
+HierMatrix<T, M> recover(std::istream& ckpt, std::istream& wal,
+                         RecoveryReport* report = nullptr) {
+  HierMatrix<T, M> h = restore<T, M>(ckpt);
+  const std::uint64_t ckpt_epoch = h.epoch();
+
+  RecoveryReport rep;
+  rep.checkpoint_epoch = ckpt_epoch;
+
+  store::RecordLogReader reader(wal);
+  std::uint64_t last_seen = 0;   // last record epoch, for overlap checks
+  bool any_seen = false;
+  std::uint64_t last_applied = ckpt_epoch;
+  while (auto rec = reader.next()) {
+    GBX_CHECK(!any_seen || rec->epoch > last_seen,
+              "recover: overlapping WAL suffix (record epochs must be "
+              "strictly increasing)");
+    any_seen = true;
+    last_seen = rec->epoch;
+    if (rec->epoch <= ckpt_epoch) {
+      ++rep.skipped_records;
+      continue;
+    }
+    GBX_CHECK(rec->epoch == last_applied + 1,
+              "recover: gapped WAL suffix (missing update records between "
+              "the checkpoint epoch and the log)");
+    GBX_CHECK(rec->payload.size() % sizeof(gbx::Entry<T>) == 0,
+              "recover: WAL record payload is not a whole entry array");
+    const std::size_t n = rec->payload.size() / sizeof(gbx::Entry<T>);
+    gbx::Tuples<T> batch;
+    if (n > 0) {
+      std::vector<gbx::Entry<T>> entries(n);
+      std::memcpy(entries.data(), rec->payload.data(), rec->payload.size());
+      batch = gbx::Tuples<T>(std::move(entries));
+    }
+    rep.replayed_entries += batch.size();
+    h.update(batch);
+    ++rep.replayed_records;
+    last_applied = rec->epoch;
+  }
+  if (report != nullptr) *report = rep;
   return h;
 }
 

@@ -1,0 +1,180 @@
+// hier/delta.hpp — snapshot-to-snapshot deltas for incremental analytics.
+//
+// Successive epoch snapshots of one source share every level block the
+// writer has not folded past (shared_ptr identity, see gbx/view.hpp).
+// snapshot_diff exploits that: levels whose blocks are pointer-identical
+// are skipped outright, and only the blocks that actually changed are
+// merged entry-by-entry (gbx::delta). The result is the difference of
+// the *logical* matrices Σ Ai — per-level movement that cancels out
+// (a fold relocating entries to the next level without changing the
+// union value) is filtered away by re-reading both snapshots' cross-
+// level folds at every touched coordinate.
+//
+// Exactness contract: `added` carries the new snapshot's union value and
+// `changed` carries both union values, each computed with the snapshot's
+// own extract_element — the identical left-fold (ascending level order,
+// part-major for sets) that to_matrix() applies per coordinate. Patching
+// a materialized old Σ Ai with these entries therefore reproduces the
+// full to_matrix() of the new snapshot bit-for-bit, which is what lets
+// IncrementalEngine (analytics/incremental.hpp) assert exact equality
+// against full recomputes.
+//
+// Streaming sources only ever add entries (folds preserve them), so
+// `removed` is empty for snapshot pairs taken from one source in epoch
+// order; it is populated — and reported — when diffing unrelated or
+// out-of-order snapshots, so callers can detect that and fall back.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gbx/delta.hpp"
+#include "gbx/error.hpp"
+#include "hier/snapshot.hpp"
+
+namespace hier {
+
+/// Per-level reuse accounting of one snapshot_diff call: how much of the
+/// two snapshots was skipped via block identity versus actually scanned.
+struct DeltaStats {
+  std::size_t levels_total = 0;    ///< level slots compared (all parts)
+  std::size_t levels_reused = 0;   ///< skipped, blocks pointer-identical
+  std::size_t entries_scanned = 0; ///< entries examined in changed blocks
+                                   ///< (both sides of each pair)
+  std::size_t entries_reused = 0;  ///< entries skipped in reused blocks
+                                   ///< (both sides, same units as scanned)
+  std::size_t bytes_reused = 0;    ///< heap bytes of the reused blocks
+
+  double reuse_ratio() const {
+    const std::size_t total = entries_scanned + entries_reused;
+    return total == 0 ? 1.0
+                      : static_cast<double>(entries_reused) /
+                            static_cast<double>(total);
+  }
+};
+
+/// The difference of snapshot B's logical matrix relative to snapshot
+/// A's, as entry streams over Σ Ai (NOT per level): coordinates new in
+/// B, coordinates whose union value changed, and (for non-prefix pairs
+/// only) coordinates that vanished.
+template <class T>
+struct SnapshotDelta {
+  gbx::Tuples<T> added;                      ///< new coordinate, B's value
+  std::vector<gbx::ChangedEntry<T>> changed; ///< both, old & new values
+  gbx::Tuples<T> removed;                    ///< gone in B (A's value);
+                                             ///< empty for epoch-ordered
+                                             ///< pairs from one source
+  DeltaStats stats;
+  std::uint64_t epoch_from = 0;
+  std::uint64_t epoch_to = 0;
+
+  bool empty() const {
+    return added.empty() && changed.empty() && removed.empty();
+  }
+  std::size_t touched() const {
+    return added.size() + changed.size() + removed.size();
+  }
+};
+
+namespace detail {
+
+/// Core diff: `each_pair(f)` enumerates aligned level-view pairs, and
+/// `get_old`/`get_new` are the two snapshots' cross-level lookups. The
+/// union value is re-read at every coordinate where any changed block
+/// differs (including per-level removals — a fold moving entries up
+/// changes blocks without necessarily changing the union), so the
+/// emitted values are exactly the left-fold values of each snapshot.
+template <class T, class EachPair, class GetOld, class GetNew>
+SnapshotDelta<T> diff_core(EachPair&& each_pair, GetOld&& get_old,
+                           GetNew&& get_new, std::uint64_t epoch_from,
+                           std::uint64_t epoch_to) {
+  SnapshotDelta<T> out;
+  out.epoch_from = epoch_from;
+  out.epoch_to = epoch_to;
+
+  std::vector<std::pair<gbx::Index, gbx::Index>> touched;
+  each_pair([&](const gbx::MatrixView<T>& va, const gbx::MatrixView<T>& vb) {
+    ++out.stats.levels_total;
+    if (gbx::same_block(va, vb)) {
+      ++out.stats.levels_reused;
+      // Same units as entries_scanned (which counts BOTH sides of a
+      // changed pair): a reused pair skips scanning each side once.
+      out.stats.entries_reused += va.nvals() + vb.nvals();
+      out.stats.bytes_reused += va.memory_bytes();
+      return;
+    }
+    auto d = gbx::delta(va, vb);
+    out.stats.entries_scanned += d.entries_scanned;
+    for (const auto& e : d.added) touched.emplace_back(e.row, e.col);
+    for (const auto& e : d.removed) touched.emplace_back(e.row, e.col);
+    for (const auto& e : d.changed) touched.emplace_back(e.row, e.col);
+  });
+
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  for (const auto& [i, j] : touched) {
+    const auto oldv = get_old(i, j);
+    const auto newv = get_new(i, j);
+    if (!oldv && !newv) continue;  // unreachable: touched implies presence
+    if (!oldv) {
+      out.added.push_back(i, j, *newv);
+    } else if (!newv) {
+      out.removed.push_back(i, j, *oldv);
+    } else if (!(*oldv == *newv)) {
+      out.changed.push_back({i, j, *oldv, *newv});
+    }
+    // both present and equal: per-level movement with no logical change
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Diff two epoch snapshots of one HierMatrix (b taken at or after a
+/// for the prefix guarantee; arbitrary pairs work but may report
+/// removals). O(changed blocks + touched·levels·log), not O(nnz).
+template <class T, class M>
+SnapshotDelta<T> snapshot_diff(const HierSnapshot<T, M>& a,
+                               const HierSnapshot<T, M>& b) {
+  GBX_CHECK_DIM(a.nrows() == b.nrows() && a.ncols() == b.ncols(),
+                "snapshot_diff dimension mismatch");
+  GBX_CHECK_DIM(a.num_levels() == b.num_levels(),
+                "snapshot_diff level count mismatch");
+  return detail::diff_core<T>(
+      [&](auto&& f) {
+        for (std::size_t i = 0; i < a.num_levels(); ++i)
+          f(a.level(i), b.level(i));
+      },
+      [&](gbx::Index i, gbx::Index j) { return a.extract_element(i, j); },
+      [&](gbx::Index i, gbx::Index j) { return b.extract_element(i, j); },
+      a.epoch(), b.epoch());
+}
+
+/// Diff two stitched snapshots (ParallelStream lanes / ShardedHier
+/// shards), parts aligned by position. Union values are read with the
+/// set's part-major fold, matching SnapshotSet::to_matrix bit-for-bit.
+template <class T, class M>
+SnapshotDelta<T> snapshot_diff(const SnapshotSet<T, M>& a,
+                               const SnapshotSet<T, M>& b) {
+  GBX_CHECK_DIM(a.size() == b.size(), "snapshot_diff part count mismatch");
+  return detail::diff_core<T>(
+      [&](auto&& f) {
+        for (std::size_t p = 0; p < a.size(); ++p) {
+          const auto& pa = a.part(p);
+          const auto& pb = b.part(p);
+          GBX_CHECK_DIM(pa.num_levels() == pb.num_levels(),
+                        "snapshot_diff level count mismatch");
+          for (std::size_t i = 0; i < pa.num_levels(); ++i)
+            f(pa.level(i), pb.level(i));
+        }
+      },
+      [&](gbx::Index i, gbx::Index j) { return a.extract_element(i, j); },
+      [&](gbx::Index i, gbx::Index j) { return b.extract_element(i, j); },
+      a.epoch(), b.epoch());
+}
+
+}  // namespace hier

@@ -4,6 +4,7 @@
 #include "hier/autotune.hpp"
 #include "hier/checkpoint.hpp"
 #include "hier/cut_policy.hpp"
+#include "hier/delta.hpp"
 #include "hier/hier_matrix.hpp"
 #include "hier/instance_array.hpp"
 #include "hier/merge.hpp"

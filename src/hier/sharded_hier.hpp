@@ -21,6 +21,7 @@
 // behaviour.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <shared_mutex>
@@ -112,22 +113,81 @@ class ShardedHier {
     freeze_pending_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::shared_mutex> freeze_guard(snap_mu_);
     freeze_pending_.fetch_sub(1, std::memory_order_relaxed);
-    std::vector<HierSnapshot<T, AddMonoid>> parts;
-    std::vector<SnapshotWatermark> marks;
-    parts.reserve(shards_.size());
-    marks.reserve(shards_.size());
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      // Writers are excluded by snap_mu_, but the legacy snapshot() path
-      // only takes shard locks — take them here too (same order as
-      // writers: snap_mu_ first, shard lock second).
+    const std::size_t n = shards_.size();
+    std::vector<HierSnapshot<T, AddMonoid>> parts(n);
+    std::vector<SnapshotWatermark> marks(n);
+    // Per-shard freeze folds that shard's level-1 pending buffer — the
+    // only real work in the exclusive window. Folds are independent
+    // (one HierMatrix each), so run them on worker threads instead of
+    // walking shards serially: freeze latency stays ~flat in shard
+    // count rather than growing linearly, and writers get the lock back
+    // sooner. Each worker owns a disjoint stripe of shards; the shard
+    // mutex is still taken per shard (same order as writers: snap_mu_
+    // first, shard lock second) because the legacy snapshot() path
+    // takes shard locks without snap_mu_.
+    const auto freeze_shard = [&](std::size_t s) {
       std::lock_guard<std::mutex> g(locks_[s]);
-      parts.push_back(shards_[s].freeze());
+      parts[s] = shards_[s].freeze();
       const auto& st = shards_[s].stats();
-      marks.push_back(SnapshotWatermark{st.updates, st.entries_appended});
+      marks[s] = SnapshotWatermark{st.updates, st.entries_appended};
+    };
+    // Spawning threads costs ~0.1 ms each; only go parallel when the
+    // pending fold work plausibly dwarfs that. The peek takes the shard
+    // locks (legacy snapshot() readers may be folding concurrently).
+    std::size_t pending = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      pending += shards_[s].level(0).pending_count();
+    }
+    const std::size_t workers = std::min<std::size_t>(
+        n, std::max(1u, std::thread::hardware_concurrency()));
+    if (workers < 2 || pending < kParallelFreezeMinPending) {
+      for (std::size_t s = 0; s < n; ++s) freeze_shard(s);
+    } else {
+      // Worker exceptions (fold allocation failure, invariant check) are
+      // re-thrown on the calling thread, matching the serial behaviour —
+      // and a failed thread spawn joins what already started instead of
+      // destroying joinable threads (which would std::terminate).
+      std::vector<std::exception_ptr> errors(workers);
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      try {
+        for (std::size_t w = 0; w < workers; ++w) {
+          pool.emplace_back([&, w] {
+            try {
+              for (std::size_t s = w; s < n; s += workers) freeze_shard(s);
+            } catch (...) {
+              errors[w] = std::current_exception();
+            }
+          });
+        }
+      } catch (...) {
+        for (auto& t : pool) t.join();
+        throw;
+      }
+      for (auto& t : pool) t.join();
+      for (const auto& e : errors)
+        if (e) std::rethrow_exception(e);
     }
     return ShardedSnapshot<T, AddMonoid>(
         std::move(parts), std::move(marks),
         epoch_.load(std::memory_order_relaxed));
+  }
+
+  /// Pinned-vs-live accounting of a sharded snapshot against this
+  /// matrix's current shard blocks (parts match shards by position).
+  /// Thread-safe: live blocks are peeked under the shard locks.
+  SnapshotMemory snapshot_memory(const ShardedSnapshot<T, AddMonoid>& snap) const {
+    std::vector<const gbx::Dcsr<T>*> snap_blocks, live_blocks;
+    snap.collect_blocks(snap_blocks);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      for (std::size_t i = 0; i < shards_[s].num_levels(); ++i)
+        if (auto h = shards_[s].level(i).storage_handle())
+          live_blocks.push_back(h.get());
+    }
+    return detail::account_blocks(std::move(snap_blocks),
+                                  std::move(live_blocks));
   }
 
   /// Whole batches applied so far (the freeze() epoch source).
@@ -155,6 +215,10 @@ class ShardedHier {
   }
 
  private:
+  /// Below this many total level-0 pending entries the per-shard folds
+  /// are cheaper than spawning worker threads for them.
+  static constexpr std::size_t kParallelFreezeMinPending = 4096;
+
   /// Writers pass through here before taking their shared slot: while a
   /// freeze is waiting for exclusivity, incoming writers yield instead
   /// of piling onto the reader side of the lock. Best-effort (a writer

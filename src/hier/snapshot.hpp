@@ -22,9 +22,11 @@
 // tracks epochs across successive snapshots.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -36,6 +38,50 @@
 #include "hier/stats.hpp"
 
 namespace hier {
+
+namespace detail {
+
+/// Deduplicate a block-pointer list in place (drop nulls and repeats).
+template <class T>
+void dedupe_blocks(std::vector<const gbx::Dcsr<T>*>& blocks) {
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  blocks.erase(std::remove(blocks.begin(), blocks.end(), nullptr),
+               blocks.end());
+}
+
+/// Identity-deduped heap bytes of a block list — THE definition of a
+/// snapshot footprint (HierSnapshot/SnapshotSet::memory_bytes and the
+/// HierStats.memory_bytes freeze() records all share it).
+template <class T>
+std::size_t deduped_bytes(std::vector<const gbx::Dcsr<T>*> blocks) {
+  dedupe_blocks(blocks);
+  std::size_t n = 0;
+  for (const auto* b : blocks) n += b->memory_bytes();
+  return n;
+}
+
+/// Classify a snapshot's deduped blocks against the source's current
+/// (live) blocks: bytes still shared with the live structure cost the
+/// reader nothing extra; the rest is pinned solely for the snapshot.
+template <class T>
+SnapshotMemory account_blocks(std::vector<const gbx::Dcsr<T>*> snap_blocks,
+                              std::vector<const gbx::Dcsr<T>*> live_blocks) {
+  dedupe_blocks(snap_blocks);
+  dedupe_blocks(live_blocks);
+  SnapshotMemory m;
+  for (const auto* b : snap_blocks) {
+    const auto bytes = static_cast<std::uint64_t>(b->memory_bytes());
+    m.total_bytes += bytes;
+    if (std::binary_search(live_blocks.begin(), live_blocks.end(), b))
+      m.live_bytes += bytes;
+    else
+      m.pinned_bytes += bytes;
+  }
+  return m;
+}
+
+}  // namespace detail
 
 /// A consistent frozen image of one hierarchical matrix: one immutable
 /// view per level plus the cut schedule, statistics, and epoch at the
@@ -122,12 +168,22 @@ class HierSnapshot {
     return acc;
   }
 
-  /// Heap bytes pinned by this snapshot (shared with the source until
-  /// the source folds past the frozen blocks).
+  /// Heap bytes this snapshot holds, deduplicated by block identity:
+  /// a block aliased by several levels (plus_assign aliasing) is counted
+  /// once. Whether those bytes are an *extra* cost depends on the live
+  /// source — see hier::snapshot_memory / SnapshotMemory for the
+  /// pinned-vs-live split.
   std::size_t memory_bytes() const {
-    std::size_t n = 0;
-    for (const auto& v : levels_) n += v.memory_bytes();
-    return n;
+    std::vector<const gbx::Dcsr<T>*> blocks;
+    collect_blocks(blocks);
+    return detail::deduped_bytes(std::move(blocks));
+  }
+
+  /// Append this snapshot's raw block pointers (for identity-based
+  /// accounting across snapshots/parts; nulls from empty views skipped).
+  void collect_blocks(std::vector<const gbx::Dcsr<T>*>& out) const {
+    for (const auto& v : levels_)
+      if (v.shared_storage()) out.push_back(v.shared_storage().get());
   }
 
  private:
@@ -152,6 +208,7 @@ struct SnapshotWatermark {
 template <class T, class AddMonoid = gbx::PlusMonoid<T>>
 class SnapshotSet {
  public:
+  using value_type = T;
   using part_type = HierSnapshot<T, AddMonoid>;
   using matrix_type = gbx::Matrix<T, AddMonoid>;
 
@@ -183,6 +240,22 @@ class SnapshotSet {
     return n;
   }
 
+  /// Entry lookup across every part and level, duplicates combined with
+  /// the fold monoid in part-major order — the exact per-coordinate
+  /// combination order of to_matrix(), so the two read paths agree
+  /// bit-for-bit (delta extraction relies on this).
+  std::optional<T> extract_element(gbx::Index i, gbx::Index j) const {
+    std::optional<T> acc;
+    for (const auto& p : parts_) {
+      for (std::size_t l = 0; l < p.num_levels(); ++l) {
+        if (auto x = p.level(l).get(i, j)) {
+          acc = acc ? std::optional<T>(AddMonoid::apply(*acc, *x)) : x;
+        }
+      }
+    }
+    return acc;
+  }
+
   /// Fold all parts' values into one scalar with the fold monoid (no
   /// materialization; same partial-value caveat as HierSnapshot::reduce).
   T reduce() const {
@@ -201,10 +274,18 @@ class SnapshotSet {
     return acc;
   }
 
+  /// Heap bytes held by the whole set, deduplicated by block identity
+  /// across parts AND levels (blocks shared between parts — e.g. after
+  /// merge surgery — are counted once).
   std::size_t memory_bytes() const {
-    std::size_t n = 0;
-    for (const auto& p : parts_) n += p.memory_bytes();
-    return n;
+    std::vector<const gbx::Dcsr<T>*> blocks;
+    collect_blocks(blocks);
+    return detail::deduped_bytes(std::move(blocks));
+  }
+
+  /// Append every part's raw block pointers (identity accounting).
+  void collect_blocks(std::vector<const gbx::Dcsr<T>*>& out) const {
+    for (const auto& p : parts_) p.collect_blocks(out);
   }
 
  private:
@@ -227,6 +308,12 @@ using ShardedSnapshot = SnapshotSet<T, AddMonoid>;
 template <class Source>
 class SnapshotEngine {
  public:
+  /// Warning callback: a reader is holding epoch `held` while the engine
+  /// has already seen `current` — the held snapshot pins blocks the
+  /// writer may long have folded past (see SnapshotMemory).
+  using StalenessHook =
+      std::function<void(std::uint64_t held, std::uint64_t current)>;
+
   explicit SnapshotEngine(Source& source) : source_(&source) {}
 
   /// Take a fresh consistent snapshot and record its epoch.
@@ -243,6 +330,32 @@ class SnapshotEngine {
     return snap;
   }
 
+  /// Install the staleness warning: whenever check_staleness() observes a
+  /// held epoch more than `max_epoch_lag` behind the newest acquired
+  /// epoch, `hook` fires. Install before readers start (not synchronized
+  /// against concurrent check_staleness calls).
+  void set_staleness_hook(std::uint64_t max_epoch_lag, StalenessHook hook) {
+    staleness_lag_ = max_epoch_lag;
+    staleness_hook_ = std::move(hook);
+  }
+
+  /// Readers holding a snapshot call this to self-report; fires the hook
+  /// (and returns true) when the held epoch lags too far behind the
+  /// engine's newest. IncrementalEngine calls it on every refresh for
+  /// the snapshot it carried between passes.
+  bool check_staleness(std::uint64_t held_epoch) const {
+    const std::uint64_t current = last_epoch_.load(std::memory_order_relaxed);
+    if (current <= held_epoch) return false;
+    if (current - held_epoch <= staleness_lag_) return false;
+    if (staleness_hook_) staleness_hook_(held_epoch, current);
+    return true;
+  }
+
+  template <class Snap>
+  bool check_staleness(const Snap& held) const {
+    return check_staleness(held.epoch());
+  }
+
   std::uint64_t snapshots_taken() const {
     return snapshots_.load(std::memory_order_relaxed);
   }
@@ -257,6 +370,48 @@ class SnapshotEngine {
   Source* source_;
   std::atomic<std::uint64_t> snapshots_{0};
   std::atomic<std::uint64_t> last_epoch_{0};
+  std::uint64_t staleness_lag_ = ~std::uint64_t{0};  ///< default: never warn
+  StalenessHook staleness_hook_;
 };
+
+template <class T, class AddMonoid>
+class HierMatrix;  // hier/hier_matrix.hpp
+template <class T, class AddMonoid>
+class InstanceArray;  // hier/instance_array.hpp
+
+/// Pinned-vs-live accounting of a snapshot against the matrix it froze:
+/// blocks still referenced by the live levels are "live" (holding the
+/// snapshot costs nothing extra); blocks the writer has folded past are
+/// "pinned" (retained solely for this reader). Call on the matrix's
+/// owning thread (or while it is quiescent): the live block peek is
+/// side-effect-free but not synchronized against a concurrent writer.
+template <class T, class M>
+SnapshotMemory snapshot_memory(const HierSnapshot<T, M>& snap,
+                               const HierMatrix<T, M>& source) {
+  std::vector<const gbx::Dcsr<T>*> snap_blocks, live_blocks;
+  snap.collect_blocks(snap_blocks);
+  for (std::size_t i = 0; i < source.num_levels(); ++i)
+    if (auto h = source.level(i).storage_handle())
+      live_blocks.push_back(h.get());
+  return detail::account_blocks(std::move(snap_blocks),
+                                std::move(live_blocks));
+}
+
+/// Set-level accounting: one SnapshotSet (ParallelStream lanes) against
+/// the InstanceArray backing it, parts matched to instances by position.
+/// Same threading caveat as the single-matrix overload.
+template <class T, class M>
+SnapshotMemory snapshot_memory(const SnapshotSet<T, M>& snap,
+                               const InstanceArray<T, M>& source) {
+  std::vector<const gbx::Dcsr<T>*> snap_blocks, live_blocks;
+  snap.collect_blocks(snap_blocks);
+  for (std::size_t p = 0; p < source.size(); ++p) {
+    const auto& m = source.instance(p);
+    for (std::size_t i = 0; i < m.num_levels(); ++i)
+      if (auto h = m.level(i).storage_handle()) live_blocks.push_back(h.get());
+  }
+  return detail::account_blocks(std::move(snap_blocks),
+                                std::move(live_blocks));
+}
 
 }  // namespace hier

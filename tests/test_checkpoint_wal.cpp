@@ -118,6 +118,123 @@ TEST(CheckpointWal, CrashRecoveryThroughDiskAndLogReplay) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// hier::recover(): automatic checkpoint-epoch cut (ISSUE 3 satellite).
+// The caller no longer tracks the checkpoint LSN by hand — recover()
+// reads epoch E from the checkpoint and replays exactly the WAL records
+// above it, rejecting torn, overlapping, and gapped suffixes.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointWal, RecoverCutsWalAtCheckpointEpochAutomatically) {
+  const auto cuts = CutPolicy::geometric(3, 1024, 16);
+  const std::size_t pre = 8, post = 7, batch_size = 5000;
+
+  gen::KroneckerParams kp;
+  kp.scale = 17;
+  kp.seed = 99;
+  gen::KroneckerGenerator g(kp);
+
+  std::stringstream wal_ss, ckpt_ss;
+  hier::BatchWal<double> wal(wal_ss);
+  HierMatrix<double> live(kDim, kDim, cuts);
+
+  for (std::size_t s = 0; s < pre; ++s)
+    wal.log_and_update(live, g.batch<double>(batch_size));
+  hier::checkpoint(ckpt_ss, live);
+  for (std::size_t s = 0; s < post; ++s)
+    wal.log_and_update(live, g.batch<double>(batch_size));
+  EXPECT_EQ(wal.records(), pre + post);
+
+  // --- crash: recover from the checkpoint + the FULL log. recover()
+  // itself finds the cut (epoch E = pre) and skips the prefix.
+  hier::RecoveryReport rep;
+  auto recovered = hier::recover<double>(ckpt_ss, wal_ss, &rep);
+  EXPECT_EQ(rep.checkpoint_epoch, pre);
+  EXPECT_EQ(rep.skipped_records, pre);
+  EXPECT_EQ(rep.replayed_records, post);
+  EXPECT_EQ(rep.replayed_entries, post * batch_size);
+
+  EXPECT_TRUE(gbx::equal(recovered.snapshot(), live.snapshot()));
+  EXPECT_EQ(recovered.epoch(), live.epoch());
+  EXPECT_EQ(recovered.stats().entries_appended, live.stats().entries_appended);
+  ASSERT_EQ(recovered.stats().level.size(), live.stats().level.size());
+  for (std::size_t i = 0; i < live.stats().level.size(); ++i)
+    EXPECT_EQ(recovered.stats().level[i].folds, live.stats().level[i].folds);
+}
+
+TEST(CheckpointWal, RecoverRejectsTornSuffix) {
+  std::stringstream wal_ss, ckpt_ss;
+  hier::BatchWal<double> wal(wal_ss);
+  HierMatrix<double> live(kDim, kDim, CutPolicy::geometric(2, 64, 2));
+
+  gbx::Tuples<double> b;
+  for (int k = 0; k < 50; ++k) b.push_back(k, k + 1, 1.0);
+  wal.log_and_update(live, b);
+  hier::checkpoint(ckpt_ss, live);
+  wal.log_and_update(live, b);
+
+  // A crash mid-append: drop the tail of the last record.
+  std::string torn = wal_ss.str();
+  torn.resize(torn.size() - 9);
+  std::istringstream torn_ss(torn);
+  EXPECT_THROW(hier::recover<double>(ckpt_ss, torn_ss), gbx::Error);
+}
+
+TEST(CheckpointWal, RecoverRejectsOverlappingSuffix) {
+  std::stringstream wal_ss, ckpt_ss;
+  hier::BatchWal<double> wal(wal_ss);
+  HierMatrix<double> live(kDim, kDim, CutPolicy::geometric(2, 64, 2));
+  hier::checkpoint(ckpt_ss, live);  // E = 0
+
+  gbx::Tuples<double> b;
+  b.push_back(1, 2, 3.0);
+  wal.log(1, b);
+  wal.log(2, b);
+  wal.log(2, b);  // duplicate epoch: two writers on one log
+  EXPECT_THROW(hier::recover<double>(ckpt_ss, wal_ss), gbx::Error);
+}
+
+TEST(CheckpointWal, RecoverRejectsGappedSuffix) {
+  gbx::Tuples<double> b;
+  b.push_back(1, 2, 3.0);
+
+  // Gap at the cut: checkpoint says E=0 but the log starts at epoch 2.
+  {
+    std::stringstream wal_ss, ckpt_ss;
+    hier::BatchWal<double> wal(wal_ss);
+    HierMatrix<double> live(kDim, kDim, CutPolicy::geometric(2, 64, 2));
+    hier::checkpoint(ckpt_ss, live);
+    wal.log(2, b);
+    EXPECT_THROW(hier::recover<double>(ckpt_ss, wal_ss), gbx::Error);
+  }
+  // Gap inside the suffix: epochs 1, 3.
+  {
+    std::stringstream wal_ss, ckpt_ss;
+    hier::BatchWal<double> wal(wal_ss);
+    HierMatrix<double> live(kDim, kDim, CutPolicy::geometric(2, 64, 2));
+    hier::checkpoint(ckpt_ss, live);
+    wal.log(1, b);
+    wal.log(3, b);
+    EXPECT_THROW(hier::recover<double>(ckpt_ss, wal_ss), gbx::Error);
+  }
+}
+
+TEST(CheckpointWal, RecoverRejectsCorruptPayload) {
+  std::stringstream wal_ss, ckpt_ss;
+  hier::BatchWal<double> wal(wal_ss);
+  HierMatrix<double> live(kDim, kDim, CutPolicy::geometric(2, 64, 2));
+  hier::checkpoint(ckpt_ss, live);
+  gbx::Tuples<double> b;
+  for (int k = 0; k < 8; ++k) b.push_back(k, k, 1.0);
+  wal.log(1, b);
+
+  // Flip one payload byte: the record checksum must catch it.
+  std::string blob = wal_ss.str();
+  blob[3 * sizeof(std::uint64_t) + 5] ^= 0x5a;
+  std::istringstream bad(blob);
+  EXPECT_THROW(hier::recover<double>(ckpt_ss, bad), gbx::Error);
+}
+
 TEST(CheckpointWal, RestoreRejectsCorruptMagic) {
   std::stringstream ss;
   HierMatrix<double> h(kDim, kDim, CutPolicy::geometric(2, 64, 2));

@@ -332,4 +332,61 @@ TEST(SnapshotConcurrency, ShardedFreezeSeesWholeBatchPrefixes) {
   EXPECT_EQ(snaps.back().epoch(), kWriters * kMaxBatches);
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot deltas under live ingest: pairs of snapshots taken while
+// pump() runs are diffed on the reader thread. Epoch-ordered pairs from
+// one source must never report removals, and patching the older image
+// with the delta must reproduce the newer one bit-for-bit — the
+// incremental-analytics invariant, verified mid-stream.
+// ---------------------------------------------------------------------------
+TEST(SnapshotConcurrency, DiffDuringPumpPatchesExactly) {
+  HHGBX_PROP_SEED(seed, kSeedPump ^ 0xD1FF);
+  const std::size_t lanes = 2, sets = 30, set_size = 300;
+  const Index dim = 1u << 14;
+  LaneScript script(proptest::mix(seed ^ 1), lanes, sets, set_size, dim);
+
+  InstanceArray<double> array(lanes, dim, dim, CutPolicy({64, 1024}));
+  ParallelStream<double> engine(array);
+
+  std::thread analyst([&] {
+    auto prev = engine.snapshot();
+    for (int s = 0; s < 6; ++s) {
+      auto cur = engine.snapshot();
+      EXPECT_GE(cur.epoch(), prev.epoch());
+      auto d = hier::snapshot_diff(prev, cur);
+      EXPECT_TRUE(d.removed.empty())
+          << "streaming source lost entries between epochs " << d.epoch_from
+          << " and " << d.epoch_to;
+      EXPECT_LE(d.stats.levels_reused, d.stats.levels_total);
+      // Patch the old Σ Ai with the delta's new values (right-biased
+      // union merge): must equal the new Σ Ai exactly.
+      gbx::Tuples<double> patch;
+      patch.append(d.added);
+      for (const auto& c : d.changed) patch.push_back(c.row, c.col, c.new_val);
+      auto patched = prev.to_matrix();
+      if (!patch.empty()) {
+        patch.sort_dedup<gbx::PlusMonoid<double>>();
+        patched = gbx::Matrix<double>::adopt(
+            patched.nrows(), patched.ncols(),
+            gbx::ewise_add<gbx::Second<double>>(
+                patched.storage(),
+                gbx::Dcsr<double>::from_sorted_unique(patch.entries())));
+      }
+      EXPECT_TRUE(gbx::equal(patched, cur.to_matrix()));
+      prev = std::move(cur);
+    }
+  });
+
+  auto report = engine.pump(sets, set_size, [&](std::size_t p) {
+    return ScriptGen{&script.batches[p]};
+  });
+  analyst.join();
+  ASSERT_EQ(report.entries, lanes * sets * set_size);
+
+  // Post-run sanity: final quiescent image equals the dense replay.
+  auto final_snap = engine.snapshot();
+  for (std::size_t p = 0; p < lanes; ++p)
+    EXPECT_TRUE(script.prefix_ref[p][sets].matches(final_snap.part(p)));
+}
+
 }  // namespace
