@@ -18,6 +18,13 @@
 #                           and summary counts, tolerance-exact warm
 #                           PageRank). Exactness is enforced on every
 #                           host; the bench exits non-zero on any miss.
+#   bench_ingest_hotpath  — fused radix fold pipeline vs the seed
+#                           pipeline on identical streams: single-lane
+#                           fold throughput must be ≥
+#                           BENCH_INGEST_MIN_SPEEDUP (default 1.5) and
+#                           Σ Ai must be bit-identical to direct
+#                           accumulation. INGEST_SETS / INGEST_SET_SIZE
+#                           shrink the workload for CI.
 #
 # Usage: scripts/run_benches.sh [build-dir] [output-dir]
 set -u
@@ -29,6 +36,11 @@ PER_BENCH_TIMEOUT="${BENCH_TIMEOUT:-900}"
 export SNAPQ_MAX_DEGRADATION="${SNAPQ_MAX_DEGRADATION:-0.30}"
 # Speedup floor for bench_snapshot_delta (ISSUE acceptance: 5x).
 export BENCH_DELTA_MIN_SPEEDUP="${BENCH_DELTA_MIN_SPEEDUP:-5.0}"
+# Speedup floor for bench_ingest_hotpath (ISSUE acceptance: 1.5x).
+export BENCH_INGEST_MIN_SPEEDUP="${BENCH_INGEST_MIN_SPEEDUP:-1.5}"
+# Space-separated bench names to skip (e.g. a gate already run by a
+# dedicated CI step — avoids paying for the same bench twice).
+BENCH_SKIP="${BENCH_SKIP:-}"
 
 if [ ! -d "${BUILD_DIR}/bench" ]; then
   echo "error: ${BUILD_DIR}/bench not found — configure with -DHHGBX_BUILD_BENCH=ON and build first" >&2
@@ -41,6 +53,9 @@ overall=0
 for exe in "${BUILD_DIR}"/bench/bench_*; do
   [ -x "${exe}" ] || continue
   name="$(basename "${exe}")"
+  case " ${BENCH_SKIP} " in
+    *" ${name} "*) echo "== ${name} (skipped via BENCH_SKIP)"; continue ;;
+  esac
   log="${OUT_DIR}/${name}.txt"
   json="${OUT_DIR}/BENCH_${name}.json"
 

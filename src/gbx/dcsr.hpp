@@ -28,10 +28,20 @@ class Dcsr {
   Dcsr() { ptr_.push_back(0); }
 
   /// Build from entries sorted by (row, col) with no duplicate keys.
-  /// Precondition checked in debug paths via validate().
+  /// Precondition checked in debug paths via validate(). (The fused fold
+  /// pipeline builds through gbx::build_from_run into recycled blocks
+  /// instead; this remains the one-shot constructor and the legacy fold
+  /// path's delta assembly.)
   static Dcsr from_sorted_unique(std::span<const Entry<T>> entries) {
     Dcsr d;
     d.ptr_.clear();
+    // One pre-scan for the exact row count: all four arrays land at
+    // final capacity in a single allocation each, no push_back regrowth.
+    std::size_t nrows = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+      if (i == 0 || entries[i].row != entries[i - 1].row) ++nrows;
+    d.rows_.reserve(nrows);
+    d.ptr_.reserve(nrows + 1);
     d.cols_.reserve(entries.size());
     d.vals_.reserve(entries.size());
     for (const auto& e : entries) {

@@ -5,7 +5,10 @@
 // of these merges. The kernel is a two-pass rowwise merge: pass 1 counts
 // the union/intersection size per output row (parallel), pass 2 fills
 // (parallel), so the output DCSR is assembled without locks or
-// reallocation.
+// reallocation. ewise_add_into is the arena variant the fold pipeline
+// uses: row-merge scratch comes from a ScratchPool and the output lands
+// in a caller-recycled Dcsr, so steady-state cascade folds touch the
+// heap only when capacities grow.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +16,7 @@
 
 #include "gbx/dcsr.hpp"
 #include "gbx/parallel.hpp"
+#include "gbx/scratch.hpp"
 
 namespace gbx {
 
@@ -20,8 +24,48 @@ namespace detail {
 
 inline constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
 
-/// Union-merge the non-empty row lists of A and B. For each output row
+/// Union-merge the non-empty row lists of A and B into caller-provided
+/// arrays of capacity ra.size() + rb.size(). For each output row
 /// produces the indices of that row in A and in B (kNoRow if absent).
+/// Returns the number of output rows.
+inline std::size_t merge_row_lists_into(std::span<const Index> ra,
+                                        std::span<const Index> rb,
+                                        Index* out_rows, std::size_t* ia,
+                                        std::size_t* ib) {
+  std::size_t a = 0, b = 0, k = 0;
+  while (a < ra.size() && b < rb.size()) {
+    if (ra[a] < rb[b]) {
+      out_rows[k] = ra[a];
+      ia[k] = a++;
+      ib[k] = kNoRow;
+    } else if (rb[b] < ra[a]) {
+      out_rows[k] = rb[b];
+      ia[k] = kNoRow;
+      ib[k] = b++;
+    } else {
+      out_rows[k] = ra[a];
+      ia[k] = a++;
+      ib[k] = b++;
+    }
+    ++k;
+  }
+  for (; a < ra.size(); ++a, ++k) {
+    out_rows[k] = ra[a];
+    ia[k] = a;
+    ib[k] = kNoRow;
+  }
+  for (; b < rb.size(); ++b, ++k) {
+    out_rows[k] = rb[b];
+    ia[k] = kNoRow;
+    ib[k] = b;
+  }
+  return k;
+}
+
+/// Vector-output variant (delta.hpp and ewise_mult still use it).
+/// reserve + push_back: resize() would zero-fill three O(rows) arrays
+/// that the merge immediately overwrites — real bandwidth on
+/// hypersparse blocks where rows ≈ nnz.
 inline void merge_row_lists(std::span<const Index> ra, std::span<const Index> rb,
                             std::vector<Index>& out_rows,
                             std::vector<std::size_t>& ia,
@@ -87,20 +131,27 @@ inline std::size_t intersect_count(std::span<const Index> ca,
 
 }  // namespace detail
 
-/// C = A ⊕ B (set union; both-present entries combined with Op).
+/// C = A ⊕ B (set union; both-present entries combined with Op), built
+/// into a caller-recycled output block: C's vectors are resized, never
+/// reallocated once their capacity has plateaued, and the row-merge
+/// scratch leases from `pool`. This is the cascade-fold merge — called
+/// every time a level folds into the next — so it must not allocate at
+/// steady state. Preconditions: A and B non-empty, C aliases neither.
 /// Op must be commutative when used from order-agnostic callers.
 template <class Op, class T>
-Dcsr<T> ewise_add(const Dcsr<T>& A, const Dcsr<T>& B) {
-  if (A.empty()) return B;
-  if (B.empty()) return A;
-
-  std::vector<Index> rows;
-  std::vector<std::size_t> ia, ib;
-  detail::merge_row_lists(A.rows(), B.rows(), rows, ia, ib);
-  const std::size_t nr = rows.size();
+void ewise_add_into(const Dcsr<T>& A, const Dcsr<T>& B, Dcsr<T>& C,
+                    ScratchPool& pool) {
+  const std::size_t maxr = A.rows().size() + B.rows().size();
+  auto rows = pool.acquire<Index>(maxr);
+  auto ia = pool.acquire<std::size_t>(maxr);
+  auto ib = pool.acquire<std::size_t>(maxr);
+  const std::size_t nr = detail::merge_row_lists_into(
+      A.rows(), B.rows(), rows.data(), ia.data(), ib.data());
 
   // Pass 1: exact per-row output counts.
-  std::vector<Offset> ptr(nr + 1, 0);
+  auto& cp = C.mutable_ptr();
+  cp.resize(nr + 1);
+  cp[0] = 0;
 #pragma omp parallel for schedule(guided)
   for (std::size_t k = 0; k < nr; ++k) {
     const std::size_t a = ia[k], b = ib[k];
@@ -114,18 +165,15 @@ Dcsr<T> ewise_add(const Dcsr<T>& A, const Dcsr<T>& B) {
           A.cols().subspan(A.ptr()[a], A.ptr()[a + 1] - A.ptr()[a]),
           B.cols().subspan(B.ptr()[b], B.ptr()[b + 1] - B.ptr()[b]));
     }
-    ptr[k + 1] = cnt;
+    cp[k + 1] = cnt;
   }
-  for (std::size_t k = 0; k < nr; ++k) ptr[k + 1] += ptr[k];
+  for (std::size_t k = 0; k < nr; ++k) cp[k + 1] += cp[k];
 
-  Dcsr<T> C;
-  C.mutable_rows() = std::move(rows);
-  C.mutable_ptr() = std::move(ptr);
-  C.mutable_cols().resize(C.mutable_ptr()[nr]);
-  C.mutable_vals().resize(C.mutable_ptr()[nr]);
+  C.mutable_rows().assign(rows.data(), rows.data() + nr);
+  C.mutable_cols().resize(cp[nr]);
+  C.mutable_vals().resize(cp[nr]);
 
   // Pass 2: fill.
-  auto& cp = C.mutable_ptr();
   auto& cc = C.mutable_cols();
   auto& cv = C.mutable_vals();
 #pragma omp parallel for schedule(guided)
@@ -170,6 +218,16 @@ Dcsr<T> ewise_add(const Dcsr<T>& A, const Dcsr<T>& B) {
       cv[w] = B.vals()[pb];
     }
   }
+}
+
+/// C = A ⊕ B returning a fresh block. Delegates to ewise_add_into with
+/// the calling thread's scratch pool (row-merge scratch recycled).
+template <class Op, class T>
+Dcsr<T> ewise_add(const Dcsr<T>& A, const Dcsr<T>& B) {
+  if (A.empty()) return B;
+  if (B.empty()) return A;
+  Dcsr<T> C;
+  ewise_add_into<Op>(A, B, C, ScratchPool::local());
   return C;
 }
 

@@ -1,0 +1,442 @@
+// gbx/fold.hpp — the fused pending-fold pipeline.
+//
+// The seed fold path ran three separate kernels per cascade fold, each
+// with its own allocations: comparison sort over AoS entries, a dedup
+// pass, Dcsr::from_sorted_unique into a fresh block, then a two-pass
+// ewise union producing yet another block. This header fuses the chain:
+//
+//   pending entries ── radix sort (packed keys, SoA, scratch-backed)
+//                   ── dedup during the final scatter pass
+//                   ── one streaming merge straight into the destination
+//                      level's DCSR (no intermediate Dcsr, exact-capacity
+//                      reserve into a recycled spare block)
+//
+// `with_fold_run` produces the sorted unique run (zero-copy view over
+// ScratchPool buffers on the packed fast path, over the pending vector
+// itself on the comparison fallback); `merge_run_into` / `build_from_run`
+// consume it. gbx::Matrix drives the pipeline from materialize(),
+// plus_assign() and fold_from().
+//
+// A global pipeline switch keeps the pre-PR kernels selectable at
+// runtime so differential tests and the ingest bench can pit the two
+// implementations against each other on identical streams.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gbx/dcsr.hpp"
+#include "gbx/scratch.hpp"
+#include "gbx/sort.hpp"
+
+namespace gbx {
+
+/// Which fold implementation gbx::Matrix uses. kLegacy replays the seed
+/// pipeline (comparison sort + dedup + from_sorted_unique + ewise_add
+/// with fresh allocations); kFused is the radix/scratch pipeline above.
+/// Process-global and meant to be flipped only from quiescent test/bench
+/// harness code, not while folds are in flight.
+enum class FoldPipeline { kLegacy, kFused };
+
+namespace detail {
+inline std::atomic<FoldPipeline> g_fold_pipeline{FoldPipeline::kFused};
+}  // namespace detail
+
+inline FoldPipeline fold_pipeline() {
+  return detail::g_fold_pipeline.load(std::memory_order_relaxed);
+}
+inline void set_fold_pipeline(FoldPipeline p) {
+  detail::g_fold_pipeline.store(p, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+/// Sorted unique run in packed-key SoA form (ScratchPool-backed).
+template <class T>
+struct PackedRun {
+  const std::uint64_t* keys;
+  const T* vals;
+  std::size_t n;
+  int col_bits;
+  std::uint64_t col_mask;
+
+  std::size_t size() const { return n; }
+  Index row(std::size_t i) const {
+    return static_cast<Index>(keys[i] >> col_bits);
+  }
+  Index col(std::size_t i) const {
+    return static_cast<Index>(keys[i] & col_mask);
+  }
+  const T& val(std::size_t i) const { return vals[i]; }
+};
+
+/// Sorted unique run over entry structs (comparison-fallback form).
+template <class T>
+struct AosRun {
+  const Entry<T>* e;
+  std::size_t n;
+
+  std::size_t size() const { return n; }
+  Index row(std::size_t i) const { return e[i].row; }
+  Index col(std::size_t i) const { return e[i].col; }
+  const T& val(std::size_t i) const { return e[i].val; }
+};
+
+/// Radix sort + fused dedup of n (key, value) pairs. Serially the dedup
+/// happens inside the final scatter pass: LSD stability makes equal keys
+/// arrive consecutively per bucket, so the scatter folds into the
+/// bucket's last written slot instead of advancing, and a short
+/// bucket-compaction walk closes the gaps. The parallel path sorts with
+/// per-thread histograms and dedups in one linear SoA pass. Returns the
+/// number of unique keys; *out_flip says which ping-pong buffer holds
+/// them.
+template <class MonoidT, class T>
+std::size_t radix_sort_dedup_pairs(std::uint64_t* k0, T* v0,
+                                   std::uint64_t* k1, T* v1, std::size_t n,
+                                   int total_bits, ScratchPool& pool,
+                                   bool* out_flip) {
+  *out_flip = false;
+  if (n == 0) return 0;
+  const int threads = max_threads();
+
+  if (threads > 1 && n >= kParallelSortCutoff) {
+    *out_flip = radix_sort_pairs(k0, v0, k1, v1, n, total_bits, pool);
+    std::uint64_t* k = *out_flip ? k1 : k0;
+    T* v = *out_flip ? v1 : v0;
+    return dedup_pairs<MonoidT>(k, v, n);
+  }
+
+  // Serial: all per-pass histograms in one read (shared radix helpers);
+  // the last non-constant pass doubles as the dedup pass.
+  const int digit_bits = total_bits == 0 ? 1 : radix_digit_bits(total_bits);
+  const int buckets = 1 << digit_bits;
+  const std::uint64_t mask = static_cast<std::uint64_t>(buckets - 1);
+  const int npasses = (total_bits + digit_bits - 1) / digit_bits;
+  auto hist = pool.acquire<Offset>(static_cast<std::size_t>(npasses ? npasses : 1) *
+                                   static_cast<std::size_t>(buckets));
+  radix_histograms(k0, n, npasses, digit_bits, buckets, mask, hist.data());
+  auto h_at = [&](int p) {
+    return hist.data() + static_cast<std::size_t>(p) * buckets;
+  };
+
+  int last_active = -1;
+  for (int p = 0; p < npasses; ++p)
+    if (!radix_digit_constant(h_at(p), buckets, n)) last_active = p;
+  if (last_active < 0) {
+    // Every key identical: fold all values into slot 0.
+    for (std::size_t i = 1; i < n; ++i) v0[0] = MonoidT::apply(v0[0], v0[i]);
+    return 1;
+  }
+
+  std::uint64_t* ka = k0;
+  T* va = v0;
+  std::uint64_t* kb = k1;
+  T* vb = v1;
+  bool flip = false;
+  for (int p = 0; p < last_active; ++p) {
+    const Offset* h = h_at(p);
+    if (radix_digit_constant(h, buckets, n)) continue;
+    radix_scatter_pass(ka, va, kb, vb, n, p * digit_bits, mask, h, buckets);
+    std::swap(ka, kb);
+    std::swap(va, vb);
+    flip = !flip;
+  }
+
+  // Final pass: scatter with in-bucket dedup. Equal full keys share
+  // every digit, and the input is sorted (stably) by all lower digits,
+  // so within a bucket they arrive back to back — comparing against the
+  // bucket's last written key is enough.
+  {
+    const int shift = last_active * digit_bits;
+    const Offset* h = h_at(last_active);
+    Offset start[kRadixMaxBuckets];
+    Offset cur[kRadixMaxBuckets];
+    Offset acc = 0;
+    for (int d = 0; d < buckets; ++d) {
+      start[d] = acc;
+      cur[d] = acc;
+      acc += h[d];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto d = (ka[i] >> shift) & mask;
+      const Offset w = cur[d];
+      if (w > start[d] && kb[w - 1] == ka[i]) {
+        vb[w - 1] = MonoidT::apply(vb[w - 1], va[i]);
+      } else {
+        kb[w] = ka[i];
+        vb[w] = va[i];
+        cur[d] = w + 1;
+      }
+    }
+    // Compact the per-bucket gaps left by folded duplicates.
+    std::size_t w = 0;
+    for (int d = 0; d < buckets; ++d) {
+      const std::size_t lo = start[d];
+      const std::size_t len = cur[d] - start[d];
+      if (len == 0) continue;
+      if (w != lo) {
+        std::copy(kb + lo, kb + lo + len, kb + w);
+        std::copy(vb + lo, vb + lo + len, vb + w);
+      }
+      w += len;
+    }
+    flip = !flip;
+    *out_flip = flip;
+    return w;
+  }
+}
+
+}  // namespace detail
+
+/// Sort `pending` by (row, col), fold duplicate keys with MonoidT, and
+/// invoke f(run) with a zero-copy view of the sorted unique run. The run
+/// lives in ScratchPool buffers (packed radix fast path) or in `pending`
+/// itself (std::sort below the cutoff, comparison sample sort when the
+/// coordinates cannot pack into 64 bits) and is valid only inside f.
+/// `pending`'s contents are consumed (left unspecified).
+template <class MonoidT, class T, class F>
+void with_fold_run(std::vector<Entry<T>>& pending, ScratchPool& pool, F&& f) {
+  const std::size_t n = pending.size();
+  if (n == 0) {
+    f(detail::AosRun<T>{pending.data(), 0});
+    return;
+  }
+  if (n < detail::kRadixSortCutoff) {
+    std::sort(pending.begin(), pending.end(), entry_less<T>);
+    const std::size_t m = dedup_sorted_entries<MonoidT>(pending);
+    f(detail::AosRun<T>{pending.data(), m});
+    return;
+  }
+  const auto layout = detail::radix_layout(pending.data(), n);
+  if (!layout.packable) {
+    sort_entries_comparison(pending);
+    const std::size_t m = dedup_sorted_entries_parallel<MonoidT>(pending);
+    f(detail::AosRun<T>{pending.data(), m});
+    return;
+  }
+  auto k0 = pool.acquire<std::uint64_t>(n);
+  auto k1 = pool.acquire<std::uint64_t>(n);
+  auto v0 = pool.acquire<T>(n);
+  auto v1 = pool.acquire<T>(n);
+  detail::pack_keys(pending.data(), n, layout, k0.data(), v0.data());
+  bool flip = false;
+  const std::size_t m = detail::radix_sort_dedup_pairs<MonoidT>(
+      k0.data(), v0.data(), k1.data(), v1.data(), n, layout.total_bits, pool,
+      &flip);
+  f(detail::PackedRun<T>{flip ? k1.data() : k0.data(),
+                         flip ? v1.data() : v0.data(), m, layout.col_bits,
+                         layout.col_mask});
+}
+
+/// Build `out` from a sorted unique run alone (empty-destination fold).
+/// Reuses out's vector capacity; no other allocation.
+template <class T, class Run>
+void build_from_run(const Run& run, Dcsr<T>& out) {
+  auto& rows = out.mutable_rows();
+  auto& ptr = out.mutable_ptr();
+  auto& cols = out.mutable_cols();
+  auto& vals = out.mutable_vals();
+  rows.clear();
+  ptr.clear();
+  cols.clear();
+  vals.clear();
+  const std::size_t n = run.size();
+  cols.reserve(n);
+  vals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Index r = run.row(i);
+    if (rows.empty() || rows.back() != r) {
+      rows.push_back(r);
+      ptr.push_back(static_cast<Offset>(cols.size()));
+    }
+    cols.push_back(run.col(i));
+    vals.push_back(run.val(i));
+  }
+  ptr.push_back(static_cast<Offset>(cols.size()));
+}
+
+/// C = A ⊕ B in ONE serial streaming pass (exact-capacity reserve, no
+/// counting pass, no zero-fill): the serial complement of
+/// ewise_add_into's parallel counts-then-fill. With one thread the
+/// counting pass would just double the reads of both blocks, so the
+/// fold pipeline picks this variant whenever the parallel fill cannot
+/// actually run in parallel (or the blocks are small). `out` must not
+/// alias A or B; A and B non-empty.
+template <class Op, class T>
+void merge_blocks_into(const Dcsr<T>& A, const Dcsr<T>& B, Dcsr<T>& out) {
+  auto& orows = out.mutable_rows();
+  auto& optr = out.mutable_ptr();
+  auto& ocols = out.mutable_cols();
+  auto& ovals = out.mutable_vals();
+  orows.clear();
+  optr.clear();
+  ocols.clear();
+  ovals.clear();
+
+  const auto ar = A.rows(), ac = A.cols();
+  const auto br = B.rows(), bc = B.cols();
+  const auto ap = A.ptr(), bp = B.ptr();
+  const auto av = A.vals(), bv = B.vals();
+  const std::size_t nra = ar.size(), nrb = br.size();
+  orows.reserve(nra + nrb);
+  optr.reserve(nra + nrb + 1);
+  ocols.reserve(ac.size() + bc.size());
+  ovals.reserve(ac.size() + bc.size());
+
+  auto open_row = [&](Index row) {
+    orows.push_back(row);
+    optr.push_back(static_cast<Offset>(ocols.size()));
+  };
+  auto copy_row = [&](Index row, std::span<const Index> cols,
+                      std::span<const T> vals, Offset lo, Offset hi) {
+    open_row(row);
+    for (Offset p = lo; p < hi; ++p) {
+      ocols.push_back(cols[p]);
+      ovals.push_back(vals[p]);
+    }
+  };
+
+  std::size_t ka = 0, kb = 0;
+  while (ka < nra && kb < nrb) {
+    if (ar[ka] < br[kb]) {
+      copy_row(ar[ka], ac, av, ap[ka], ap[ka + 1]);
+      ++ka;
+    } else if (br[kb] < ar[ka]) {
+      copy_row(br[kb], bc, bv, bp[kb], bp[kb + 1]);
+      ++kb;
+    } else {
+      open_row(ar[ka]);
+      Offset pa = ap[ka], ea = ap[ka + 1];
+      Offset pb = bp[kb], eb = bp[kb + 1];
+      while (pa < ea && pb < eb) {
+        const Index caI = ac[pa], cbI = bc[pb];
+        if (caI < cbI) {
+          ocols.push_back(caI);
+          ovals.push_back(av[pa++]);
+        } else if (cbI < caI) {
+          ocols.push_back(cbI);
+          ovals.push_back(bv[pb++]);
+        } else {
+          ocols.push_back(caI);
+          ovals.push_back(Op::apply(av[pa++], bv[pb++]));
+        }
+      }
+      for (; pa < ea; ++pa) {
+        ocols.push_back(ac[pa]);
+        ovals.push_back(av[pa]);
+      }
+      for (; pb < eb; ++pb) {
+        ocols.push_back(bc[pb]);
+        ovals.push_back(bv[pb]);
+      }
+      ++ka;
+      ++kb;
+    }
+  }
+  for (; ka < nra; ++ka) copy_row(ar[ka], ac, av, ap[ka], ap[ka + 1]);
+  for (; kb < nrb; ++kb) copy_row(br[kb], bc, bv, bp[kb], bp[kb + 1]);
+  optr.push_back(static_cast<Offset>(ocols.size()));
+}
+
+namespace detail {
+/// Below this combined nnz the parallel counts-then-fill cannot beat
+/// the single streaming pass even with threads available.
+inline constexpr std::size_t kParallelMergeCutoff = std::size_t{1} << 20;
+}  // namespace detail
+
+/// C = A ⊕ run in ONE streaming pass: walk A's rows and the run
+/// simultaneously, emitting merged rows straight into `out` (capacity
+/// reserved to the exact upper bound up front, so no reallocation and no
+/// counting pass). Values present on both sides combine as
+/// Op::apply(A value, run value) — the same order as ewise_add(A, delta)
+/// on the legacy path. `out` must not alias A.
+template <class Op, class T, class Run>
+void merge_run_into(const Dcsr<T>& A, const Run& run, Dcsr<T>& out) {
+  auto& orows = out.mutable_rows();
+  auto& optr = out.mutable_ptr();
+  auto& ocols = out.mutable_cols();
+  auto& ovals = out.mutable_vals();
+  orows.clear();
+  optr.clear();
+  ocols.clear();
+  ovals.clear();
+
+  const auto ar = A.rows();
+  const auto ap = A.ptr();
+  const auto ac = A.cols();
+  const auto av = A.vals();
+  const std::size_t nra = ar.size();
+  const std::size_t nr = run.size();
+  orows.reserve(nra + nr);
+  optr.reserve(nra + nr + 1);
+  ocols.reserve(ac.size() + nr);
+  ovals.reserve(ac.size() + nr);
+
+  auto open_row = [&](Index row) {
+    orows.push_back(row);
+    optr.push_back(static_cast<Offset>(ocols.size()));
+  };
+  auto copy_a_row = [&](std::size_t k) {
+    open_row(ar[k]);
+    for (Offset p = ap[k]; p < ap[k + 1]; ++p) {
+      ocols.push_back(ac[p]);
+      ovals.push_back(av[p]);
+    }
+  };
+
+  std::size_t ka = 0, r = 0;
+  while (ka < nra && r < nr) {
+    const Index rowa = ar[ka];
+    const Index rowr = run.row(r);
+    if (rowa < rowr) {
+      copy_a_row(ka++);
+    } else if (rowr < rowa) {
+      open_row(rowr);
+      do {
+        ocols.push_back(run.col(r));
+        ovals.push_back(run.val(r));
+        ++r;
+      } while (r < nr && run.row(r) == rowr);
+    } else {
+      open_row(rowa);
+      Offset pa = ap[ka], ea = ap[ka + 1];
+      while (pa < ea && r < nr && run.row(r) == rowa) {
+        const Index caI = ac[pa], crI = run.col(r);
+        if (caI < crI) {
+          ocols.push_back(caI);
+          ovals.push_back(av[pa++]);
+        } else if (crI < caI) {
+          ocols.push_back(crI);
+          ovals.push_back(run.val(r++));
+        } else {
+          ocols.push_back(caI);
+          ovals.push_back(Op::apply(av[pa++], run.val(r++)));
+        }
+      }
+      for (; pa < ea; ++pa) {
+        ocols.push_back(ac[pa]);
+        ovals.push_back(av[pa]);
+      }
+      for (; r < nr && run.row(r) == rowa; ++r) {
+        ocols.push_back(run.col(r));
+        ovals.push_back(run.val(r));
+      }
+      ++ka;
+    }
+  }
+  for (; ka < nra; ++ka) copy_a_row(ka);
+  while (r < nr) {
+    const Index rowr = run.row(r);
+    open_row(rowr);
+    do {
+      ocols.push_back(run.col(r));
+      ovals.push_back(run.val(r));
+      ++r;
+    } while (r < nr && run.row(r) == rowr);
+  }
+  optr.push_back(static_cast<Offset>(ocols.size()));
+}
+
+}  // namespace gbx

@@ -18,6 +18,7 @@
 #include "gbx/ewise.hpp"
 #include "gbx/ewise_union.hpp"
 #include "gbx/extract.hpp"
+#include "gbx/fold.hpp"
 #include "gbx/index_apply.hpp"
 #include "gbx/io.hpp"
 #include "gbx/iterator.hpp"
@@ -33,6 +34,7 @@
 #include "gbx/ops.hpp"
 #include "gbx/parallel.hpp"
 #include "gbx/reduce.hpp"
+#include "gbx/scratch.hpp"
 #include "gbx/select.hpp"
 #include "gbx/semiring.hpp"
 #include "gbx/serialize.hpp"

@@ -32,11 +32,22 @@
 #include "gbx/dcsr.hpp"
 #include "gbx/error.hpp"
 #include "gbx/ewise.hpp"
+#include "gbx/fold.hpp"
 #include "gbx/monoid.hpp"
+#include "gbx/scratch.hpp"
 #include "gbx/types.hpp"
 #include "gbx/view.hpp"
 
 namespace gbx {
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GBX_HAS_FEATURE_TSAN 1
+#endif
+#endif
+#ifndef GBX_HAS_FEATURE_TSAN
+#define GBX_HAS_FEATURE_TSAN 0
+#endif
 
 template <class T, class AddMonoid = PlusMonoid<T>>
 class Matrix {
@@ -83,10 +94,13 @@ class Matrix {
 
   /// Remove all entries and release memory (cascade level reset). Shared
   /// blocks are detached, not destroyed: live views keep their data.
+  /// The recycled spare block is released too — reset means the level
+  /// really returns its heap, unlike clear()'s keep-warm semantics.
   void reset() {
     if (sole_owner()) stor_->reset();
     else stor_ = std::make_shared<Dcsr<T>>();
     pending_.reset();
+    spare_.reset();
   }
 
   /// Single-element update: A(i,j) ⊕= v. O(1) append.
@@ -134,23 +148,34 @@ class Matrix {
 
   /// Fold the pending buffer into DCSR storage. Idempotent. Logically
   /// const: a fold never changes the matrix's mathematical value.
-  /// Copy-on-fold: the merged result lands in a *new* block, so views
-  /// published before the fold are never disturbed.
+  /// Copy-on-fold: when anyone else holds the block (a published view),
+  /// the merged result lands in a *new* block, so views published before
+  /// the fold are never disturbed; a sole owner merges into the recycled
+  /// spare block and swaps — zero heap traffic at steady state.
   void materialize() const {
     if (pending_.empty()) return;
-    pending_.template sort_dedup<AddMonoid>();
-    Dcsr<T> delta = Dcsr<T>::from_sorted_unique(pending_.entries());
-    pending_.reset();
-    if (stor_->empty()) {
-      stor_ = std::make_shared<Dcsr<T>>(std::move(delta));
-    } else {
-      stor_ = std::make_shared<Dcsr<T>>(ewise_add<add_op>(*stor_, delta));
+    if (fold_pipeline() == FoldPipeline::kLegacy) {
+      // The seed pipeline, kept bit-for-bit: comparison sort, dedup,
+      // intermediate delta block, two-pass union into a fresh block.
+      sort_entries_comparison(pending_.entries());
+      dedup_sorted_entries_parallel<AddMonoid>(pending_.entries());
+      Dcsr<T> delta = Dcsr<T>::from_sorted_unique(pending_.entries());
+      pending_.reset();
+      if (stor_->empty()) {
+        stor_ = std::make_shared<Dcsr<T>>(std::move(delta));
+      } else {
+        stor_ = std::make_shared<Dcsr<T>>(ewise_add<add_op>(*stor_, delta));
+      }
+      return;
     }
+    with_fold_run<AddMonoid>(pending_.entries(), ScratchPool::local(),
+                             [&](const auto& run) { fold_run_in(run); });
+    pending_.clear();  // capacity retained: the fast level stays warm
   }
 
-  /// A ⊕= other, over the fold monoid. The cascade's fold step. Folding
-  /// into an empty matrix aliases the source block (O(1)) instead of
-  /// copying it; copy-on-fold keeps the alias safe.
+  /// A ⊕= other, over the fold monoid. Folding into an empty matrix
+  /// aliases the source block (O(1)) instead of copying it; copy-on-fold
+  /// keeps the alias safe.
   void plus_assign(const Matrix& other) {
     GBX_CHECK_DIM(nrows_ == other.nrows_ && ncols_ == other.ncols_,
                   "plus_assign dimension mismatch");
@@ -160,7 +185,7 @@ class Matrix {
     if (stor_->empty()) {
       stor_ = other.stor_;
     } else {
-      stor_ = std::make_shared<Dcsr<T>>(ewise_add<add_op>(*stor_, *other.stor_));
+      merge_block_in(*other.stor_);
     }
   }
 
@@ -180,8 +205,45 @@ class Matrix {
     if (stor_->empty()) {
       stor_ = std::const_pointer_cast<Dcsr<T>>(other.shared_storage());
     } else {
-      stor_ = std::make_shared<Dcsr<T>>(ewise_add<add_op>(*stor_, d));
+      merge_block_in(d);
     }
+  }
+
+  /// The cascade's fold step, fused: A ⊕= src (compressed AND pending
+  /// sides), then src is emptied with capacity retained. src's pending
+  /// run is sorted, deduped, and merged straight into this matrix's
+  /// block — no intermediate Dcsr is materialized in src, unlike
+  /// plus_assign(src) which first folds src's pending into src's own
+  /// storage. The hierarchical cascade calls this once per level fold,
+  /// so at steady state (capacities plateaued, no snapshot pinning the
+  /// blocks) it performs zero heap allocations.
+  void fold_from(Matrix& src) {
+    GBX_CHECK_DIM(nrows_ == src.nrows_ && ncols_ == src.ncols_,
+                  "fold_from dimension mismatch");
+    // Folding a matrix into itself would merge and then clear the same
+    // storage — silent data loss. Self-application needs plus_assign.
+    GBX_CHECK_VALUE(&src != this, "fold_from requires a distinct source");
+    if (fold_pipeline() == FoldPipeline::kLegacy) {
+      plus_assign(src);
+      src.reset();
+      return;
+    }
+    materialize();
+    // Compressed side first (present when a query materialized src, or
+    // for levels above the first, which accumulate folded blocks).
+    if (!src.stor_->empty()) {
+      if (stor_->empty()) {
+        stor_ = src.stor_;  // alias; copy-on-fold keeps it safe
+      } else {
+        merge_block_in(*src.stor_);
+      }
+    }
+    // Pending side: fused sort → dedup → merge, no intermediate block.
+    if (!src.pending_.empty()) {
+      with_fold_run<AddMonoid>(src.pending_.entries(), ScratchPool::local(),
+                               [&](const auto& run) { fold_run_in(run); });
+    }
+    src.clear();
   }
 
   /// Materialized DCSR view (folds pending first).
@@ -223,9 +285,10 @@ class Matrix {
     stor_->for_each(std::forward<F>(f));
   }
 
-  /// Heap bytes currently held (compressed + pending).
+  /// Heap bytes currently held (compressed + pending + recycled spare).
   std::size_t memory_bytes() const {
-    return stor_->memory_bytes() + pending_.memory_bytes();
+    return stor_->memory_bytes() + pending_.memory_bytes() +
+           spare_.memory_bytes();
   }
 
   /// Structural invariants of the compressed part.
@@ -237,18 +300,84 @@ class Matrix {
     GBX_CHECK_INDEX(j < ncols_, "column index out of bounds");
   }
 
+  /// Merge a sorted unique run into the compressed block (fused path).
+  template <class Run>
+  void fold_run_in(const Run& run) const {
+    if (run.size() == 0) return;
+    if (stor_->empty()) {
+      if (sole_owner()) {
+        build_from_run(run, *stor_);
+      } else {
+        auto fresh = std::make_shared<Dcsr<T>>();
+        build_from_run(run, *fresh);
+        stor_ = std::move(fresh);
+      }
+      return;
+    }
+    merge_run_into<add_op>(*stor_, run, spare_);
+    publish_spare();
+  }
+
+  /// Merge another compressed block into ours via the recycled spare.
+  /// One streaming pass when the parallel fill cannot pay for its
+  /// counting pass (serial engine or small blocks), parallel
+  /// counts-then-fill otherwise. Precondition: neither block is empty,
+  /// `other` is not `*stor_`.
+  void merge_block_in(const Dcsr<T>& other) const {
+    if (fold_pipeline() == FoldPipeline::kLegacy) {
+      stor_ = std::make_shared<Dcsr<T>>(ewise_add<add_op>(*stor_, other));
+      return;
+    }
+    if (max_threads() == 1 ||
+        stor_->nnz() + other.nnz() < detail::kParallelMergeCutoff) {
+      merge_blocks_into<add_op>(*stor_, other, spare_);
+    } else {
+      ewise_add_into<add_op>(*stor_, other, spare_, ScratchPool::local());
+    }
+    publish_spare();
+  }
+
+  /// Install the spare block as the new storage. Sole owner: swap the
+  /// vectors, so the old block's capacity becomes the next fold's output
+  /// buffer (this is what makes steady-state folds allocation-free).
+  /// Shared (a view pins the old block): move the spare into a fresh
+  /// refcounted block — copy-on-fold, the pinned views stay frozen.
+  void publish_spare() const {
+    if (sole_owner()) {
+      std::swap(*stor_, spare_);
+      spare_.clear();
+    } else {
+      stor_ = std::make_shared<Dcsr<T>>(std::move(spare_));
+      spare_ = Dcsr<T>();
+    }
+  }
+
   /// True when no view/alias shares the block, i.e. in-place mutation is
   /// allowed. New references are only ever created from this matrix on
   /// the owning thread, so an observed count of 1 is stable — but the
   /// last external release may have happened on a reader thread, whose
-  /// final loads must be ordered before our stores: hence the acquire
-  /// fence pairing with the release-decrement inside shared_ptr (the
-  /// classic COW publication edge; TSan models this as always
-  /// synchronizing and cannot flag its absence).
+  /// final loads must be ordered before our stores. The relaxed
+  /// use_count() load observing the release-decrement, followed by the
+  /// acquire fence, establishes exactly that ([atomics.fences]: a
+  /// release operation synchronizes with an acquire fence sequenced
+  /// after an atomic read of the released value) — the classic COW
+  /// publication edge.
+  ///
+  /// TSan's fence modeling cannot pair the relaxed load with the
+  /// decrement, so with the fused pipeline exercising in-place reuse on
+  /// every fold it reports the (correct) edge as a race. Under TSan the
+  /// reuse is disabled — every fold copies, like the pinned-block path —
+  /// which keeps all modelable publication edges checked; allocation
+  /// reuse itself is asserted by the plain-build zero-alloc test. Same
+  /// spirit as the preset's OpenMP opt-out for uninstrumented libgomp.
   bool sole_owner() const {
+#if defined(__SANITIZE_THREAD__) || GBX_HAS_FEATURE_TSAN
+    return false;
+#else
     if (stor_.use_count() != 1) return false;
     std::atomic_thread_fence(std::memory_order_acquire);
     return true;
+#endif
   }
 
   Index nrows_;
@@ -265,6 +394,10 @@ class Matrix {
   // Invariant: stor_ is never null.
   mutable std::shared_ptr<Dcsr<T>> stor_ = std::make_shared<Dcsr<T>>();
   mutable Tuples<T> pending_;
+  // Recycled fold output block: merges build here, then swap with the
+  // current block (sole owner) so both capacity pools ping-pong across
+  // folds. Logically empty between folds; holds capacity only.
+  mutable Dcsr<T> spare_;
 };
 
 /// Value equality: same dimensions and same stored entries (both sides

@@ -1,27 +1,48 @@
-// gbx/sort.hpp — parallel sample sort for (row, col, value) entries.
+// gbx/sort.hpp — sorting and duplicate-folding kernels for (row, col,
+// value) entries.
 //
 // Sorting a batch of updates by (row, col) is the hot kernel behind every
-// pending-tuple fold in the hierarchical cascade. We use an OpenMP sample
-// sort: pick splitters from a strided sample, scatter entries into
-// buckets with per-thread histograms, then sort buckets independently.
-// Sample sort is robust to the heavy row skew of power-law graph streams
-// (equal keys may straddle a splitter; the concatenation of sorted
-// buckets is still globally sorted, which is all dedup needs).
+// pending-tuple fold in the hierarchical cascade, so it gets two engines:
+//
+//   * LSD radix sort over a packed 64-bit key (the fast path). One scan
+//     computes the bit widths of the row and column sets; whenever
+//     bits(row) + bits(col) <= 64 the coordinate packs into a single
+//     word, key = (row << col_bits) | col, whose integer order equals the
+//     lexicographic (row, col) order. Keys and values are split into SoA
+//     ping-pong buffers (ScratchPool-backed, so steady-state folds never
+//     allocate) and sorted with 8-bit digits, least significant first;
+//     constant digits are skipped, so a scale-17 Kronecker batch needs
+//     ~4 passes instead of n log n comparisons. Per-thread histograms
+//     parallelize the counting and scatter passes when OpenMP has
+//     threads to offer. LSD radix is stable, which the fused
+//     dedup-during-final-scatter in gbx/fold.hpp relies on.
+//
+//   * Comparison sample sort (the fallback). Entries whose coordinates
+//     cannot pack into 64 bits (full IPv6-scale row AND column spaces in
+//     one batch) take the original OpenMP sample sort: splitters from a
+//     strided sample, per-thread scatter histograms, buckets sorted
+//     independently. Robust to heavy row skew; not stable.
+//
+// `sort_entries` stays the single public API and picks the engine; small
+// inputs use std::sort directly, where the scatter machinery cannot win.
 #pragma once
 
 #include <omp.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "gbx/parallel.hpp"
+#include "gbx/scratch.hpp"
 #include "gbx/types.hpp"
 
 namespace gbx {
 
 /// One stored update: matrix coordinate plus value. AoS layout keeps the
-/// sort cache-friendly.
+/// comparison sort cache-friendly; the radix path unzips to SoA.
 template <class T>
 struct Entry {
   Index row;
@@ -46,8 +67,13 @@ constexpr bool entry_key_equal(const Entry<T>& a, const Entry<T>& b) {
 
 namespace detail {
 
-/// Serial cutoff: below this, std::sort wins over the scatter machinery.
+/// Serial cutoff: below this, std::sort wins over parallel scatter
+/// machinery (both sample sort and parallel radix passes).
 inline constexpr std::size_t kParallelSortCutoff = 1u << 15;
+
+/// Below this the constant costs of pack/unpack + histograms exceed the
+/// comparison savings and sort_entries uses std::sort.
+inline constexpr std::size_t kRadixSortCutoff = 1u << 11;
 
 template <class T>
 void sample_sort(std::vector<Entry<T>>& v) {
@@ -131,18 +157,287 @@ void sample_sort(std::vector<Entry<T>>& v) {
   v.swap(tmp);
 }
 
+// ---------------------------------------------------------------------
+// Packed-key radix machinery (shared with the fused fold in gbx/fold.hpp)
+// ---------------------------------------------------------------------
+
+/// How a batch's (row, col) coordinates pack into one 64-bit key:
+/// key = (row << col_bits) | col. `packable` is false when the combined
+/// significant bits exceed 64 (e.g. full IPv6 row and column spaces in
+/// the same batch) — those batches take the comparison path.
+struct RadixLayout {
+  int col_bits = 0;
+  int total_bits = 0;
+  std::uint64_t col_mask = 0;
+  bool packable = false;
+};
+
+template <class T>
+RadixLayout radix_layout(const Entry<T>* e, std::size_t n) {
+  Index row_or = 0, col_or = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    row_or |= e[i].row;
+    col_or |= e[i].col;
+  }
+  RadixLayout l;
+  const int row_bits = std::bit_width(row_or);
+  l.col_bits = std::bit_width(col_or);
+  l.total_bits = row_bits + l.col_bits;
+  // col_bits == 64 would make the pack/decode shifts UB (shift by the
+  // full word width); it only packs when every row is 0 — not worth a
+  // special key form, the comparison fallback handles it.
+  l.packable = l.total_bits <= 64 && l.col_bits < 64;
+  l.col_mask = l.col_bits == 0
+                   ? 0
+                   : (~std::uint64_t{0} >> (64 - l.col_bits));
+  return l;
+}
+
+/// Widest digit the radix kernels use: 12 bits = 4096-bucket histograms
+/// (32 KB of Offset counters — L1/L2 resident). Wider digits mean fewer
+/// passes; the width is chosen per sort so the pass count is minimal
+/// and the bits are spread evenly across the passes.
+inline constexpr int kRadixMaxDigitBits = 12;
+inline constexpr int kRadixMaxBuckets = 1 << kRadixMaxDigitBits;
+
+/// Evenly-spread digit width for a key of `total_bits` significant bits
+/// (e.g. 34 bits -> 3 passes of 12/11/11 bits instead of 5 byte passes).
+inline int radix_digit_bits(int total_bits) {
+  const int npasses =
+      (total_bits + kRadixMaxDigitBits - 1) / kRadixMaxDigitBits;
+  return (total_bits + npasses - 1) / npasses;
+}
+
+/// All per-pass digit histograms of `k` in one read: hist[p * buckets +
+/// d] counts keys whose p-th digit is d. Shared by the sort-only and
+/// fused-dedup serial drivers.
+inline void radix_histograms(const std::uint64_t* k, std::size_t n,
+                             int npasses, int digit_bits, int buckets,
+                             std::uint64_t mask, Offset* hist) {
+  std::fill(hist, hist + static_cast<std::size_t>(npasses) *
+                             static_cast<std::size_t>(buckets),
+            Offset{0});
+  for (std::size_t i = 0; i < n; ++i)
+    for (int p = 0; p < npasses; ++p)
+      ++hist[static_cast<std::size_t>(p) * buckets +
+             ((k[i] >> (p * digit_bits)) & mask)];
+}
+
+/// True when one bucket holds every key (the pass would be a no-op).
+inline bool radix_digit_constant(const Offset* h, int buckets,
+                                 std::size_t n) {
+  for (int d = 0; d < buckets; ++d)
+    if (h[d] == n) return true;
+  return false;
+}
+
+/// One serial counting-scatter pass over (key, value) pairs: stable,
+/// bucket cursors from the digit histogram `h`.
+template <class T>
+void radix_scatter_pass(const std::uint64_t* ka, const T* va,
+                        std::uint64_t* kb, T* vb, std::size_t n, int shift,
+                        std::uint64_t mask, const Offset* h, int buckets) {
+  Offset cur[kRadixMaxBuckets];
+  Offset acc = 0;
+  for (int d = 0; d < buckets; ++d) {
+    cur[d] = acc;
+    acc += h[d];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto d = (ka[i] >> shift) & mask;
+    const Offset w = cur[d]++;
+    kb[w] = ka[i];
+    vb[w] = va[i];
+  }
+}
+
+/// Stable LSD radix sort of n (key, value) pairs by key. (k0, v0) hold
+/// the input; (k1, v1) are equal-sized scratch. Digits that are
+/// constant across every key are skipped (a scale-17 stream has ~30
+/// constant bits). Counting and scatter go parallel with per-thread
+/// chunk histograms when OpenMP offers threads and n is large. Returns
+/// true when the sorted sequence ended in (k1, v1).
+template <class T>
+bool radix_sort_pairs(std::uint64_t* k0, T* v0, std::uint64_t* k1, T* v1,
+                      std::size_t n, int total_bits, ScratchPool& pool) {
+  if (n < 2 || total_bits == 0) return false;
+  const int digit_bits = radix_digit_bits(total_bits);
+  const int buckets = 1 << digit_bits;
+  const std::uint64_t mask = static_cast<std::uint64_t>(buckets - 1);
+  const int npasses = (total_bits + digit_bits - 1) / digit_bits;
+  const int threads = max_threads();
+
+  std::uint64_t* ka = k0;
+  T* va = v0;
+  std::uint64_t* kb = k1;
+  T* vb = v1;
+  bool flip = false;
+
+  if (threads == 1 || n < kParallelSortCutoff) {
+    auto hist = pool.acquire<Offset>(static_cast<std::size_t>(npasses) *
+                                     static_cast<std::size_t>(buckets));
+    radix_histograms(k0, n, npasses, digit_bits, buckets, mask, hist.data());
+    for (int p = 0; p < npasses; ++p) {
+      const Offset* h = hist.data() + static_cast<std::size_t>(p) * buckets;
+      if (radix_digit_constant(h, buckets, n)) continue;
+      radix_scatter_pass(ka, va, kb, vb, n, p * digit_bits, mask, h, buckets);
+      std::swap(ka, kb);
+      std::swap(va, vb);
+      flip = !flip;
+    }
+    return flip;
+  }
+
+  // Parallel: per pass, a per-chunk counting read of the pass's actual
+  // input (chunk contents change after every scatter, so counts cannot
+  // be precomputed), then bucket-major / chunk-major cursors (stable,
+  // like the sample sort's scatter) and a parallel scatter.
+  const auto chunks = block_ranges(n, threads);
+  const int nchunks = static_cast<int>(chunks.size()) - 1;
+  auto hist = pool.acquire<Offset>(static_cast<std::size_t>(nchunks) *
+                                   static_cast<std::size_t>(buckets));
+  auto cursor = pool.acquire<Offset>(static_cast<std::size_t>(nchunks) *
+                                     static_cast<std::size_t>(buckets));
+  auto h_at = [&](int c) {
+    return hist.data() +
+           static_cast<std::size_t>(c) * static_cast<std::size_t>(buckets);
+  };
+
+  for (int p = 0; p < npasses; ++p) {
+    const int shift = p * digit_bits;
+    std::fill(hist.begin(), hist.end(), Offset{0});
+#pragma omp parallel for schedule(static)
+    for (int c = 0; c < nchunks; ++c) {
+      Offset* h = h_at(c);
+      for (Offset i = chunks[static_cast<std::size_t>(c)];
+           i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
+        ++h[(ka[i] >> shift) & mask];
+    }
+
+    // Cursors (and constant-digit detection) in one bucket-major walk.
+    Offset acc = 0;
+    bool constant = false;
+    for (int d = 0; d < buckets; ++d) {
+      Offset digit_total = 0;
+      for (int c = 0; c < nchunks; ++c) {
+        const Offset cnt = h_at(c)[d];
+        cursor[static_cast<std::size_t>(c) * static_cast<std::size_t>(buckets) +
+               static_cast<std::size_t>(d)] = acc;
+        acc += cnt;
+        digit_total += cnt;
+      }
+      if (digit_total == n) constant = true;
+    }
+    if (constant) continue;
+
+#pragma omp parallel for schedule(static)
+    for (int c = 0; c < nchunks; ++c) {
+      Offset* cur = cursor.data() +
+                    static_cast<std::size_t>(c) * static_cast<std::size_t>(buckets);
+      for (Offset i = chunks[static_cast<std::size_t>(c)];
+           i < chunks[static_cast<std::size_t>(c) + 1]; ++i) {
+        const auto d = (ka[i] >> shift) & mask;
+        const Offset w = cur[d]++;
+        kb[w] = ka[i];
+        vb[w] = va[i];
+      }
+    }
+    std::swap(ka, kb);
+    std::swap(va, vb);
+    flip = !flip;
+  }
+  return flip;
+}
+
+/// Split entries into packed-key / value SoA arrays (the ONE definition
+/// of the key encoding; decode lives in the packed-run accessors).
+/// Caller guarantees layout.packable.
+template <class T>
+void pack_keys(const Entry<T>* e, std::size_t n, const RadixLayout& layout,
+               std::uint64_t* keys, T* vals) {
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = (static_cast<std::uint64_t>(e[i].row) << layout.col_bits) |
+              static_cast<std::uint64_t>(e[i].col);
+    vals[i] = e[i].val;
+  }
+}
+
+/// Radix-sort an entry vector through the packed-key SoA path and write
+/// the sorted sequence back in place. Caller guarantees layout.packable.
+template <class T>
+void radix_sort_entries(std::vector<Entry<T>>& v, const RadixLayout& layout,
+                        ScratchPool& pool) {
+  const std::size_t n = v.size();
+  auto k0 = pool.acquire<std::uint64_t>(n);
+  auto k1 = pool.acquire<std::uint64_t>(n);
+  auto v0 = pool.acquire<T>(n);
+  auto v1 = pool.acquire<T>(n);
+  pack_keys(v.data(), n, layout, k0.data(), v0.data());
+  const bool flip =
+      radix_sort_pairs(k0.data(), v0.data(), k1.data(), v1.data(), n,
+                       layout.total_bits, pool);
+  const std::uint64_t* k = flip ? k1.data() : k0.data();
+  const T* val = flip ? v1.data() : v0.data();
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = Entry<T>{static_cast<Index>(k[i] >> layout.col_bits),
+                    static_cast<Index>(k[i] & layout.col_mask), val[i]};
+}
+
+/// Fold adjacent equal keys of a *sorted* (key, value) SoA run in place.
+template <class MonoidT, class T>
+std::size_t dedup_pairs(std::uint64_t* k, T* v, std::size_t n) {
+  if (n == 0) return 0;
+  std::size_t w = 0;
+  for (std::size_t r = 1; r < n; ++r) {
+    if (k[r] == k[w]) {
+      v[w] = MonoidT::apply(v[w], v[r]);
+    } else {
+      ++w;
+      k[w] = k[r];
+      v[w] = v[r];
+    }
+  }
+  return w + 1;
+}
+
 }  // namespace detail
 
-/// Sort entries by (row, col), parallel for large inputs. Not stable —
-/// callers that fold duplicates must use a commutative monoid (stability
-/// would only matter for non-commutative combination, which gbx's
-/// pending-tuple path intentionally does not support).
+/// The pre-radix comparison engine (std::sort / OpenMP sample sort).
+/// Kept callable on its own so benches and differential tests can pit
+/// the pipelines against each other; `sort_entries` is the real API.
 template <class T>
-void sort_entries(std::vector<Entry<T>>& v) {
+void sort_entries_comparison(std::vector<Entry<T>>& v) {
   if (v.size() < detail::kParallelSortCutoff || max_threads() == 1) {
     std::sort(v.begin(), v.end(), entry_less<T>);
   } else {
     detail::sample_sort(v);
+  }
+}
+
+/// Sort entries by (row, col). Packed-key LSD radix (stable) for batches
+/// whose coordinates fit 64 combined bits, std::sort below the cutoff,
+/// comparison sample sort for unpackable giants. Callers that fold
+/// duplicates must use a commutative monoid: the comparison fallback is
+/// not stable, so only commutative folds are order-insensitive across
+/// engines.
+///
+/// Scratch is a LOCAL pool, freed on return: callers of the public API
+/// are one-shot nnz-scale sorts (transpose, kron, structure), and
+/// caching ~32 bytes/entry per thread forever would dwarf the sort
+/// itself. The fold pipeline, which genuinely re-sorts every batch,
+/// goes through gbx::with_fold_run with the thread-local pool instead.
+template <class T>
+void sort_entries(std::vector<Entry<T>>& v) {
+  if (v.size() < detail::kRadixSortCutoff) {
+    std::sort(v.begin(), v.end(), entry_less<T>);
+    return;
+  }
+  const auto layout = detail::radix_layout(v.data(), v.size());
+  if (layout.packable) {
+    ScratchPool pool;
+    detail::radix_sort_entries(v, layout, pool);
+  } else {
+    sort_entries_comparison(v);
   }
 }
 
@@ -167,7 +462,10 @@ std::size_t dedup_sorted_entries(std::vector<Entry<T>>& v) {
 
 /// Parallel dedup: chunk boundaries are advanced past runs of equal keys
 /// so no run straddles two chunks, each chunk compacts independently, and
-/// the compacted spans are concatenated.
+/// the compacted spans are concatenated. The concatenation is a
+/// prefix-sum scatter into a recycled thread-local buffer running one
+/// parallel pass (chunk destinations are disjoint by construction), so
+/// huge mostly-duplicate results no longer pay a serial memmove.
 template <class MonoidT, class T>
 std::size_t dedup_sorted_entries_parallel(std::vector<Entry<T>>& v) {
   const std::size_t n = v.size();
@@ -176,7 +474,10 @@ std::size_t dedup_sorted_entries_parallel(std::vector<Entry<T>>& v) {
 
   const int threads = max_threads();
   auto bounds = block_ranges(n, threads);
-  // Align boundaries to run starts.
+  // Align boundaries to run starts. A run longer than a whole chunk
+  // pushes that chunk's boundary up to (or past) the next original
+  // boundary; boundaries stay monotone because equal keys all advance to
+  // the same run end.
   for (std::size_t b = 1; b + 1 <= bounds.size() - 1; ++b) {
     Offset& x = bounds[b];
     while (x < n && x > 0 && entry_key_equal(v[x], v[x - 1])) ++x;
@@ -201,19 +502,42 @@ std::size_t dedup_sorted_entries_parallel(std::vector<Entry<T>>& v) {
     out_count[static_cast<std::size_t>(c)] = w + 1 - lo;
   }
 
-  // Compact chunks leftward (serial memmove pass; already O(result)).
-  std::size_t w = 0;
+  // Exclusive prefix sum of chunk output sizes -> scatter destinations.
+  std::vector<std::size_t> dst(static_cast<std::size_t>(nchunks));
+  std::size_t total = 0;
+  for (int c = 0; c < nchunks; ++c) {
+    dst[static_cast<std::size_t>(c)] = total;
+    total += out_count[static_cast<std::size_t>(c)];
+  }
+  if (total == n) return n;  // nothing folded anywhere: already compact
+
+  // Parallel scatter through a pool-leased staging buffer, then a
+  // parallel copy back into the vector's prefix. (In-place leftward
+  // memmoves cannot run in parallel: chunk c's destination overlaps
+  // chunk c-1's source.) The lease comes from the calling thread's
+  // ScratchPool, so repeated callers recycle it and the bytes stay
+  // visible to the pool's accounting/release hooks.
+  auto staged = ScratchPool::local().acquire<Entry<T>>(total);
+  Entry<T>* const out = staged.data();
+  const Entry<T>* const in = v.data();
+#pragma omp parallel for schedule(static)
   for (int c = 0; c < nchunks; ++c) {
     const Offset lo = bounds[static_cast<std::size_t>(c)];
     const std::size_t cnt = out_count[static_cast<std::size_t>(c)];
-    if (w != lo && cnt > 0)
-      std::move(v.begin() + static_cast<std::ptrdiff_t>(lo),
-                v.begin() + static_cast<std::ptrdiff_t>(lo + cnt),
-                v.begin() + static_cast<std::ptrdiff_t>(w));
-    w += cnt;
+    if (cnt > 0)
+      std::copy(in + lo, in + lo + cnt,
+                out + dst[static_cast<std::size_t>(c)]);
   }
-  v.resize(w);
-  return w;
+  Entry<T>* const back = v.data();
+  const auto cb = block_ranges(total, threads);
+  const int ncb = static_cast<int>(cb.size()) - 1;
+#pragma omp parallel for schedule(static)
+  for (int c = 0; c < ncb; ++c)
+    std::copy(out + cb[static_cast<std::size_t>(c)],
+              out + cb[static_cast<std::size_t>(c) + 1],
+              back + cb[static_cast<std::size_t>(c)]);
+  v.resize(total);
+  return total;
 }
 
 }  // namespace gbx

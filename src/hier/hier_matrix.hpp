@@ -100,12 +100,10 @@ class HierMatrix {
 
   /// Non-destructive query: A = Σ Ai. Levels are left untouched, so
   /// streaming can continue afterwards (the paper's analysis step).
-  matrix_type snapshot() const {
-    ++stats_.queries;
-    matrix_type acc(nrows_, ncols_);
-    for (const auto& l : levels_) acc.plus_assign(l);
-    return acc;
-  }
+  /// Routed through freeze(): the levels publish immutable views (no
+  /// block is copied — the single-non-empty-level case aliases the block
+  /// outright) and to_matrix() merges only what genuinely overlaps.
+  matrix_type snapshot() const { return freeze().to_matrix(); }
 
   /// Epoch snapshot: swap out the level-1 pending buffer (fold it into
   /// level 1's compressed block) and publish one immutable view per
@@ -133,13 +131,14 @@ class HierMatrix {
 
   /// Destructive query: folds every level into the top one and returns a
   /// reference to it. Cheaper than snapshot when streaming is finished.
+  /// Streaming is over, so the emptied levels release their memory too.
   const matrix_type& collapse() {
     ++stats_.queries;
     auto& top = levels_.back();
     for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
       if (levels_[i].empty()) continue;
       record_fold(i, levels_[i].nvals_bound());
-      top.plus_assign(levels_[i]);
+      top.fold_from(levels_[i]);
       levels_[i].reset();
     }
     top.materialize();
@@ -155,8 +154,10 @@ class HierMatrix {
   /// Direct (read-only) access to a level, for instrumentation and tests.
   const matrix_type& level(std::size_t i) const { return levels_[i]; }
 
-  /// Exact nnz of the logical matrix (cost: one snapshot).
-  std::size_t nvals() const { return snapshot().nvals(); }
+  /// Exact nnz of the logical matrix. Freezes the levels (publishing
+  /// views, no copy) and counts the distinct coordinates with the
+  /// snapshot's k-way union scan — Σ Ai is never materialized.
+  std::size_t nvals() const { return freeze().nvals(); }
 
   /// Re-establish the cut invariants after external level surgery
   /// (hier/merge.hpp). Shallowest-first: folding level i only adds to
@@ -195,13 +196,15 @@ class HierMatrix {
     }
   }
 
-  /// A_{i+1} += A_i; A_i cleared to an empty hypersparse matrix.
+  /// A_{i+1} += A_i; A_i cleared to an empty hypersparse matrix (with
+  /// capacity retained — the fast level stays warm). The fused pipeline
+  /// sorts, dedups, and merges A_i's pending run straight into A_{i+1}'s
+  /// block without materializing an intermediate Dcsr in A_i.
   void fold(std::size_t i) {
     auto& lo = levels_[i];
     if (lo.empty()) return;
     record_fold(i, lo.nvals_bound());
-    levels_[i + 1].plus_assign(lo);
-    lo.reset();
+    levels_[i + 1].fold_from(lo);
   }
 
   void record_fold(std::size_t i, std::size_t entries) {

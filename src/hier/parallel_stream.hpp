@@ -20,8 +20,13 @@
 //
 // Instances never share state (the paper's process model), so worker
 // lanes need no locking around the matrix itself — only around their
-// queues. All timing uses std::chrono::steady_clock; the aggregate rate
-// is Σ_p entries_p / busy_p, exactly the quantity Fig. 2 plots.
+// queues. Each lane's cascade folds run on that lane's worker thread,
+// so the fold pipeline's thread-local ScratchPool gives every lane a
+// private, contention-free arena: after a few batches warm the buffers,
+// a lane's steady-state folds perform no heap allocation at all (the
+// pool dies with the worker thread at stop()). All timing uses
+// std::chrono::steady_clock; the aggregate rate is Σ_p entries_p /
+// busy_p, exactly the quantity Fig. 2 plots.
 //
 // snapshot() captures an epoch-consistent image WITHOUT stopping the
 // workers: each lane is asked to freeze its matrix at its next batch

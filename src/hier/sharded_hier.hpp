@@ -65,15 +65,28 @@ class ShardedHier {
   /// Thread-safe batched update: the batch is split by shard once, then
   /// each shard is locked exactly once. The whole batch lands inside one
   /// shared slot of `snap_mu_`, so no freeze() can observe half of it.
+  /// The per-shard partition buffers are thread-local and recycled
+  /// across batches (each writer thread splits into its own set), so
+  /// steady-state sharded ingest allocates nothing on the split path —
+  /// the same arena discipline as the fold pipeline's ScratchPool.
   void update(const gbx::Tuples<T>& batch) {
     std::shared_lock<std::shared_mutex> batch_guard(writer_slot());
-    std::vector<gbx::Tuples<T>> parts(shards_.size());
+    static thread_local std::vector<gbx::Tuples<T>> parts;
+    if (parts.size() < shards_.size()) parts.resize(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) parts[s].clear();
     for (const auto& e : batch)
       parts[shard_of(e.row)].push_back(e.row, e.col, e.val);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (parts[s].empty()) continue;
-      std::lock_guard<std::mutex> g(locks_[s]);
-      shards_[s].update(parts[s]);
+      {
+        std::lock_guard<std::mutex> g(locks_[s]);
+        shards_[s].update(parts[s]);
+      }
+      // Bound what an outlier batch leaves pinned on this thread: the
+      // buffers outlive this (and every) ShardedHier, so anything above
+      // the steady-state cap is handed back rather than retained.
+      if (parts[s].entries().capacity() > kMaxRetainedPartCapacity)
+        parts[s].reset();
     }
     epoch_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -218,6 +231,10 @@ class ShardedHier {
   /// Below this many total level-0 pending entries the per-shard folds
   /// are cheaper than spawning worker threads for them.
   static constexpr std::size_t kParallelFreezeMinPending = 4096;
+
+  /// Per-shard partition buffers larger than this (entries) are released
+  /// after the batch instead of retained by the writer thread.
+  static constexpr std::size_t kMaxRetainedPartCapacity = std::size_t{1} << 16;
 
   /// Writers pass through here before taking their shared slot: while a
   /// freeze is waiting for exclusivity, incoming writers yield instead

@@ -131,6 +131,73 @@ class HierSnapshot {
     return n;
   }
 
+  /// Exact number of distinct coordinates of Σ Ai, counted by a k-way
+  /// union scan over the frozen level blocks — no level is copied and
+  /// nothing is materialized (the HierMatrix::nvals fast path; the
+  /// level count is small, so the linear cursor scans beat a heap).
+  std::size_t nvals() const {
+    std::vector<const gbx::Dcsr<T>*> bs;
+    collect_blocks(bs);
+    detail::dedupe_blocks(bs);  // aliased blocks contribute one copy
+    bs.erase(std::remove_if(bs.begin(), bs.end(),
+                            [](const auto* b) { return b->empty(); }),
+             bs.end());
+    if (bs.empty()) return 0;
+    if (bs.size() == 1) return bs.front()->nnz();
+
+    const std::size_t L = bs.size();
+    std::vector<std::size_t> rk(L, 0);   // row-list cursor per block
+    std::vector<gbx::Offset> ck(L);      // column cursor within the row
+    std::vector<std::size_t> active(L);  // blocks containing the row
+    std::size_t count = 0;
+    for (;;) {
+      // Next row = min over the blocks' row cursors.
+      gbx::Index row = gbx::kIndexMax;
+      bool any = false;
+      for (std::size_t b = 0; b < L; ++b) {
+        if (rk[b] >= bs[b]->rows().size()) continue;
+        const gbx::Index r = bs[b]->rows()[rk[b]];
+        if (!any || r < row) row = r;
+        any = true;
+      }
+      if (!any) break;
+      std::size_t na = 0;
+      for (std::size_t b = 0; b < L; ++b) {
+        if (rk[b] < bs[b]->rows().size() && bs[b]->rows()[rk[b]] == row)
+          active[na++] = b;
+      }
+      if (na == 1) {
+        const auto* blk = bs[active[0]];
+        const std::size_t k = rk[active[0]]++;
+        count += static_cast<std::size_t>(blk->ptr()[k + 1] - blk->ptr()[k]);
+        continue;
+      }
+      // Distinct-column count across the active blocks' sorted segments.
+      for (std::size_t a = 0; a < na; ++a)
+        ck[active[a]] = bs[active[a]]->ptr()[rk[active[a]]];
+      for (;;) {
+        gbx::Index col = gbx::kIndexMax;
+        bool have = false;
+        for (std::size_t a = 0; a < na; ++a) {
+          const std::size_t b = active[a];
+          if (ck[b] >= bs[b]->ptr()[rk[b] + 1]) continue;
+          const gbx::Index c = bs[b]->cols()[ck[b]];
+          if (!have || c < col) col = c;
+          have = true;
+        }
+        if (!have) break;
+        ++count;
+        for (std::size_t a = 0; a < na; ++a) {
+          const std::size_t b = active[a];
+          if (ck[b] < bs[b]->ptr()[rk[b] + 1] && bs[b]->cols()[ck[b]] == col)
+            ++ck[b];
+        }
+      }
+      for (std::size_t a = 0; a < na; ++a) ++rk[active[a]];
+    }
+    return count;
+  }
+
   /// Entry lookup across levels, duplicates combined with the fold
   /// monoid: the value A(i,j) of the logical matrix Σ Ai.
   std::optional<T> extract_element(gbx::Index i, gbx::Index j) const {

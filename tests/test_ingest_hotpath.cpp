@@ -1,0 +1,440 @@
+// Differential and allocation tests for the fused ingest hot path:
+// radix sort vs comparison oracles, fused fold vs the legacy pipeline vs
+// dense replay, parallel-dedup chunk boundaries, and the zero-allocation
+// steady-state guarantee of the scratch arenas.
+//
+// This translation unit replaces the global operator new/delete with
+// counting wrappers (malloc-backed, so sanitizer interception still
+// works underneath): the "allocation-counting test hook" the scratch
+// arenas are verified against. Counting is off except inside the
+// measured windows.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+// The counting operator new below is malloc-backed (so sanitizer malloc
+// interception keeps working underneath); GCC flags every matching
+// delete-calls-free site, which is exactly the design here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "gbx/gbx.hpp"
+#include "hier/hier.hpp"
+#include "prop_util.hpp"
+
+// ---------------------------------------------------------------------
+// Allocation-counting hook (global; counting gated by g_count_allocs).
+// ---------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using gbx::Entry;
+using gbx::Index;
+
+/// Restore the fold pipeline choice on scope exit.
+struct PipelineGuard {
+  gbx::FoldPipeline saved = gbx::fold_pipeline();
+  PipelineGuard() = default;
+  explicit PipelineGuard(gbx::FoldPipeline p) { gbx::set_fold_pipeline(p); }
+  ~PipelineGuard() { gbx::set_fold_pipeline(saved); }
+};
+
+/// Restore the OpenMP thread count on scope exit.
+struct ThreadsGuard {
+  int saved = omp_get_max_threads();
+  explicit ThreadsGuard(int n) { omp_set_num_threads(n); }
+  ~ThreadsGuard() { omp_set_num_threads(saved); }
+};
+
+// -------------------- entry generators (the adversarial shapes) -------
+
+std::vector<Entry<double>> gen_random(std::mt19937_64& rng, std::size_t n,
+                                      Index max_coord) {
+  std::uniform_int_distribution<Index> coord(0, max_coord);
+  std::uniform_int_distribution<int> val(-5, 5);
+  std::vector<Entry<double>> v(n);
+  for (auto& e : v) e = {coord(rng), coord(rng), static_cast<double>(val(rng))};
+  return v;
+}
+
+std::vector<Entry<double>> gen_skewed(std::mt19937_64& rng, std::size_t n) {
+  // 90% of entries in one row: heavy power-law style bucket imbalance.
+  std::uniform_int_distribution<Index> coord(0, Index{1} << 20);
+  std::vector<Entry<double>> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Index r = (i % 10 == 0) ? coord(rng) : Index{42};
+    v[i] = {r, coord(rng), 1.0};
+  }
+  return v;
+}
+
+std::vector<Entry<double>> gen_all_duplicate(std::size_t n) {
+  return std::vector<Entry<double>>(n, Entry<double>{7, 9, 1.0});
+}
+
+std::vector<Entry<double>> gen_presorted(std::mt19937_64& rng, std::size_t n) {
+  auto v = gen_random(rng, n, Index{1} << 24);
+  std::sort(v.begin(), v.end(), gbx::entry_less<double>);
+  return v;
+}
+
+std::vector<Entry<double>> gen_reversed(std::mt19937_64& rng, std::size_t n) {
+  auto v = gen_presorted(rng, n);
+  std::reverse(v.begin(), v.end());
+  return v;
+}
+
+std::vector<Entry<double>> gen_near_index_max(std::mt19937_64& rng,
+                                              std::size_t n) {
+  // Rows AND cols near 2^64: combined significant bits exceed 64, so the
+  // packed-key radix path must fall back to the comparison engine.
+  std::uniform_int_distribution<Index> coord(gbx::kIndexMax - 4096,
+                                             gbx::kIndexMax - 1);
+  std::vector<Entry<double>> v(n);
+  for (auto& e : v) e = {coord(rng), coord(rng), 1.0};
+  return v;
+}
+
+std::vector<Entry<double>> gen_zero_rows_full_cols(std::mt19937_64& rng,
+                                                   std::size_t n) {
+  // Every row 0, columns spanning all 64 bits: col_bits == 64 must not
+  // pack (shift-by-64 guard) — comparison fallback territory.
+  std::uniform_int_distribution<Index> coord(gbx::kIndexMax / 2,
+                                             gbx::kIndexMax - 1);
+  std::vector<Entry<double>> v(n);
+  for (auto& e : v) e = {0, coord(rng), 1.0};
+  return v;
+}
+
+std::vector<Entry<double>> gen_packed_64_exact(std::mt19937_64& rng,
+                                               std::size_t n) {
+  // 32 + 32 significant bits: packs at exactly the 64-bit boundary.
+  std::uniform_int_distribution<Index> coord((Index{1} << 31),
+                                             (Index{1} << 32) - 1);
+  std::vector<Entry<double>> v(n);
+  for (auto& e : v) e = {coord(rng), coord(rng), 1.0};
+  return v;
+}
+
+/// Full-order comparator: (row, col, value) — makes sorted sequences
+/// comparable across engines that order equal keys differently.
+bool entry_full_less(const Entry<double>& a, const Entry<double>& b) {
+  if (a.row != b.row) return a.row < b.row;
+  if (a.col != b.col) return a.col < b.col;
+  return a.val < b.val;
+}
+
+void check_sort_matches_oracle(std::vector<Entry<double>> v) {
+  auto oracle = v;
+  gbx::sort_entries(v);
+  ASSERT_TRUE(std::is_sorted(v.begin(), v.end(), gbx::entry_less<double>));
+  // Same multiset of (row, col, value) triples.
+  auto canon = v;
+  std::sort(canon.begin(), canon.end(), entry_full_less);
+  std::sort(oracle.begin(), oracle.end(), entry_full_less);
+  ASSERT_EQ(canon.size(), oracle.size());
+  EXPECT_TRUE(canon == oracle);
+}
+
+TEST(RadixSort, MatchesOracleAllShapesSerial) {
+  HHGBX_PROP_SEED(seed, 0x16e57011ull);
+  std::mt19937_64 rng(seed);
+  const std::size_t n = 6000;  // above the radix cutoff, below parallel
+  check_sort_matches_oracle(gen_random(rng, n, Index{1} << 17));
+  check_sort_matches_oracle(gen_random(rng, n, 30));  // dup-heavy
+  check_sort_matches_oracle(gen_skewed(rng, n));
+  check_sort_matches_oracle(gen_all_duplicate(n));
+  check_sort_matches_oracle(gen_presorted(rng, n));
+  check_sort_matches_oracle(gen_reversed(rng, n));
+  check_sort_matches_oracle(gen_near_index_max(rng, n));
+  check_sort_matches_oracle(gen_zero_rows_full_cols(rng, n));
+  check_sort_matches_oracle(gen_packed_64_exact(rng, n));
+}
+
+TEST(RadixSort, MatchesOracleAllShapesParallel) {
+  HHGBX_PROP_SEED(seed, 20260729ull);
+  ThreadsGuard threads(4);
+  std::mt19937_64 rng(seed);
+  const std::size_t n = (std::size_t{1} << 16) + 123;  // parallel passes
+  check_sort_matches_oracle(gen_random(rng, n, Index{1} << 20));
+  check_sort_matches_oracle(gen_skewed(rng, n));
+  check_sort_matches_oracle(gen_all_duplicate(n));
+  check_sort_matches_oracle(gen_presorted(rng, n));
+  check_sort_matches_oracle(gen_reversed(rng, n));
+  check_sort_matches_oracle(gen_packed_64_exact(rng, n));
+}
+
+// -------------------- parallel dedup chunk boundaries -----------------
+
+void check_dedup_matches_map(std::vector<Entry<double>> v) {
+  std::map<std::pair<Index, Index>, double> model;
+  for (const auto& e : v) model[{e.row, e.col}] += e.val;
+  std::sort(v.begin(), v.end(), gbx::entry_less<double>);
+  const std::size_t m =
+      gbx::dedup_sorted_entries_parallel<gbx::PlusMonoid<double>>(v);
+  ASSERT_EQ(m, model.size());
+  ASSERT_EQ(v.size(), model.size());
+  std::size_t k = 0;
+  for (const auto& [key, val] : model) {
+    EXPECT_EQ(v[k].row, key.first);
+    EXPECT_EQ(v[k].col, key.second);
+    EXPECT_NEAR(v[k].val, val, 1e-9);
+    ++k;
+  }
+}
+
+TEST(DedupParallel, LongRunsAcrossChunkBoundaries) {
+  ThreadsGuard threads(4);
+  const std::size_t n = (std::size_t{1} << 15) + 7;  // >= parallel cutoff
+  // 5 distinct keys, each repeated ~n/5 times: every chunk boundary
+  // lands deep inside an equal-key run, and the compaction must shift
+  // the few survivors across near-empty chunks.
+  std::vector<Entry<double>> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back({i % 5, 1, 1.0});
+  check_dedup_matches_map(std::move(v));
+}
+
+TEST(DedupParallel, SingleRunSwallowsEveryBoundary) {
+  ThreadsGuard threads(4);
+  const std::size_t n = (std::size_t{1} << 15) + 31;
+  check_dedup_matches_map(gen_all_duplicate(n));
+}
+
+TEST(DedupParallel, RunsAlignedAtChunkEdges) {
+  ThreadsGuard threads(4);
+  const std::size_t n = std::size_t{1} << 15;
+  // Run length exactly n/4 == the chunk size at 4 threads: boundaries
+  // land exactly at run starts, the degenerate alignment case.
+  std::vector<Entry<double>> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back({i / (n / 4), 2, 0.5});
+  check_dedup_matches_map(std::move(v));
+}
+
+TEST(DedupParallel, MixedRunsRandom) {
+  HHGBX_PROP_SEED(seed, 771020ull);
+  ThreadsGuard threads(4);
+  std::mt19937_64 rng(seed);
+  check_dedup_matches_map(gen_random(rng, (std::size_t{1} << 15) + 11, 40));
+}
+
+// -------------------- fused fold vs legacy vs dense replay ------------
+
+template <class T, class M>
+void run_fold_differential(std::uint64_t seed, Index dim,
+                           std::size_t batches, std::size_t batch_size) {
+  const auto cuts = hier::CutPolicy::geometric(4, 512, 8);
+  hier::HierMatrix<T, M> fused(dim, dim, cuts);
+  hier::HierMatrix<T, M> legacy(dim, dim, cuts);
+  proptest::DenseRef<T, M> ref;
+  std::mt19937_64 rng(seed);
+  PipelineGuard restore;
+  for (std::size_t b = 0; b < batches; ++b) {
+    auto batch = proptest::random_batch<T>(rng, dim, batch_size);
+    gbx::set_fold_pipeline(gbx::FoldPipeline::kFused);
+    fused.update(batch);
+    gbx::set_fold_pipeline(gbx::FoldPipeline::kLegacy);
+    legacy.update(batch);
+    ref.apply(batch);
+  }
+  gbx::set_fold_pipeline(gbx::FoldPipeline::kFused);
+  ASSERT_TRUE(ref.matches(fused.freeze()));
+  auto fused_sum = fused.snapshot();
+  gbx::set_fold_pipeline(gbx::FoldPipeline::kLegacy);
+  auto legacy_sum = legacy.snapshot();
+  gbx::set_fold_pipeline(gbx::FoldPipeline::kFused);
+  EXPECT_TRUE(gbx::equal(fused_sum, legacy_sum));
+  ASSERT_TRUE(ref.matches(legacy_sum));
+}
+
+TEST(FusedFold, MatchesLegacyAndDenseRefPlusDouble) {
+  HHGBX_PROP_SEED(seed, 41001ull);
+  run_fold_differential<double, gbx::PlusMonoid<double>>(seed, 96, 24, 700);
+}
+
+TEST(FusedFold, MatchesLegacyAndDenseRefPlusInt64) {
+  HHGBX_PROP_SEED(seed, 41002ull);
+  run_fold_differential<std::int64_t, gbx::PlusMonoid<std::int64_t>>(seed, 64,
+                                                                     24, 700);
+}
+
+TEST(FusedFold, MatchesLegacyAndDenseRefMinInt64) {
+  HHGBX_PROP_SEED(seed, 41003ull);
+  run_fold_differential<std::int64_t, gbx::MinMonoid<std::int64_t>>(seed, 80,
+                                                                    20, 600);
+}
+
+TEST(FusedFold, MatchesLegacyAndDenseRefMaxInt64) {
+  HHGBX_PROP_SEED(seed, 41004ull);
+  run_fold_differential<std::int64_t, gbx::MaxMonoid<std::int64_t>>(seed, 80,
+                                                                    20, 600);
+}
+
+TEST(FusedFold, AdversarialBatchShapes) {
+  HHGBX_PROP_SEED(seed, 41005ull);
+  std::mt19937_64 rng(seed);
+  const Index dim = gbx::kIPv6Dim;
+  const auto cuts = hier::CutPolicy::geometric(3, 1024, 8);
+  hier::HierMatrix<double> fused(dim, dim, cuts);
+  hier::HierMatrix<double> legacy(dim, dim, cuts);
+  proptest::DenseRef<double> ref;
+  PipelineGuard restore;
+
+  std::vector<std::vector<Entry<double>>> batches;
+  batches.push_back(gen_all_duplicate(3000));
+  batches.push_back(gen_presorted(rng, 3000));
+  batches.push_back(gen_reversed(rng, 3000));
+  batches.push_back(gen_near_index_max(rng, 3000));  // unpackable fallback
+  batches.push_back(gen_skewed(rng, 3000));
+  batches.push_back(gen_random(rng, 3000, 50));  // dup-heavy
+  for (const auto& b : batches) {
+    gbx::Tuples<double> t;
+    for (const auto& e : b) t.push_back(e.row, e.col, e.val);
+    gbx::set_fold_pipeline(gbx::FoldPipeline::kFused);
+    fused.update(t);
+    gbx::set_fold_pipeline(gbx::FoldPipeline::kLegacy);
+    legacy.update(t);
+    ref.apply(t);
+  }
+  gbx::set_fold_pipeline(gbx::FoldPipeline::kFused);
+  ASSERT_TRUE(ref.matches(fused.freeze()));
+  EXPECT_TRUE(gbx::equal(fused.snapshot(), legacy.snapshot()));
+}
+
+// -------------------- freeze-backed queries ---------------------------
+
+TEST(HierQueries, NvalsMatchesDenseReplayWithoutMaterializing) {
+  HHGBX_PROP_SEED(seed, 52001ull);
+  std::mt19937_64 rng(seed);
+  hier::HierMatrix<double> m(256, 256, hier::CutPolicy::geometric(4, 256, 4));
+  proptest::DenseRef<double> ref;
+  for (int b = 0; b < 30; ++b) {
+    auto batch = proptest::random_batch<double>(rng, 256, 400);
+    m.update(batch);
+    ref.apply(batch);
+    ASSERT_EQ(m.nvals(), ref.nvals()) << "batch " << b;
+  }
+  ASSERT_TRUE(ref.matches(m.snapshot()));
+}
+
+TEST(HierQueries, SnapshotAliasesSingleNonEmptyLevel) {
+  hier::HierMatrix<double> m(1000, 1000,
+                             hier::CutPolicy::geometric(3, 64, 8));
+  gbx::Tuples<double> t;
+  for (Index i = 0; i < 500; ++i) t.push_back(i, i, 1.0);
+  m.update(t);
+  m.flush();  // everything lands in the top level
+  const auto& top = m.level(m.num_levels() - 1);
+  auto snap = m.snapshot();
+  // Non-destructive query of a single-block hierarchy must alias, not
+  // copy: the satellite fix routes snapshot() through freeze() views.
+  EXPECT_EQ(snap.storage_handle().get(), top.storage_handle().get());
+  EXPECT_EQ(snap.nvals(), 500u);
+}
+
+TEST(HierQueries, SnapshotNvalsCountsCrossLevelDuplicatesOnce) {
+  hier::HierMatrix<double> m(64, 64, hier::CutPolicy::geometric(3, 16, 4));
+  // Same coordinate folded into different levels at different times.
+  for (int rep = 0; rep < 8; ++rep) {
+    gbx::Tuples<double> t;
+    for (Index i = 0; i < 20; ++i) t.push_back(i % 8, i % 8, 1.0);
+    m.update(t);
+  }
+  std::size_t distinct = m.nvals();
+  EXPECT_EQ(distinct, 8u);
+  EXPECT_EQ(m.snapshot().nvals(), 8u);
+}
+
+// -------------------- copy-on-fold safety of the spare block ----------
+
+TEST(SpareBlock, PublishedViewsSurviveLaterFolds) {
+  gbx::Matrix<double> m(100, 100);
+  m.set_element(1, 1, 1.0);
+  m.set_element(2, 2, 2.0);
+  auto v1 = m.view();  // pins the current block
+  m.set_element(1, 1, 10.0);
+  m.materialize();  // shared block: fold must copy, not swap in place
+  EXPECT_DOUBLE_EQ(v1.get(1, 1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(m.extract_element(1, 1).value(), 11.0);
+  {
+    auto v2 = m.view();
+    (void)v2;
+  }  // dropped: matrix is sole owner again
+  m.set_element(3, 3, 3.0);
+  m.materialize();  // sole owner: in-place spare swap path
+  EXPECT_DOUBLE_EQ(m.extract_element(3, 3).value(), 3.0);
+  EXPECT_DOUBLE_EQ(v1.get(1, 1).value(), 1.0);
+  EXPECT_FALSE(v1.get(3, 3).has_value());
+}
+
+// -------------------- zero-allocation steady state --------------------
+
+TEST(ZeroAlloc, SteadyStateCascadeFoldsDoNotTouchTheHeap) {
+#if defined(__SANITIZE_THREAD__) || GBX_HAS_FEATURE_TSAN
+  // Under TSan, Matrix::sole_owner() is pinned false (TSan cannot model
+  // the COW acquire-fence pairing), so every fold copies by design.
+  GTEST_SKIP() << "in-place block reuse disabled under TSan";
+#endif
+  // Serial engine for a deterministic allocation profile (the parallel
+  // paths are allocation-free too once warm, but libgomp's internal
+  // bookkeeping is outside our control).
+  ThreadsGuard threads(1);
+  PipelineGuard pipeline(gbx::FoldPipeline::kFused);
+
+  const Index dim = 256;  // 65536 coordinates: the blocks saturate
+  hier::HierMatrix<double> m(dim, dim,
+                             hier::CutPolicy::geometric(4, 1024, 8));
+  std::mt19937_64 rng(99);
+  // Pre-generate a fixed set of batches (generation allocates; the
+  // measured window must see only append + cascade folds).
+  std::vector<gbx::Tuples<double>> batches;
+  for (int b = 0; b < 20; ++b)
+    batches.push_back(proptest::random_batch<double>(rng, dim, 2048));
+
+  // Warm up: saturate the coordinate space and plateau every capacity
+  // (pending buffers, radix scratch, spare blocks, merge scratch).
+  for (int warm = 0; warm < 60; ++warm)
+    m.update(batches[static_cast<std::size_t>(warm) % batches.size()]);
+
+  const auto grow_before = gbx::ScratchPool::local().grow_count();
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (const auto& b : batches) m.update(b);
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "steady-state cascade folds allocated";
+  EXPECT_EQ(gbx::ScratchPool::local().grow_count(), grow_before)
+      << "scratch arenas grew after warmup";
+  // The folds above really did run (sanity that the window was hot).
+  EXPECT_GT(m.stats().level[0].folds, 60u);
+}
+
+}  // namespace
