@@ -25,6 +25,16 @@
 #                           Σ Ai must be bit-identical to direct
 #                           accumulation. INGEST_SETS / INGEST_SET_SIZE
 #                           shrink the workload for CI.
+#   bench_eviction        — memory-governed snapshot eviction: with a
+#                           budget B and a reader lagging ≥8 epochs,
+#                           peak identity-deduped pinned bytes must stay
+#                           ≤ B + one-block-per-shard slack AND return
+#                           under B after enforcement, every evicted-
+#                           reader read must be bit-identical to the
+#                           unevicted baseline, and governed ingest
+#                           throughput must stay ≥ EVICT_MIN_RATE_RATIO
+#                           (default 0.9) of the governor-off run.
+#                           EVICT_SETS / EVICT_SET_SIZE shrink for CI.
 #
 # Usage: scripts/run_benches.sh [build-dir] [output-dir]
 set -u

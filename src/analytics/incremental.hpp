@@ -38,6 +38,15 @@
 // Any refresh whose delta reports removals (out-of-order snapshots,
 // source restarted) falls back to a full recompute and says so in the
 // report — incrementality is an optimization, never a correctness bet.
+//
+// Memory-governed sources (hier::MemoryGovernor): the engine layers on
+// them unchanged — snapshot_type becomes the governed handle. When the
+// governor has evicted the engine's cached previous snapshot between
+// refreshes (its levels compacted or spilled, so no block-identity diff
+// exists any more), try_snapshot_diff reports the image unavailable and
+// the refresh falls back to the same counted full recompute, with
+// report.prev_unavailable set. Delta semantics are unchanged either
+// way; results stay exactly as specified above.
 #pragma once
 
 #include <algorithm>
@@ -70,7 +79,10 @@ struct IncrementalOptions {
 /// What one refresh() did.
 struct IncrementalReport {
   std::uint64_t epoch = 0;          ///< epoch of the snapshot analyzed
-  bool full_recompute = false;      ///< first pass or removal fallback
+  bool full_recompute = false;      ///< first pass, removal, or eviction
+                                    ///< fallback
+  bool prev_unavailable = false;    ///< previous snapshot was evicted or
+                                    ///< spilled by a memory governor
   std::size_t added = 0;            ///< new coordinates in Σ Ai
   std::size_t changed = 0;          ///< coordinates whose value changed
   std::size_t new_edges = 0;        ///< new undirected graph edges
@@ -109,13 +121,21 @@ class IncrementalEngine {
       // The reader held prev_ since the last pass — warn if it pinned
       // blocks for too many epochs (hook set via snapshots()).
       snapper_.check_staleness(prev_.epoch());
-      auto delta = hier::snapshot_diff(prev_, snap);
-      report_.delta = delta.stats;
-      if (!delta.removed.empty()) {
+      // Unqualified: ADL resolves the governed-handle overload (which
+      // reports nullopt once eviction took the diffable structure away)
+      // as well as the plain-snapshot wrapper in hier/delta.hpp.
+      auto delta = try_snapshot_diff(prev_, snap);
+      if (!delta) {
+        // A memory governor evicted/spilled the cached image: recompute.
+        report_.prev_unavailable = true;
+        full_recompute(snap);
+      } else if (!delta->removed.empty()) {
         // Not an epoch-ordered pair from this source: start over.
+        report_.delta = delta->stats;
         full_recompute(snap);
       } else {
-        apply_delta(delta);
+        report_.delta = delta->stats;
+        apply_delta(*delta);
       }
     }
     prev_ = std::move(snap);

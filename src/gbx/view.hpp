@@ -63,6 +63,16 @@ class MatrixView {
   /// Refcounted handle, for stitching views into snapshots/checkpoints.
   const std::shared_ptr<const Dcsr<T>>& shared_storage() const { return stor_; }
 
+  /// How many owners currently share this view's block (the view itself
+  /// included): the Matrix that published it, sibling views, snapshot
+  /// levels. This is the block-identity release signal the memory
+  /// governor acts on — a count of 1 means dropping this view really
+  /// frees the block, a higher count means the bytes are pinned
+  /// elsewhere too. Approximate under concurrent publication (like
+  /// use_count itself); exact once the owning matrix has folded past
+  /// the block, which is precisely the pinned case eviction targets.
+  long block_use_count() const { return stor_ ? stor_.use_count() : 0; }
+
   bool validate() const { return !stor_ || stor_->validate(); }
 
   std::size_t memory_bytes() const { return stor_ ? stor_->memory_bytes() : 0; }

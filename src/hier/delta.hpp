@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -175,6 +176,19 @@ SnapshotDelta<T> snapshot_diff(const SnapshotSet<T, M>& a,
       [&](gbx::Index i, gbx::Index j) { return a.extract_element(i, j); },
       [&](gbx::Index i, gbx::Index j) { return b.extract_element(i, j); },
       a.epoch(), b.epoch());
+}
+
+/// Optional-returning facade over snapshot_diff, for callers that must
+/// tolerate snapshots whose diffable structure may have been taken away
+/// under them (analytics::IncrementalEngine). For plain snapshots the
+/// diff always exists, so this overload simply wraps it; governed
+/// handles (hier::GovernedSnapshot, memory_governor.hpp) overload it to
+/// return nullopt once eviction has compacted either image — the signal
+/// to fall back to a counted full recompute.
+template <class Snap>
+auto try_snapshot_diff(const Snap& a, const Snap& b)
+    -> std::optional<decltype(snapshot_diff(a, b))> {
+  return snapshot_diff(a, b);
 }
 
 }  // namespace hier

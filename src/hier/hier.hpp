@@ -7,6 +7,7 @@
 #include "hier/delta.hpp"
 #include "hier/hier_matrix.hpp"
 #include "hier/instance_array.hpp"
+#include "hier/memory_governor.hpp"
 #include "hier/merge.hpp"
 #include "hier/parallel_stream.hpp"
 #include "hier/sharded_hier.hpp"

@@ -159,6 +159,16 @@ class HierMatrix {
   /// snapshot's k-way union scan — Σ Ai is never materialized.
   std::size_t nvals() const { return freeze().nvals(); }
 
+  /// Append the blocks currently backing the live levels (side-effect-
+  /// free peek, pending buffers not folded) — the "live" side of
+  /// pinned-vs-live accounting (hier::snapshot_memory, MemoryGovernor).
+  /// Call on the owning thread or while the matrix is quiescent: the
+  /// peek is not synchronized against a concurrent writer.
+  void collect_live_blocks(std::vector<const gbx::Dcsr<T>*>& out) const {
+    for (const auto& l : levels_)
+      if (auto h = l.storage_handle()) out.push_back(h.get());
+  }
+
   /// Re-establish the cut invariants after external level surgery
   /// (hier/merge.hpp). Shallowest-first: folding level i only adds to
   /// level i+1, which is checked next, so one pass suffices.

@@ -193,14 +193,26 @@ class ShardedHier {
   SnapshotMemory snapshot_memory(const ShardedSnapshot<T, AddMonoid>& snap) const {
     std::vector<const gbx::Dcsr<T>*> snap_blocks, live_blocks;
     snap.collect_blocks(snap_blocks);
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      for (std::size_t i = 0; i < shards_[s].num_levels(); ++i)
-        if (auto h = shards_[s].level(i).storage_handle())
-          live_blocks.push_back(h.get());
-    }
+    collect_live_blocks(live_blocks);
     return detail::account_blocks(std::move(snap_blocks),
                                   std::move(live_blocks));
+  }
+
+  /// Append the blocks currently backing every shard's live levels.
+  /// Thread-safe (per-shard locks) — the "live" side of the governor's
+  /// pinned-vs-live classification, safe to call from reader threads
+  /// while writers stream.
+  void collect_live_blocks(std::vector<const gbx::Dcsr<T>*>& out) const {
+    for (std::size_t s = 0; s < shards_.size(); ++s) collect_live_blocks(s, out);
+  }
+
+  /// Same, for one shard — the per-shard-budget accounting unit
+  /// (governor parts match shards by position).
+  void collect_live_blocks(std::size_t shard,
+                           std::vector<const gbx::Dcsr<T>*>& out) const {
+    GBX_CHECK_INDEX(shard < shards_.size(), "shard index out of range");
+    std::lock_guard<std::mutex> g(locks_[shard]);
+    shards_[shard].collect_live_blocks(out);
   }
 
   /// Whole batches applied so far (the freeze() epoch source).

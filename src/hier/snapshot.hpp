@@ -61,6 +61,72 @@ std::size_t deduped_bytes(std::vector<const gbx::Dcsr<T>*> blocks) {
   return n;
 }
 
+/// Exact number of distinct coordinates across a set of frozen blocks,
+/// counted by a k-way union scan — nothing is materialized (block
+/// counts are small, so linear cursor scans beat a heap). The single
+/// definition behind HierSnapshot::nvals AND SnapshotSet::nvals.
+template <class T>
+std::size_t count_distinct_coords(std::vector<const gbx::Dcsr<T>*> bs) {
+  dedupe_blocks(bs);  // aliased blocks contribute one copy
+  bs.erase(std::remove_if(bs.begin(), bs.end(),
+                          [](const auto* b) { return b->empty(); }),
+           bs.end());
+  if (bs.empty()) return 0;
+  if (bs.size() == 1) return bs.front()->nnz();
+
+  const std::size_t L = bs.size();
+  std::vector<std::size_t> rk(L, 0);   // row-list cursor per block
+  std::vector<gbx::Offset> ck(L);      // column cursor within the row
+  std::vector<std::size_t> active(L);  // blocks containing the row
+  std::size_t count = 0;
+  for (;;) {
+    // Next row = min over the blocks' row cursors.
+    gbx::Index row = gbx::kIndexMax;
+    bool any = false;
+    for (std::size_t b = 0; b < L; ++b) {
+      if (rk[b] >= bs[b]->rows().size()) continue;
+      const gbx::Index r = bs[b]->rows()[rk[b]];
+      if (!any || r < row) row = r;
+      any = true;
+    }
+    if (!any) break;
+    std::size_t na = 0;
+    for (std::size_t b = 0; b < L; ++b) {
+      if (rk[b] < bs[b]->rows().size() && bs[b]->rows()[rk[b]] == row)
+        active[na++] = b;
+    }
+    if (na == 1) {
+      const auto* blk = bs[active[0]];
+      const std::size_t k = rk[active[0]]++;
+      count += static_cast<std::size_t>(blk->ptr()[k + 1] - blk->ptr()[k]);
+      continue;
+    }
+    // Distinct-column count across the active blocks' sorted segments.
+    for (std::size_t a = 0; a < na; ++a)
+      ck[active[a]] = bs[active[a]]->ptr()[rk[active[a]]];
+    for (;;) {
+      gbx::Index col = gbx::kIndexMax;
+      bool have = false;
+      for (std::size_t a = 0; a < na; ++a) {
+        const std::size_t b = active[a];
+        if (ck[b] >= bs[b]->ptr()[rk[b] + 1]) continue;
+        const gbx::Index c = bs[b]->cols()[ck[b]];
+        if (!have || c < col) col = c;
+        have = true;
+      }
+      if (!have) break;
+      ++count;
+      for (std::size_t a = 0; a < na; ++a) {
+        const std::size_t b = active[a];
+        if (ck[b] < bs[b]->ptr()[rk[b] + 1] && bs[b]->cols()[ck[b]] == col)
+          ++ck[b];
+      }
+    }
+    for (std::size_t a = 0; a < na; ++a) ++rk[active[a]];
+  }
+  return count;
+}
+
 /// Classify a snapshot's deduped blocks against the source's current
 /// (live) blocks: bytes still shared with the live structure cost the
 /// reader nothing extra; the rest is pinned solely for the snapshot.
@@ -133,69 +199,11 @@ class HierSnapshot {
 
   /// Exact number of distinct coordinates of Σ Ai, counted by a k-way
   /// union scan over the frozen level blocks — no level is copied and
-  /// nothing is materialized (the HierMatrix::nvals fast path; the
-  /// level count is small, so the linear cursor scans beat a heap).
+  /// nothing is materialized (the HierMatrix::nvals fast path).
   std::size_t nvals() const {
     std::vector<const gbx::Dcsr<T>*> bs;
     collect_blocks(bs);
-    detail::dedupe_blocks(bs);  // aliased blocks contribute one copy
-    bs.erase(std::remove_if(bs.begin(), bs.end(),
-                            [](const auto* b) { return b->empty(); }),
-             bs.end());
-    if (bs.empty()) return 0;
-    if (bs.size() == 1) return bs.front()->nnz();
-
-    const std::size_t L = bs.size();
-    std::vector<std::size_t> rk(L, 0);   // row-list cursor per block
-    std::vector<gbx::Offset> ck(L);      // column cursor within the row
-    std::vector<std::size_t> active(L);  // blocks containing the row
-    std::size_t count = 0;
-    for (;;) {
-      // Next row = min over the blocks' row cursors.
-      gbx::Index row = gbx::kIndexMax;
-      bool any = false;
-      for (std::size_t b = 0; b < L; ++b) {
-        if (rk[b] >= bs[b]->rows().size()) continue;
-        const gbx::Index r = bs[b]->rows()[rk[b]];
-        if (!any || r < row) row = r;
-        any = true;
-      }
-      if (!any) break;
-      std::size_t na = 0;
-      for (std::size_t b = 0; b < L; ++b) {
-        if (rk[b] < bs[b]->rows().size() && bs[b]->rows()[rk[b]] == row)
-          active[na++] = b;
-      }
-      if (na == 1) {
-        const auto* blk = bs[active[0]];
-        const std::size_t k = rk[active[0]]++;
-        count += static_cast<std::size_t>(blk->ptr()[k + 1] - blk->ptr()[k]);
-        continue;
-      }
-      // Distinct-column count across the active blocks' sorted segments.
-      for (std::size_t a = 0; a < na; ++a)
-        ck[active[a]] = bs[active[a]]->ptr()[rk[active[a]]];
-      for (;;) {
-        gbx::Index col = gbx::kIndexMax;
-        bool have = false;
-        for (std::size_t a = 0; a < na; ++a) {
-          const std::size_t b = active[a];
-          if (ck[b] >= bs[b]->ptr()[rk[b] + 1]) continue;
-          const gbx::Index c = bs[b]->cols()[ck[b]];
-          if (!have || c < col) col = c;
-          have = true;
-        }
-        if (!have) break;
-        ++count;
-        for (std::size_t a = 0; a < na; ++a) {
-          const std::size_t b = active[a];
-          if (ck[b] < bs[b]->ptr()[rk[b] + 1] && bs[b]->cols()[ck[b]] == col)
-            ++ck[b];
-        }
-      }
-      for (std::size_t a = 0; a < na; ++a) ++rk[active[a]];
-    }
-    return count;
+    return detail::count_distinct_coords(std::move(bs));
   }
 
   /// Entry lookup across levels, duplicates combined with the fold
@@ -233,6 +241,37 @@ class HierSnapshot {
     matrix_type acc(nrows_, ncols_);
     for (const auto& v : levels_) acc.plus_assign(v);
     return acc;
+  }
+
+  /// Materialize-and-release (the hier::MemoryGovernor eviction step):
+  /// return an equivalent snapshot whose only level is a *privately
+  /// owned* copy of Σ Ai, so dropping the original releases every
+  /// shared-block pin this image held. Read-path exactness is preserved
+  /// bit-for-bit: the compact block carries to_matrix()'s own per-
+  /// coordinate left-fold values, which extract_element and the delta
+  /// machinery already define as THE value of the logical matrix.
+  /// (reduce() afterwards folds the compact block in coordinate order —
+  /// equal to reduce_scalar(to_matrix()), which for non-associative-in-
+  /// bits float folds may differ in final ulps from the levelwise
+  /// reduce(), exactly as the two read paths always could.)
+  /// Epoch, cuts, and stats ride along unchanged; num_levels becomes 1.
+  HierSnapshot compacted() const {
+    if (nrows_ == 0 || ncols_ == 0) return *this;  // default-constructed
+    matrix_type m = to_matrix();
+    // to_matrix aliases the block outright when a single level is
+    // non-empty; a compacted snapshot must OWN its block, else the
+    // "released" pin would silently survive inside the alias.
+    if (auto h = m.storage_handle()) {
+      for (const auto& v : levels_) {
+        if (v.shared_storage().get() == h.get()) {
+          m = matrix_type::adopt(nrows_, ncols_, gbx::Dcsr<T>(*h));
+          break;
+        }
+      }
+    }
+    std::vector<gbx::MatrixView<T>> lv;
+    lv.push_back(m.view());
+    return HierSnapshot(nrows_, ncols_, std::move(lv), cuts_, stats_, epoch_);
   }
 
   /// Heap bytes this snapshot holds, deduplicated by block identity:
@@ -323,6 +362,17 @@ class SnapshotSet {
     return acc;
   }
 
+  /// Exact number of distinct coordinates of the whole union
+  /// Σ_p Σ_i A_{p,i}: the same k-way union scan as HierSnapshot::nvals,
+  /// over every part's blocks at once — coordinates shared between
+  /// parts (overlapping ParallelStream lanes) are counted once, and
+  /// nothing is materialized.
+  std::size_t nvals() const {
+    std::vector<const gbx::Dcsr<T>*> bs;
+    collect_blocks(bs);
+    return detail::count_distinct_coords(std::move(bs));
+  }
+
   /// Fold all parts' values into one scalar with the fold monoid (no
   /// materialization; same partial-value caveat as HierSnapshot::reduce).
   T reduce() const {
@@ -339,6 +389,62 @@ class SnapshotSet {
       for (std::size_t i = 0; i < p.num_levels(); ++i)
         acc.plus_assign(p.level(i));
     return acc;
+  }
+
+  /// Materialize-and-release for the whole set (mask == nullptr): the
+  /// exact Σ_p Σ_i image is folded ONCE into a privately-owned block
+  /// held by part 0, and every other part becomes an empty shell that
+  /// keeps its cuts/stats/epoch. Reads stay bit-identical by
+  /// construction — to_matrix() IS the definition of the logical value,
+  /// and the part-major extract_element over [compact, empty, ...]
+  /// reads that block verbatim. Watermarks and the set epoch survive.
+  ///
+  /// With a mask, only the selected parts are compacted individually
+  /// (their own levels pre-folded), the rest keep sharing their
+  /// original blocks. Pre-folding one part re-associates the per-
+  /// coordinate fold chain at coordinates other parts also hold, so
+  /// masked compaction is bit-exact only when parts are coordinate-
+  /// disjoint (ShardedHier's row-hash shards) or the fold is bit-
+  /// associative (integer plus, min, max) — which is why the governor
+  /// applies per-part budgets only to sharded sources.
+  SnapshotSet compacted(const std::vector<bool>* mask = nullptr) const {
+    if (parts_.empty()) return *this;
+    if (mask != nullptr) {
+      GBX_CHECK_DIM(mask->size() == parts_.size(),
+                    "compacted part mask size mismatch");
+      std::vector<part_type> parts;
+      parts.reserve(parts_.size());
+      for (std::size_t p = 0; p < parts_.size(); ++p) {
+        if ((*mask)[p])
+          parts.push_back(parts_[p].compacted());
+        else
+          parts.push_back(parts_[p]);
+      }
+      return SnapshotSet(std::move(parts), marks_, epoch_);
+    }
+    matrix_type m = to_matrix();
+    // Single-non-empty-level sets alias the block through plus_assign;
+    // the compact image must OWN its block for the pins to really drop.
+    if (auto h = m.storage_handle()) {
+      std::vector<const gbx::Dcsr<T>*> blocks;
+      collect_blocks(blocks);
+      for (const auto* b : blocks) {
+        if (b == h.get()) {
+          m = matrix_type::adopt(m.nrows(), m.ncols(), gbx::Dcsr<T>(*h));
+          break;
+        }
+      }
+    }
+    std::vector<part_type> parts;
+    parts.reserve(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+      std::vector<gbx::MatrixView<T>> lv;
+      if (p == 0) lv.push_back(m.view());
+      parts.push_back(part_type(parts_[p].nrows(), parts_[p].ncols(),
+                                std::move(lv), parts_[p].cuts(),
+                                parts_[p].stats(), parts_[p].epoch()));
+    }
+    return SnapshotSet(std::move(parts), marks_, epoch_);
   }
 
   /// Heap bytes held by the whole set, deduplicated by block identity

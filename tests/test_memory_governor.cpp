@@ -1,0 +1,421 @@
+// Coverage for the memory-governed snapshot eviction subsystem
+// (hier/memory_governor.hpp):
+//
+//   * Compaction primitives: HierSnapshot::compacted() preserves every
+//     read path bit-for-bit, owns its block (no surviving alias pins),
+//     and carries epoch/cuts/stats along; SnapshotSet::compacted()
+//     collapses overlapping-part sets into one exact Σ image.
+//   * Governor policy: a lagging reader's pinned bytes are released
+//     under a budget (materialize-and-release), reads through the
+//     governed handle stay bit-identical before/after eviction, and
+//     block use counts actually drop (the memory really frees).
+//   * Property (stress label, 3-seed rerun): random update/acquire/
+//     evict/spill interleavings re-queried against the dense-replay
+//     oracle across the four fold monoids.
+//   * Spill: cold snapshots serialize through the RecordLog container
+//     and rehydrate transiently with exact results.
+//   * ShardedHier per-shard budgets: parts compacted individually,
+//     watermarks preserved, reads exact.
+//   * analytics::IncrementalEngine over a governed source: eviction of
+//     the cached previous snapshot falls back to a counted full
+//     recompute; a generous budget keeps the incremental path intact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "algo/algo.hpp"
+#include "analytics/analytics.hpp"
+#include "analytics/incremental.hpp"
+#include "hier/hier.hpp"
+#include "prop_util.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Tuples;
+using hier::CutPolicy;
+using hier::GovernorConfig;
+using hier::HierMatrix;
+using hier::MemoryGovernor;
+using hier::ShardedHier;
+using proptest::DenseRef;
+
+constexpr std::uint64_t kSeedCompact = 0x60C0001;
+constexpr std::uint64_t kSeedEvict = 0x60C0002;
+constexpr std::uint64_t kSeedOracle = 0x60C0003;
+constexpr std::uint64_t kSeedSpill = 0x60C0004;
+constexpr std::uint64_t kSeedSharded = 0x60C0005;
+constexpr std::uint64_t kSeedIncr = 0x60C0006;
+
+/// Entry-for-entry bitwise comparison of two materialized images.
+template <class T, class M>
+::testing::AssertionResult same_matrix(const gbx::Matrix<T, M>& a,
+                                       const gbx::Matrix<T, M>& b) {
+  if (!gbx::equal(a, b))
+    return ::testing::AssertionFailure() << "materialized images differ";
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Compaction preserves every read path and really owns its block.
+// ---------------------------------------------------------------------------
+TEST(MemoryGovernor, CompactedSnapshotPreservesReadsAndMetadata) {
+  HHGBX_PROP_SEED(seed, kSeedCompact);
+  std::mt19937_64 rng(seed);
+  const Index dim = 1u << 12;
+  HierMatrix<double> h(dim, dim, CutPolicy({32, 512, 8192}));
+  DenseRef<double> ref;
+  for (int k = 0; k < 25; ++k) {
+    auto b = proptest::random_batch<double>(rng, dim, 200);
+    h.update(b);
+    ref.apply(b);
+  }
+
+  auto snap = h.freeze();
+  auto compact = snap.compacted();
+
+  EXPECT_EQ(compact.num_levels(), 1u);
+  EXPECT_EQ(compact.epoch(), snap.epoch());
+  EXPECT_EQ(compact.cuts(), snap.cuts());
+  EXPECT_EQ(compact.stats().updates, snap.stats().updates);
+  EXPECT_EQ(compact.nvals(), snap.nvals());
+  EXPECT_TRUE(same_matrix(compact.to_matrix(), snap.to_matrix()));
+  EXPECT_TRUE(ref.matches(compact));
+
+  // The compact block is privately owned: the only reference is the
+  // compacted snapshot's own level view.
+  EXPECT_EQ(compact.level(0).block_use_count(), 1);
+}
+
+TEST(MemoryGovernor, CompactedSingleLevelDeepCopiesTheAliasedBlock) {
+  const Index dim = 64;
+  // Level-0 cut never trips, so only level 0 is ever non-empty and
+  // to_matrix() takes its aliasing fast path.
+  HierMatrix<double> h(dim, dim, CutPolicy({1u << 20}));
+  h.update(1, 2, 3.0);
+  h.update(4, 5, 6.0);
+  auto snap = h.freeze();
+  ASSERT_GT(snap.level(0).nvals(), 0u);
+  auto compact = snap.compacted();
+  // to_matrix() aliases a single non-empty level; compacted() must not.
+  EXPECT_NE(compact.level(0).shared_storage().get(),
+            snap.level(0).shared_storage().get());
+  EXPECT_TRUE(same_matrix(compact.to_matrix(), snap.to_matrix()));
+}
+
+// Whole-set collapse folds the exact part-major Σ once — bit-identical
+// even with overlapping parts and adversarial float cancellation, where
+// per-part pre-folding would re-associate the chain.
+TEST(MemoryGovernor, SetCollapseIsBitExactForOverlappingParts) {
+  const Index dim = 4;
+  gbx::Matrix<double> a(dim, dim), b(dim, dim), c(dim, dim);
+  a.set_element(0, 0, 1e16);
+  b.set_element(0, 0, 1.0);
+  c.set_element(0, 0, -1e16);
+  std::vector<gbx::MatrixView<double>> lv0{a.view(), b.view()};
+  std::vector<gbx::MatrixView<double>> lv1{c.view()};
+  hier::HierSnapshot<double> p0(dim, dim, std::move(lv0), {}, {}, 1);
+  hier::HierSnapshot<double> p1(dim, dim, std::move(lv1), {}, {}, 1);
+  hier::SnapshotSet<double> set({p0, p1}, {{1, 2}, {1, 1}}, 2);
+
+  auto collapsed = set.compacted();
+  ASSERT_EQ(collapsed.size(), set.size());
+  EXPECT_EQ(collapsed.epoch(), set.epoch());
+  EXPECT_EQ(collapsed.watermark(0).entries, set.watermark(0).entries);
+  // ((1e16 ⊕ 1) ⊕ -1e16): the left-fold both read paths define.
+  ASSERT_TRUE(set.extract_element(0, 0).has_value());
+  EXPECT_EQ(*collapsed.extract_element(0, 0), *set.extract_element(0, 0));
+  EXPECT_TRUE(same_matrix(collapsed.to_matrix(), set.to_matrix()));
+}
+
+// ---------------------------------------------------------------------------
+// Budget enforcement: materialize-and-release of a lagging reader.
+// ---------------------------------------------------------------------------
+TEST(MemoryGovernor, BudgetEvictsLaggingReaderExactly) {
+  HHGBX_PROP_SEED(seed, kSeedEvict);
+  std::mt19937_64 rng(seed);
+  const Index dim = 1u << 13;
+  HierMatrix<double> h(dim, dim, CutPolicy({64, 1024, 16384}));
+
+  GovernorConfig cfg;
+  cfg.budget_bytes = 0;  // any pinned byte is over budget
+  cfg.min_evict_lag = 1;
+  MemoryGovernor<HierMatrix<double>> gov(h, cfg);
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> evictions;
+  gov.set_eviction_hook([&](std::uint64_t evicted, std::uint64_t current,
+                            std::uint64_t pinned_before) {
+    evictions.emplace_back(evicted, current);
+    EXPECT_GT(pinned_before, 0u);
+    // Hooks fire outside the registry lock: re-entering the governor
+    // from a hook must not deadlock (regression guard).
+    EXPECT_GE(gov.memory().snapshots, 1u);
+  });
+  std::vector<std::uint64_t> stale_epochs;
+  gov.set_staleness_hook(
+      0, [&](std::uint64_t held, std::uint64_t) { stale_epochs.push_back(held); });
+
+  MemoryGovernor<HierMatrix<double>>::handle_type held;
+  gbx::Matrix<double> ref(1, 1);
+  hier::HierSnapshot<double> old_image;
+  for (int k = 0; k < 30; ++k) {
+    auto b = proptest::random_batch<double>(rng, dim, 300);
+    h.update(b);
+    if (k == 6) {
+      held = gov.acquire();
+      ref = held.pin().to_matrix();  // the unevicted baseline
+      old_image = held.pin();        // keeps the original blocks alive
+    } else {
+      gov.acquire();  // fresh handle, dropped immediately
+    }
+  }
+
+  ASSERT_TRUE(held.valid());
+  EXPECT_TRUE(held.evicted());
+  EXPECT_FALSE(evictions.empty());
+  EXPECT_EQ(evictions.front().first, held.epoch());
+  EXPECT_FALSE(stale_epochs.empty());
+
+  // Pinned class back to zero: the only outstanding snapshot is compact.
+  const auto mem = gov.memory();
+  EXPECT_EQ(mem.pinned_bytes, 0u);
+  EXPECT_GT(mem.private_bytes, 0u);
+  EXPECT_EQ(mem.evicted_snapshots, 1u);
+  const auto st = gov.stats();
+  EXPECT_GE(st.evictions, 1u);
+  EXPECT_GT(st.bytes_released, 0u);
+  EXPECT_GT(st.peak_pinned_bytes, 0u);
+
+  // Reads through the evicted handle are bit-identical to the baseline.
+  EXPECT_TRUE(same_matrix(held.to_matrix(), ref));
+  EXPECT_EQ(held.nvals(), ref.nvals());
+  ref.for_each([&](Index i, Index j, double v) {
+    auto got = held.extract_element(i, j);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  });
+
+  // The superseded blocks really free: our pinned copy is now the sole
+  // owner of the old level-0 block (slot dropped it, writer folded past).
+  EXPECT_EQ(old_image.level(0).block_use_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property: evict → re-query equals the dense-replay oracle (4 monoids).
+// ---------------------------------------------------------------------------
+template <class T, class M>
+void run_evict_requery_oracle(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const Index dim = 1u << 11;
+  HierMatrix<T, M> h(dim, dim, CutPolicy({32, 512, 4096}));
+
+  GovernorConfig cfg;
+  cfg.budget_bytes = 0;
+  cfg.min_evict_lag = 1;
+  cfg.spill_lag = 10;  // the coldest held snapshots leave block form too
+  MemoryGovernor<HierMatrix<T, M>> gov(h, cfg);
+
+  DenseRef<T, M> ref;
+  std::vector<
+      std::pair<typename MemoryGovernor<HierMatrix<T, M>>::handle_type,
+                DenseRef<T, M>>>
+      held;
+  for (int step = 0; step < 40; ++step) {
+    auto b = proptest::random_batch<T>(rng, dim, 120);
+    h.update(b);
+    ref.apply(b);
+    if (step % 5 == 2) held.emplace_back(gov.acquire(), ref);
+  }
+  gov.enforce();
+
+  const auto st = gov.stats();
+  EXPECT_GE(st.evictions, 1u);
+  EXPECT_GE(st.spills, 1u);
+
+  for (std::size_t k = 0; k < held.size(); ++k) {
+    SCOPED_TRACE(::testing::Message()
+                 << "held snapshot " << k << ", epoch " << held[k].first.epoch()
+                 << (held[k].first.spilled()
+                         ? " (spilled)"
+                         : held[k].first.evicted() ? " (evicted)" : " (live)"));
+    EXPECT_TRUE(held[k].second.matches(held[k].first.to_matrix()));
+    EXPECT_EQ(held[k].first.nvals(), held[k].second.nvals());
+  }
+}
+
+TEST(MemoryGovernorProperty, EvictRequeryOracle_PlusDouble) {
+  HHGBX_PROP_SEED(seed, kSeedOracle);
+  run_evict_requery_oracle<double, gbx::PlusMonoid<double>>(seed);
+}
+TEST(MemoryGovernorProperty, EvictRequeryOracle_PlusInt64) {
+  HHGBX_PROP_SEED(seed, kSeedOracle ^ 0x11);
+  run_evict_requery_oracle<std::int64_t, gbx::PlusMonoid<std::int64_t>>(seed);
+}
+TEST(MemoryGovernorProperty, EvictRequeryOracle_MinInt64) {
+  HHGBX_PROP_SEED(seed, kSeedOracle ^ 0x22);
+  run_evict_requery_oracle<std::int64_t, gbx::MinMonoid<std::int64_t>>(seed);
+}
+TEST(MemoryGovernorProperty, EvictRequeryOracle_MaxInt64) {
+  HHGBX_PROP_SEED(seed, kSeedOracle ^ 0x33);
+  run_evict_requery_oracle<std::int64_t, gbx::MaxMonoid<std::int64_t>>(seed);
+}
+
+// ---------------------------------------------------------------------------
+// Spill: cold snapshots serialize out of block form and rehydrate
+// transiently with exact results.
+// ---------------------------------------------------------------------------
+TEST(MemoryGovernor, SpillAndRehydrateExactly) {
+  HHGBX_PROP_SEED(seed, kSeedSpill);
+  std::mt19937_64 rng(seed);
+  const Index dim = 1u << 12;
+  HierMatrix<double> h(dim, dim, CutPolicy({64, 1024}));
+
+  GovernorConfig cfg;
+  cfg.budget_bytes = 0;
+  cfg.min_evict_lag = 1;
+  cfg.spill_lag = 4;
+  MemoryGovernor<HierMatrix<double>> gov(h, cfg);
+
+  MemoryGovernor<HierMatrix<double>>::handle_type held;
+  gbx::Matrix<double> ref(1, 1);
+  for (int k = 0; k < 12; ++k) {
+    auto b = proptest::random_batch<double>(rng, dim, 200);
+    h.update(b);
+    if (k == 2) {
+      held = gov.acquire();
+      ref = held.pin().to_matrix();
+    } else {
+      gov.acquire();
+    }
+  }
+
+  EXPECT_TRUE(held.spilled());
+  const auto mem = gov.memory();
+  EXPECT_GT(mem.spilled_bytes, 0u);
+  EXPECT_EQ(mem.spilled_snapshots, 1u);
+  EXPECT_EQ(held.memory_bytes(), mem.spilled_bytes);
+
+  // Rehydrated reads: exact, counted, and transient (still spilled).
+  EXPECT_TRUE(same_matrix(held.to_matrix(), ref));
+  EXPECT_EQ(held.nvals(), ref.nvals());
+  EXPECT_TRUE(held.spilled());
+  EXPECT_GE(gov.stats().rehydrations, 2u);
+  EXPECT_GE(gov.stats().spills, 1u);
+
+  // A pinned copy of a spilled image keeps every metadata field.
+  auto img = held.pin();
+  EXPECT_EQ(img.epoch(), held.epoch());
+  EXPECT_EQ(img.stats().updates, held.epoch());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedHier: per-shard budgets compact parts individually, watermarks
+// and reads preserved exactly.
+// ---------------------------------------------------------------------------
+TEST(MemoryGovernor, ShardedPerShardBudgetsEvictPartsExactly) {
+  HHGBX_PROP_SEED(seed, kSeedSharded);
+  std::mt19937_64 rng(seed);
+  const Index dim = 1u << 13;
+  ShardedHier<double> sh(4, dim, dim, CutPolicy({32, 512}));
+
+  GovernorConfig cfg;
+  cfg.part_budget_bytes = 1;  // any pinned shard byte is over budget
+  cfg.min_evict_lag = 1;
+  MemoryGovernor<ShardedHier<double>> gov(sh, cfg);
+
+  MemoryGovernor<ShardedHier<double>>::handle_type held;
+  gbx::Matrix<double> ref(1, 1);
+  std::vector<hier::SnapshotWatermark> marks;
+  for (int k = 0; k < 25; ++k) {
+    auto b = proptest::random_batch<double>(rng, dim, 250);
+    sh.update(b);
+    if (k == 5) {
+      held = gov.acquire();
+      auto img = held.pin();
+      ref = img.to_matrix();
+      for (std::size_t p = 0; p < img.size(); ++p)
+        marks.push_back(img.watermark(p));
+    } else {
+      gov.acquire();
+    }
+  }
+
+  EXPECT_TRUE(held.evicted());
+  const auto st = gov.stats();
+  EXPECT_GE(st.part_evictions, 1u);
+
+  auto img = held.pin();
+  ASSERT_EQ(img.size(), 4u);
+  for (std::size_t p = 0; p < img.size(); ++p) {
+    EXPECT_EQ(img.watermark(p).batches, marks[p].batches);
+    EXPECT_EQ(img.watermark(p).entries, marks[p].entries);
+  }
+  EXPECT_TRUE(same_matrix(held.to_matrix(), ref));
+  EXPECT_EQ(gov.memory().pinned_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalEngine over a governed source.
+// ---------------------------------------------------------------------------
+TEST(MemoryGovernor, IncrementalEngineSurvivesEvictionOfItsPrevSnapshot) {
+  HHGBX_PROP_SEED(seed, kSeedIncr);
+  std::mt19937_64 rng(seed);
+  const Index dim = 1u << 10;
+  HierMatrix<double> h(dim, dim, CutPolicy({64, 1024}));
+
+  GovernorConfig cfg;
+  cfg.budget_bytes = 0;  // evict the engine's cached prev every round
+  cfg.min_evict_lag = 1;
+  MemoryGovernor<HierMatrix<double>> gov(h, cfg);
+  analytics::IncrementalEngine<MemoryGovernor<HierMatrix<double>>> eng(gov);
+
+  bool saw_eviction_fallback = false;
+  for (int round = 0; round < 6; ++round) {
+    for (int b = 0; b < 3; ++b) h.update(proptest::random_batch<double>(rng, dim, 150));
+    const auto& rep = eng.refresh();
+    if (rep.prev_unavailable) {
+      saw_eviction_fallback = true;
+      EXPECT_TRUE(rep.full_recompute);
+    }
+    // Every pass — incremental or fallback — matches the from-scratch
+    // truth at the same epoch exactly.
+    auto truth = h.freeze().to_matrix();
+    EXPECT_TRUE(same_matrix(eng.sum(), truth));
+    EXPECT_EQ(eng.triangles(), algo::triangle_count(truth));
+    auto full = analytics::summarize(truth);
+    EXPECT_EQ(eng.summary().links, full.links);
+    EXPECT_EQ(eng.summary().sources, full.sources);
+    EXPECT_EQ(eng.summary().destinations, full.destinations);
+    EXPECT_DOUBLE_EQ(eng.summary().max_link, full.max_link);
+  }
+  EXPECT_TRUE(saw_eviction_fallback);
+  EXPECT_GE(eng.full_recomputes(), 2u);
+}
+
+TEST(MemoryGovernor, IncrementalEngineStaysIncrementalUnderGenerousBudget) {
+  HHGBX_PROP_SEED(seed, kSeedIncr ^ 0x77);
+  std::mt19937_64 rng(seed);
+  const Index dim = 1u << 10;
+  HierMatrix<double> h(dim, dim, CutPolicy({64, 1024}));
+
+  MemoryGovernor<HierMatrix<double>> gov(h);  // default: unlimited budget
+  analytics::IncrementalEngine<MemoryGovernor<HierMatrix<double>>> eng(gov);
+
+  for (int round = 0; round < 5; ++round) {
+    for (int b = 0; b < 2; ++b) h.update(proptest::random_batch<double>(rng, dim, 100));
+    const auto& rep = eng.refresh();
+    EXPECT_FALSE(rep.prev_unavailable);
+    if (round > 0) {
+      EXPECT_FALSE(rep.full_recompute);
+      EXPECT_GT(rep.added + rep.changed, 0u);
+    }
+    auto truth = h.freeze().to_matrix();
+    EXPECT_TRUE(same_matrix(eng.sum(), truth));
+  }
+  EXPECT_EQ(eng.full_recomputes(), 1u);  // only the first pass
+  EXPECT_EQ(gov.stats().evictions, 0u);
+}
+
+}  // namespace

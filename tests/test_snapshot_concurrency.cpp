@@ -389,4 +389,70 @@ TEST(SnapshotConcurrency, DiffDuringPumpPatchesExactly) {
     EXPECT_TRUE(script.prefix_ref[p][sets].matches(final_snap.part(p)));
 }
 
+// ---------------------------------------------------------------------------
+// Memory-governed readers evicted mid-query under a live pump(). Each
+// reader materializes an unevicted baseline the moment it acquires a
+// handle, keeps re-querying that handle while a zero-budget governor
+// compacts/evicts it from other threads, and checks every re-query
+// bit-identical to the baseline. TSan coverage of the slot handshake:
+// reader pins race governor evictions race further acquires, all while
+// the lanes keep folding.
+// ---------------------------------------------------------------------------
+TEST(SnapshotConcurrency, EvictionDuringPumpKeepsReadsExact) {
+  HHGBX_PROP_SEED(seed, kSeedPump ^ 0xE71C);
+  const std::size_t lanes = 2, sets = 25, set_size = 300;
+  const Index dim = 1u << 14;
+  LaneScript script(proptest::mix(seed ^ 3), lanes, sets, set_size, dim);
+
+  InstanceArray<double> array(lanes, dim, dim, CutPolicy({64, 1024}));
+  ParallelStream<double> engine(array);
+  hier::GovernorConfig cfg;
+  cfg.budget_bytes = 0;  // evict every lagging image as soon as possible
+  cfg.min_evict_lag = 1;
+  cfg.spill_lag = 3;     // and push the coldest ones out of block form
+  hier::MemoryGovernor<ParallelStream<double>> gov(engine, cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> exact_requeries{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      using Handle =
+          hier::MemoryGovernor<ParallelStream<double>>::handle_type;
+      Handle held;
+      gbx::Matrix<double> ref(1, 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!held.valid()) {
+          held = gov.acquire();
+          ref = held.pin().to_matrix();  // unevicted baseline of the image
+          continue;
+        }
+        // Re-query the (possibly just evicted/spilled) handle: every
+        // read path must still produce the frozen image bit-for-bit.
+        EXPECT_TRUE(gbx::equal(held.to_matrix(), ref));
+        EXPECT_EQ(held.epoch(), held.pin().epoch());
+        exact_requeries.fetch_add(1, std::memory_order_relaxed);
+        // Rotate so later epochs get held (and evicted) too.
+        held = gov.acquire();
+        ref = held.pin().to_matrix();
+      }
+    });
+  }
+
+  auto report = engine.pump(sets, set_size, [&](std::size_t p) {
+    return ScriptGen{&script.batches[p]};
+  });
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  ASSERT_EQ(report.entries, lanes * sets * set_size);
+  EXPECT_GT(exact_requeries.load(), 0u);
+
+  // Post-run: quiescent truth still matches the dense replay, and a
+  // final governed read of a fresh handle matches it too.
+  auto final_handle = gov.acquire();
+  auto final_image = final_handle.pin();
+  for (std::size_t p = 0; p < lanes; ++p)
+    EXPECT_TRUE(script.prefix_ref[p][sets].matches(final_image.part(p)));
+}
+
 }  // namespace
