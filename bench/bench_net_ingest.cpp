@@ -1,0 +1,181 @@
+// Network ingest saturation — N loopback clients vs the epoll server.
+//
+// The paper's ingest numbers are in-process; this bench measures what
+// survives a socket: N concurrent clients each stream pre-generated
+// scale-17 Kronecker batches into their own ParallelStream lane through
+// net::IngestServer, flush (the applied-barrier), and the aggregate
+// wall-clock insert rate is reported per client count. After every
+// sweep point the server's Σ Ai is checked against the exact expected
+// value (value-1.0 edges: the sum IS the entry count) — any mismatch
+// fails the bench, so the perf trajectory can never green a server that
+// drops or duplicates batches. Query cost under load is reported as the
+// median query_sum round-trip (microseconds; informational, not gated).
+//
+//   NET_CLIENTS    max client count, swept 1,2,..max doubling (def 4)
+//   NET_SETS       batches per client                        (def 16)
+//   NET_SET_SIZE   entries per batch                         (def 50000)
+//
+// BENCH_JSON: {"bench":"net_ingest","series":[{"clients":N,
+// "insert_rate":e/s,"query_p50_us":us,"parks":n},...],"exact":bool}
+#include <cstdio>
+#include <cstdlib>
+
+#ifdef __linux__
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gen/kronecker.hpp"
+#include "hier/hier.hpp"
+#include "net/net.hpp"
+
+namespace {
+
+std::size_t env_or_sz(const char* name, std::size_t fallback) {
+  const char* s = std::getenv(name);
+  return (s != nullptr && *s != '\0') ? static_cast<std::size_t>(std::atoll(s))
+                                      : fallback;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SweepPoint {
+  std::size_t clients = 0;
+  double insert_rate = 0;    ///< entries applied / wall seconds to barrier
+  double query_p50_us = 0;   ///< median query_sum round-trip under no load
+  std::uint64_t parks = 0;   ///< back-pressure events the server took
+  bool exact = false;        ///< server Σ Ai == entries streamed
+};
+
+SweepPoint run_point(std::size_t clients, std::size_t sets,
+                     std::size_t set_size) {
+  const gbx::Index dim = gbx::Index{1} << 17;
+  const auto cuts = hier::CutPolicy::geometric(4, 4096, 8);
+
+  // Pre-generate every batch: the network + apply path is what's timed,
+  // not Kronecker sampling (the paper's untimed packet-capture role).
+  std::vector<std::vector<gbx::Tuples<double>>> work(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    gen::KroneckerParams kp;
+    kp.scale = 17;
+    kp.seed = 7000 + c;
+    gen::KroneckerGenerator g(kp);
+    for (std::size_t b = 0; b < sets; ++b)
+      work[c].push_back(g.batch<double>(set_size));
+  }
+
+  hier::InstanceArray<double> array(clients, dim, dim, cuts);
+  hier::ParallelStream<double> stream(array);
+  stream.start();
+  hier::MemoryGovernor<hier::ParallelStream<double>> governor(stream);
+  net::IngestServer server(stream, governor);
+  server.start();
+
+  SweepPoint pt;
+  pt.clients = clients;
+
+  const double t0 = now_seconds();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client cli;
+      cli.connect("127.0.0.1", server.port());
+      for (const auto& b : work[c]) cli.insert(b, c);
+      cli.flush();  // barrier: rate counts APPLIED entries, not buffered
+      cli.bye();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = now_seconds() - t0;
+
+  const double streamed = static_cast<double>(clients * sets * set_size);
+  pt.insert_rate = wall > 0 ? streamed / wall : 0;
+  pt.parks = server.stats().parks;
+
+  // Exactness + query cost on a quiesced server.
+  net::Client probe;
+  probe.connect("127.0.0.1", server.port());
+  std::vector<double> q_us;
+  double sum = 0;
+  for (int q = 0; q < 21; ++q) {
+    const double q0 = now_seconds();
+    sum = probe.query_sum().sum;
+    q_us.push_back((now_seconds() - q0) * 1e6);
+  }
+  probe.bye();
+  std::sort(q_us.begin(), q_us.end());
+  pt.query_p50_us = q_us[q_us.size() / 2];
+  pt.exact = sum == streamed;
+
+  server.stop();
+  stream.stop();
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t max_clients = env_or_sz("NET_CLIENTS", 4);
+  const std::size_t sets = env_or_sz("NET_SETS", 16);
+  const std::size_t set_size = env_or_sz("NET_SET_SIZE", 50000);
+
+  benchutil::header(
+      "Network ingest saturation (loopback, one lane per client)",
+      "aggregate applied-entry rate through net::IngestServer vs client "
+      "count; exactness of the server's Σ Ai gates the run");
+  benchutil::note("clients swept 1.." + std::to_string(max_clients) +
+                  ", " + std::to_string(sets) + " x " +
+                  std::to_string(set_size) + " entries per client");
+
+  std::printf("clients\tinsert_rate\tquery_p50_us\tparks\texact\n");
+  std::vector<SweepPoint> series;
+  bool all_exact = true;
+  for (std::size_t n = 1; n <= max_clients; n *= 2) {
+    const auto pt = run_point(n, sets, set_size);
+    all_exact = all_exact && pt.exact;
+    series.push_back(pt);
+    std::printf("%zu\t%s\t%.1f\t%llu\t%s\n", pt.clients,
+                benchutil::rate(pt.insert_rate).c_str(), pt.query_p50_us,
+                static_cast<unsigned long long>(pt.parks),
+                pt.exact ? "ok" : "VIOLATED");
+  }
+
+  std::string series_json = "[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"clients\":%zu,\"insert_rate\":%.1f,"
+                  "\"query_p50_us\":%.1f,\"parks\":%llu}",
+                  i ? "," : "", series[i].clients, series[i].insert_rate,
+                  series[i].query_p50_us,
+                  static_cast<unsigned long long>(series[i].parks));
+    series_json += buf;
+  }
+  series_json += "]";
+
+  std::printf("\nresult: %s (Σ Ai %s across %zu sweep points)\n",
+              all_exact ? "PASS" : "FAIL",
+              all_exact ? "exact" : "DIVERGED", series.size());
+  std::printf("BENCH_JSON {\"bench\":\"net_ingest\",\"sets\":%zu,"
+              "\"set_size\":%zu,\"series\":%s,\"exact\":%s}\n",
+              sets, set_size, series_json.c_str(),
+              all_exact ? "true" : "false");
+  return all_exact ? 0 : 1;
+}
+
+#else  // !__linux__
+
+int main() {
+  std::printf("bench_net_ingest: the epoll ingest server is Linux-only\n");
+  return 0;
+}
+
+#endif

@@ -35,6 +35,13 @@
 #                           throughput must stay ≥ EVICT_MIN_RATE_RATIO
 #                           (default 0.9) of the governor-off run.
 #                           EVICT_SETS / EVICT_SET_SIZE shrink for CI.
+#   bench_net_ingest      — loopback ingest through net::IngestServer,
+#                           1..N concurrent clients: the server's Σ Ai
+#                           must equal the streamed entry count exactly
+#                           at every sweep point (the bench exits
+#                           non-zero otherwise); aggregate insert_rate
+#                           feeds the perf trajectory. NET_CLIENTS /
+#                           NET_SETS / NET_SET_SIZE shrink for CI.
 #
 # Usage: scripts/run_benches.sh [build-dir] [output-dir]
 set -u

@@ -22,7 +22,9 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "gbx/matrix.hpp"
@@ -53,7 +55,9 @@ class HierMatrix {
   const CutPolicy& cut_policy() const { return cuts_; }
   const HierStats& stats() const { return stats_; }
 
-  /// Single-entry streaming update: A(i, j) ⊕= v.
+  /// Single-entry streaming update: A(i, j) ⊕= v. (Not observed by the
+  /// write hook — per-element notification would tax the paper's hot
+  /// path; governors enforce at batch granularity.)
   void update(gbx::Index i, gbx::Index j, T v) {
     levels_[0].set_element(i, j, v);
     ++stats_.updates;
@@ -67,6 +71,7 @@ class HierMatrix {
     ++stats_.updates;
     stats_.entries_appended += batch.size();
     cascade();
+    if (write_observer_) write_observer_();
   }
 
   void update(std::span<const gbx::Index> rows,
@@ -75,6 +80,14 @@ class HierMatrix {
     ++stats_.updates;
     stats_.entries_appended += rows.size();
     cascade();
+    if (write_observer_) write_observer_();
+  }
+
+  /// Install a hook fired after every ingested batch (the write-side
+  /// notification path of hier::MemoryGovernor). Owning-thread
+  /// discipline, like update() itself.
+  void set_write_observer(std::function<void()> observer) {
+    write_observer_ = std::move(observer);
   }
 
   /// Entry-count upper bound per level (compressed + buffered; never
@@ -228,6 +241,7 @@ class HierMatrix {
   gbx::Index ncols_;
   CutPolicy cuts_;
   std::vector<matrix_type> levels_;
+  std::function<void()> write_observer_;  ///< see set_write_observer
   mutable HierStats stats_;
 };
 

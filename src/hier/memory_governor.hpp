@@ -95,6 +95,18 @@ struct GovernorConfig {
   /// Run enforce() inside every acquire() (the steady-state mode); turn
   /// off to drive enforcement manually or from a dedicated thread.
   bool enforce_on_acquire = true;
+  /// Write-side enforcement: attach a write observer to the source so
+  /// every ingested (sub-)batch triggers an enforcement pass. Acquire-
+  /// time-only enforcement lets a lagging reader's pinned class drift up
+  /// to one superseded block PER SHARD between acquires (writers fold,
+  /// nobody tells the governor); with write-side notification the
+  /// transient slack is bounded by the blocks one sub-batch can
+  /// supersede — one generation total. Requires a source with
+  /// set_write_observer (ShardedHier, ParallelStream, HierMatrix; see
+  /// governor_attach_write_observer); silently inert otherwise. The
+  /// governor must outlive the source's write activity — it detaches on
+  /// destruction, which is only safe once writers have stopped.
+  bool enforce_on_write = false;
 };
 
 /// Monotone counters of governor activity (copyable POD view).
@@ -436,6 +448,57 @@ bool governor_part_live_blocks(const Source&, std::size_t,
   return false;
 }
 
+/// Write-observer attachment customization (enforce_on_write): install
+/// `observer` so the source fires it after every ingested (sub-)batch,
+/// or return false when the source has no such hook. An empty function
+/// detaches. Detection is structural (does the source expose
+/// set_write_observer?), so any future freezable source that grows the
+/// hook is covered automatically.
+template <class Source, class = void>
+struct source_has_write_observer : std::false_type {};
+template <class Source>
+struct source_has_write_observer<
+    Source, std::void_t<decltype(std::declval<Source&>().set_write_observer(
+                std::function<void()>{}))>> : std::true_type {};
+
+template <class Source>
+bool governor_attach_write_observer(Source& s,
+                                    std::function<void()> observer) {
+  if constexpr (source_has_write_observer<Source>::value) {
+    s.set_write_observer(std::move(observer));
+    return true;
+  } else {
+    (void)observer;
+    return false;
+  }
+}
+
+/// Live write-progress customization: eviction lag is measured against
+/// the newest epoch the governor can SEE. Acquire-only governors only
+/// see what readers acquired — during a pure-write phase nothing
+/// advances and a held snapshot never becomes "lagging", which is
+/// exactly the drift enforce_on_write exists to close. Sources exposing
+/// an epoch() counter (ShardedHier: atomic, any thread; HierMatrix:
+/// owner thread, where its observer also runs) lend it here; otherwise
+/// the newest acquired epoch stands (ParallelStream lane counters are
+/// worker-owned).
+template <class Source, class = void>
+struct source_has_epoch : std::false_type {};
+template <class Source>
+struct source_has_epoch<
+    Source, std::void_t<decltype(std::declval<const Source&>().epoch())>>
+    : std::true_type {};
+
+template <class Source>
+std::uint64_t governor_current_epoch(const Source& s,
+                                     std::uint64_t newest_acquired) {
+  if constexpr (source_has_epoch<Source>::value) {
+    return std::max<std::uint64_t>(s.epoch(), newest_acquired);
+  } else {
+    return newest_acquired;
+  }
+}
+
 template <class Source>
 class MemoryGovernor {
  public:
@@ -455,7 +518,31 @@ class MemoryGovernor {
       : source_(&source),
         cfg_(cfg),
         engine_(source),
-        counters_(std::make_shared<detail::GovernorCounters>()) {}
+        counters_(std::make_shared<detail::GovernorCounters>()) {
+    if (cfg_.enforce_on_write) {
+      // Same install-before-writers discipline as set_staleness_hook:
+      // the governor is constructed before ingest threads start, so the
+      // plain std::function installs race-free. The fast path skips the
+      // whole pass while no snapshot is outstanding — nothing can be
+      // pinned, so a write-heavy phase with no readers pays one relaxed
+      // load per batch.
+      attached_write_ = governor_attach_write_observer(*source_, [this] {
+        if (registered_.load(std::memory_order_relaxed) == 0) return;
+        enforce();
+      });
+    }
+  }
+
+  /// Detach the write observer (no-op if none was attached). Only safe
+  /// once the source's writers have stopped — the same rule as
+  /// destroying the governor itself.
+  ~MemoryGovernor() {
+    if (attached_write_)
+      governor_attach_write_observer(*source_, std::function<void()>{});
+  }
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
 
   /// Freeze a new snapshot, register it with the governor, and (by
   /// default) run an enforcement pass. Thread-safety: that of the
@@ -467,6 +554,7 @@ class MemoryGovernor {
     {
       std::lock_guard<std::mutex> lk(mu_);
       slots_.push_back(slot);
+      registered_.store(slots_.size(), std::memory_order_relaxed);
     }
     if (cfg_.enforce_on_acquire) enforce();
     return handle_type(std::move(slot));
@@ -494,7 +582,8 @@ class MemoryGovernor {
       hook = eviction_hook_;
       counters_->enforcements.fetch_add(1, std::memory_order_relaxed);
       auto slots = gather_locked();
-      const std::uint64_t current = engine_.last_epoch();
+      const std::uint64_t current =
+          governor_current_epoch(*source_, engine_.last_epoch());
 
       // --- global pinned budget.
       std::uint64_t prev_pinned = 0;
@@ -539,7 +628,8 @@ class MemoryGovernor {
         }
       }
     }
-    const std::uint64_t current = engine_.last_epoch();
+    const std::uint64_t current =
+        governor_current_epoch(*source_, engine_.last_epoch());
     for (const auto& [epoch, pinned_before] : evicted_epochs) {
       engine_.check_staleness(epoch);  // laggard warning, if installed
       if (hook) hook(epoch, current, pinned_before);
@@ -623,6 +713,7 @@ class MemoryGovernor {
       }
     }
     slots_.resize(w);
+    registered_.store(w, std::memory_order_relaxed);
     std::sort(out.begin(), out.end(),
               [](const auto& a, const auto& b) { return a->epoch < b->epoch; });
     return out;
@@ -865,6 +956,12 @@ class MemoryGovernor {
   std::shared_ptr<detail::GovernorCounters> counters_;
   mutable std::mutex mu_;  ///< registry + enforcement serialization
   mutable std::vector<std::weak_ptr<Slot>> slots_;
+  /// Registration-count hint for the write observer's lock-free skip
+  /// (refreshed whenever the registry changes under mu_). May briefly
+  /// overcount dead handles — the observer then runs one enforcement
+  /// pass that prunes them; it never undercounts a live registration.
+  mutable std::atomic<std::size_t> registered_{0};
+  bool attached_write_ = false;  ///< write observer installed on source_
   EvictionHook eviction_hook_;
 };
 

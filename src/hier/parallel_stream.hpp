@@ -43,6 +43,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -55,6 +56,13 @@
 #include "hier/snapshot.hpp"
 
 namespace hier {
+
+/// Outcome of a non-blocking ParallelStream::try_submit.
+enum class SubmitResult {
+  kAccepted,  ///< batch enqueued on the lane
+  kLaneFull,  ///< lane queue at capacity; batch untouched, retry later
+  kStopped,   ///< engine not running or lane closing; batch untouched
+};
 
 /// Per-lane (per-instance) ingest counters.
 struct LaneCounters {
@@ -182,6 +190,52 @@ class ParallelStream {
   void submit(gbx::Tuples<T> batch) {
     submit(rr_.fetch_add(1, std::memory_order_relaxed) % lanes_.size(),
            std::move(batch));
+  }
+
+  /// Non-blocking submit: enqueue on lane `p` only if there is space and
+  /// the engine is accepting work, never waiting on the lane condition.
+  /// On kLaneFull / kStopped the batch is left untouched in the caller's
+  /// hands (nothing is moved from it), so a server can park it and map
+  /// the full lane to back-pressure on its own producer — e.g. stop
+  /// reading the connection that fed it — instead of blocking an event
+  /// loop, and a producer racing stop() gets a defined kStopped result
+  /// instead of blocking forever on a queue no worker will ever drain.
+  SubmitResult try_submit(std::size_t p, gbx::Tuples<T>& batch) {
+    GBX_CHECK_INDEX(p < lanes_.size(), "lane index out of range");
+    if (!running_) return SubmitResult::kStopped;
+    Lane& lane = *lanes_[p];
+    std::lock_guard<std::mutex> lk(lane.m);
+    if (lane.closed) return SubmitResult::kStopped;
+    if (lane.queue.size() >= opt_.queue_capacity) return SubmitResult::kLaneFull;
+    lane.queue.push_back(std::move(batch));
+    lane.cv_work.notify_one();
+    return SubmitResult::kAccepted;
+  }
+
+  /// True when lane `p` has applied everything submitted to it (queue
+  /// empty and no batch mid-application). A non-blocking drain() probe,
+  /// one lane at a time — the flush barrier of the network server.
+  bool lane_idle(std::size_t p) const {
+    GBX_CHECK_INDEX(p < lanes_.size(), "lane index out of range");
+    Lane& lane = *lanes_[p];
+    std::lock_guard<std::mutex> lk(lane.m);
+    return lane.queue.empty() && !lane.applying;
+  }
+
+  /// Batches currently queued on lane `p` (monitoring / load balancing).
+  std::size_t lane_queue_depth(std::size_t p) const {
+    GBX_CHECK_INDEX(p < lanes_.size(), "lane index out of range");
+    Lane& lane = *lanes_[p];
+    std::lock_guard<std::mutex> lk(lane.m);
+    return lane.queue.size();
+  }
+
+  /// Install a hook the lane workers fire after every applied batch
+  /// (outside the lane lock — the hook may freeze/enforce freely). The
+  /// write-side notification path of hier::MemoryGovernor. Install
+  /// before start(); workers read it unsynchronized.
+  void set_write_observer(std::function<void()> observer) {
+    write_observer_ = std::move(observer);
   }
 
   /// Block until every queued batch has been applied.
@@ -382,12 +436,16 @@ class ParallelStream {
         lane.counters.busy_seconds += dt;
         lane.cv_space.notify_all();
       }
+      // Outside the lane lock: the observer (a governor's write-side
+      // enforcement) may take snapshots or walk live blocks freely.
+      if (write_observer_) write_observer_();
     }
   }
 
   array_type* array_;
   Options opt_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::function<void()> write_observer_;  ///< set before start(); see setter
   std::vector<std::thread> threads_;
   std::atomic<std::size_t> rr_{0};
   std::chrono::steady_clock::time_point t0_{};

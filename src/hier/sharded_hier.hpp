@@ -23,9 +23,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "gen/rng.hpp"
@@ -60,6 +62,7 @@ class ShardedHier {
       shards_[s].update(i, j, v);
     }
     epoch_.fetch_add(1, std::memory_order_relaxed);
+    if (write_observer_) write_observer_();
   }
 
   /// Thread-safe batched update: the batch is split by shard once, then
@@ -71,6 +74,14 @@ class ShardedHier {
   /// the same arena discipline as the fold pipeline's ScratchPool.
   void update(const gbx::Tuples<T>& batch) {
     std::shared_lock<std::shared_mutex> batch_guard(writer_slot());
+    // Admit the batch into the epoch up front: freeze() excludes all
+    // in-flight batches via snap_mu_, so "admitted" == "applied"
+    // whenever a snapshot observes the counter. Incrementing before the
+    // shard loop means a snapshot acquired at epoch e already lags the
+    // very first fold of batch e+1 — the write observer below can evict
+    // it immediately instead of letting a whole batch of per-shard
+    // folds pile up pinned behind min_evict_lag.
+    epoch_.fetch_add(1, std::memory_order_relaxed);
     static thread_local std::vector<gbx::Tuples<T>> parts;
     if (parts.size() < shards_.size()) parts.resize(shards_.size());
     for (std::size_t s = 0; s < shards_.size(); ++s) parts[s].clear();
@@ -87,8 +98,13 @@ class ShardedHier {
       // the steady-state cap is handed back rather than retained.
       if (parts[s].entries().capacity() > kMaxRetainedPartCapacity)
         parts[s].reset();
+      // Per-shard notification, outside the shard lock: at most one
+      // shard's cascade can have folded since the previous call, so a
+      // write-side governor bounds transient pinned slack to ONE
+      // superseded generation total — not one per shard, which is what
+      // acquire-time-only enforcement degraded to.
+      if (write_observer_) write_observer_();
     }
-    epoch_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Logical value: monoid sum across shards (each shard snapshot is
@@ -215,6 +231,18 @@ class ShardedHier {
     shards_[shard].collect_live_blocks(out);
   }
 
+  /// Install a hook fired by writers after every ingested sub-batch
+  /// (per shard touched, outside the shard lock but inside the writer's
+  /// shared snapshot slot) — the write-side notification path of
+  /// hier::MemoryGovernor, so budget enforcement runs at write time
+  /// instead of waiting for the next reader acquire(). Install before
+  /// writers start and clear only after they stop; writers read the
+  /// hook unsynchronized (same discipline as SnapshotEngine's
+  /// staleness hook).
+  void set_write_observer(std::function<void()> observer) {
+    write_observer_ = std::move(observer);
+  }
+
   /// Whole batches applied so far (the freeze() epoch source).
   std::uint64_t epoch() const {
     return epoch_.load(std::memory_order_relaxed);
@@ -268,6 +296,7 @@ class ShardedHier {
   gbx::Index nrows_;
   gbx::Index ncols_;
   std::vector<HierMatrix<T, AddMonoid>> shards_;
+  std::function<void()> write_observer_;  ///< see set_write_observer
   mutable std::vector<std::mutex> locks_;
   // Writers shared, freeze() exclusive: whole-batch snapshot atomicity.
   mutable std::shared_mutex snap_mu_;

@@ -1,0 +1,190 @@
+// net/client.hpp — blocking client for the ingest server (Linux only).
+//
+// The deliberately boring half of the protocol: a connected TCP socket,
+// frames built by net/protocol.hpp, replies decoded by the same
+// store::RecordFrameDecoder the server uses. Inserts are one-way
+// streaming (back-pressure arrives as a blocking send() once the server
+// parks the session's lane); flush() and the queries are call-and-
+// response. One thread per Client — it is a connection handle, not a
+// pool.
+#pragma once
+
+#ifdef __linux__
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gbx/coo.hpp"
+#include "gbx/error.hpp"
+#include "net/event_loop.hpp"
+#include "net/protocol.hpp"
+
+namespace net {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connect to a server (dotted-quad host, e.g. "127.0.0.1").
+  void connect(const std::string& host, std::uint16_t port) {
+    fd_ = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    GBX_CHECK(fd_.valid(), "client socket() failed");
+    ::sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    GBX_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+              "client: bad host address");
+    GBX_CHECK(::connect(fd_.get(), reinterpret_cast<::sockaddr*>(&addr),
+                        sizeof addr) == 0,
+              "client connect() failed");
+    const int one = 1;
+    ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+
+  bool connected() const { return fd_.valid(); }
+
+  /// Stream one insert batch (no ack; see flush()). `lane` pins the
+  /// batch to a server lane; kAnyLane uses the session's home lane.
+  void insert(const gbx::Tuples<double>& batch,
+              std::uint64_t lane = kAnyLane) {
+    std::string frame;
+    const auto& es = batch.entries();
+    append_frame(frame, MsgType::kInsert, lane, es.data(),
+                 es.size() * sizeof(es[0]));
+    send_all(frame.data(), frame.size());
+  }
+
+  /// Barrier: returns once the server has APPLIED every batch this
+  /// session submitted (not merely received it).
+  void flush() {
+    std::string frame;
+    append_frame(frame, MsgType::kFlush);
+    send_all(frame.data(), frame.size());
+    expect_ok(MsgType::kFlush);
+  }
+
+  SumReply query_sum() {
+    std::string frame;
+    append_frame(frame, MsgType::kQuerySum);
+    send_all(frame.data(), frame.size());
+    auto rec = expect_ok(MsgType::kQuerySum);
+    SumReply r;
+    GBX_CHECK(payload_as(rec.payload, r), "client: malformed sum reply");
+    return r;
+  }
+
+  std::vector<ElementReply> query_elements(
+      const std::vector<ElementQuery>& qs) {
+    std::string frame;
+    append_frame(frame, MsgType::kQueryElements, 0, qs.data(),
+                 qs.size() * sizeof(ElementQuery));
+    send_all(frame.data(), frame.size());
+    auto rec = expect_ok(MsgType::kQueryElements);
+    std::vector<ElementReply> rs;
+    GBX_CHECK(payload_as(rec.payload, rs),
+              "client: malformed element reply");
+    GBX_CHECK(rs.size() == qs.size(), "client: element reply count mismatch");
+    return rs;
+  }
+
+  SummaryReply query_summary() {
+    std::string frame;
+    append_frame(frame, MsgType::kQuerySummary);
+    send_all(frame.data(), frame.size());
+    auto rec = expect_ok(MsgType::kQuerySummary);
+    SummaryReply r;
+    GBX_CHECK(payload_as(rec.payload, r), "client: malformed summary reply");
+    return r;
+  }
+
+  RefreshReply query_refresh() {
+    std::string frame;
+    append_frame(frame, MsgType::kQueryRefresh);
+    send_all(frame.data(), frame.size());
+    auto rec = expect_ok(MsgType::kQueryRefresh);
+    RefreshReply r;
+    GBX_CHECK(payload_as(rec.payload, r), "client: malformed refresh reply");
+    return r;
+  }
+
+  /// Orderly goodbye: the server acks and closes its side.
+  void bye() {
+    std::string frame;
+    append_frame(frame, MsgType::kBye);
+    send_all(frame.data(), frame.size());
+    expect_ok(MsgType::kBye);
+    close();
+  }
+
+  void close() { fd_.reset(); }
+
+  /// Raw byte escape hatch (tests: malformed/truncated frames).
+  void send_raw(const void* data, std::size_t n) { send_all(data, n); }
+
+  /// Next reply frame, whatever it is (tests: observing kReplyError).
+  store::LogRecord read_reply() { return next_frame(); }
+
+ private:
+  void send_all(const void* data, std::size_t n) {
+    GBX_CHECK(fd_.valid(), "client not connected");
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      const auto w = ::send(fd_.get(), p, n, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      GBX_CHECK(w > 0, "client: connection lost during send");
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+  }
+
+  store::LogRecord next_frame() {
+    store::LogRecord rec;
+    for (;;) {
+      switch (dec_.next(rec)) {
+        case store::RecordFrameDecoder::Status::kFrame:
+          return rec;
+        case store::RecordFrameDecoder::Status::kCorrupt:
+          GBX_CHECK(false, "client: " + dec_.error());
+          break;
+        case store::RecordFrameDecoder::Status::kNeedMore:
+          break;
+      }
+      char buf[1u << 16];
+      const auto n = ::recv(fd_.get(), buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      GBX_CHECK(n > 0, "client: connection closed by server");
+      dec_.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Read one reply; kReplyOk echoing `request` returns the record,
+  /// kReplyError throws with the server's diagnostic.
+  store::LogRecord expect_ok(MsgType request) {
+    auto rec = next_frame();
+    const MsgType type = tag_type(rec.epoch);
+    if (type == MsgType::kReplyError) {
+      std::string what(reinterpret_cast<const char*>(rec.payload.data()),
+                       rec.payload.size());
+      GBX_CHECK(false, "server error: " + what);
+    }
+    GBX_CHECK(type == MsgType::kReplyOk &&
+                  tag_arg(rec.epoch) == static_cast<std::uint64_t>(request),
+              "client: out-of-order reply");
+    return rec;
+  }
+
+  Fd fd_;
+  store::RecordFrameDecoder dec_{64u << 20};
+};
+
+}  // namespace net
+
+#endif  // __linux__

@@ -1,0 +1,151 @@
+// net/protocol.hpp — framed binary wire protocol of the ingest server.
+//
+// Every message, in both directions, is one store::RecordLog record:
+//
+//   [magic u64 "HHWAL001"][tag u64][size u64][payload bytes][fnv1a-64]
+//
+// reusing the WAL's frame layout verbatim — same magic, same checksum,
+// same torn/corrupt classification — so the server's session codec IS
+// store::RecordFrameDecoder, and a capture of an ingest session replays
+// through the same machinery as a crash log. The record's epoch field
+// becomes the message `tag`: the high 16 bits carry the message type,
+// the low 48 bits a type-specific argument (the insert lane hint, or
+// the echoed request type in replies).
+//
+// Payloads are host-endian PODs (the repo's serialization convention:
+// gbx/serialize, store::BatchWal both ship raw structs). Inserts carry
+// a raw gbx::Entry<double> array — exactly the batch representation
+// ParallelStream lanes apply, so the server deserializes by memcpy.
+//
+// Protocol flow (client view):
+//   * kInsert frames stream one-way; no per-batch ack. Back-pressure is
+//     TCP's: a server whose target lane is full simply stops reading.
+//   * kFlush is the barrier: the server replies kReplyOk only once every
+//     lane this session ever touched has applied everything it queued.
+//   * Query frames get exactly one reply frame each (kReplyOk with the
+//     request type echoed in the arg bits, payload the reply struct
+//     below; or kReplyError with a diagnostic string payload).
+//   * kBye asks for an orderly close; the server replies and closes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "gbx/sort.hpp"
+#include "store/wal.hpp"
+
+namespace net {
+
+/// Message type, high 16 bits of the frame tag.
+enum class MsgType : std::uint16_t {
+  kInsert = 1,        ///< payload: gbx::Entry<double>[]; arg: lane hint
+  kFlush = 2,         ///< barrier over the session's used lanes
+  kQuerySum = 3,      ///< reply payload: SumReply
+  kQueryElements = 4, ///< payload: ElementQuery[]; reply: ElementReply[]
+  kQuerySummary = 5,  ///< reply payload: SummaryReply
+  kQueryRefresh = 6,  ///< reply payload: RefreshReply
+  kBye = 7,           ///< orderly close
+  kReplyOk = 32,      ///< arg echoes the request MsgType
+  kReplyError = 33,   ///< payload: UTF-8 diagnostic; arg echoes request
+};
+
+/// Lane-hint sentinel: let the server pick (the session's home lane).
+inline constexpr std::uint64_t kAnyLane = (std::uint64_t{1} << 48) - 1;
+
+inline constexpr std::uint64_t make_tag(MsgType t, std::uint64_t arg48) {
+  return (static_cast<std::uint64_t>(t) << 48) | (arg48 & kAnyLane);
+}
+inline constexpr MsgType tag_type(std::uint64_t tag) {
+  return static_cast<MsgType>(tag >> 48);
+}
+inline constexpr std::uint64_t tag_arg(std::uint64_t tag) {
+  return tag & kAnyLane;
+}
+
+// --- reply / query PODs (host-endian, trivially copyable).
+
+/// Σ Ai scalar reduce at one snapshot epoch.
+struct SumReply {
+  double sum = 0;
+  std::uint64_t epoch = 0;   ///< snapshot epoch the sum was taken at
+  std::uint64_t nvals = 0;   ///< distinct coordinates in Σ Ai
+};
+
+/// One element probe of the logical matrix Σ Ai.
+struct ElementQuery {
+  std::uint64_t row = 0;
+  std::uint64_t col = 0;
+};
+
+struct ElementReply {
+  std::uint64_t present = 0;  ///< 0 = implicit zero (absent coordinate)
+  double value = 0;
+};
+
+/// analytics::TrafficSummary plus the epoch it describes.
+struct SummaryReply {
+  std::uint64_t epoch = 0;
+  std::uint64_t links = 0;
+  double packets = 0;
+  std::uint64_t sources = 0;
+  std::uint64_t destinations = 0;
+  double max_link = 0;
+  double mean_link = 0;
+};
+
+/// analytics::IncrementalEngine::refresh() outcome.
+struct RefreshReply {
+  std::uint64_t epoch = 0;
+  std::uint64_t full_recompute = 0;
+  std::uint64_t added = 0;
+  std::uint64_t changed = 0;
+  std::uint64_t triangles = 0;
+  double sum = 0;  ///< reduce over the maintained Σ Ai
+};
+
+/// Append one wire frame to `out` (the socket send buffer). Same bytes
+/// as store::RecordLogWriter::append would produce for (tag, payload).
+inline void append_frame(std::string& out, MsgType type, std::uint64_t arg48,
+                         const void* payload, std::size_t size) {
+  const std::uint64_t tag = make_tag(type, arg48);
+  const std::uint64_t size64 = size;
+  const std::uint64_t sum = store::detail::fnv1a(payload, size);
+  const auto put = [&out](const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  put(&store::detail::kRecordMagic, sizeof(std::uint64_t));
+  put(&tag, sizeof tag);
+  put(&size64, sizeof size64);
+  put(payload, size);
+  put(&sum, sizeof sum);
+}
+
+inline void append_frame(std::string& out, MsgType type,
+                         std::uint64_t arg48 = 0) {
+  append_frame(out, type, arg48, "", 0);
+}
+
+/// Reinterpret a decoded payload as a POD array; false when the byte
+/// count is not a whole number of elements (a malformed frame).
+template <class Pod>
+bool payload_as(const std::vector<std::byte>& payload, std::vector<Pod>& out) {
+  static_assert(std::is_trivially_copyable_v<Pod>);
+  if (payload.size() % sizeof(Pod) != 0) return false;
+  out.resize(payload.size() / sizeof(Pod));
+  std::memcpy(out.data(), payload.data(), payload.size());
+  return true;
+}
+
+template <class Pod>
+bool payload_as(const std::vector<std::byte>& payload, Pod& out) {
+  static_assert(std::is_trivially_copyable_v<Pod>);
+  if (payload.size() != sizeof(Pod)) return false;
+  std::memcpy(&out, payload.data(), sizeof(Pod));
+  return true;
+}
+
+}  // namespace net

@@ -1,0 +1,561 @@
+// net/server.hpp — epoll streaming ingest/query server (Linux only).
+//
+// Puts the streaming engine behind a socket: clients stream kInsert
+// frames (net/protocol.hpp) into hier::ParallelStream lanes and issue
+// query RPCs answered from hier::MemoryGovernor snapshot epochs —
+// ingest never pauses for analysis, the paper's operating point.
+//
+// Architecture — one event-loop thread, nonblocking everything:
+//
+//   * Accepted connections become Sessions. Each session owns a
+//     store::RecordFrameDecoder (the WAL frame machinery is the wire
+//     codec), an outbound byte buffer, and a home lane assigned
+//     round-robin at accept; kInsert frames may override the lane per
+//     batch (the low 48 tag bits).
+//
+//   * Back-pressure maps lane queues onto socket reads. Inserts go
+//     through ParallelStream::try_submit — never the blocking submit().
+//     When a session's target lane is full, the batch is PARKED, the
+//     session's EPOLLIN interest is dropped, and the event loop simply
+//     stops reading that connection: the kernel socket buffer fills,
+//     TCP flow control pushes back to that client's send(), and every
+//     other session keeps streaming. The park is retried each loop
+//     pass; on success the decoder backlog resumes and EPOLLIN returns.
+//
+//   * kFlush is the session barrier: acknowledged only when the session
+//     has nothing parked and every lane it ever touched is idle
+//     (lane_idle — queue empty, no batch mid-application), so a client
+//     that flushes then queries observes its own writes.
+//
+//   * Queries never block writers. kQuerySum / kQueryElements acquire a
+//     governed snapshot (freeze waits at most one in-flight batch per
+//     lane; workers keep folding throughout) and read through the
+//     handle's pin — correct even if the governor evicts the epoch
+//     mid-read. kQuerySummary / kQueryRefresh run the incremental
+//     analytics engine (single-analyst discipline holds: only the event
+//     loop calls refresh()).
+//
+//   * Malformed bytes (bad magic, checksum mismatch, oversized or
+//     non-integral payloads) earn one kReplyError frame with the
+//     decoder's diagnostic, then an orderly close. A torn frame at
+//     peer EOF is counted and dropped — exactly the WAL torn-tail rule.
+//
+// stop() wakes the loop via eventfd, joins the thread, and closes all
+// sockets; in-flight sessions see EOF. The stream/governor are the
+// caller's — the server never starts or stops them.
+#pragma once
+
+#ifdef __linux__
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analytics/incremental.hpp"
+#include "gbx/coo.hpp"
+#include "gbx/error.hpp"
+#include "hier/memory_governor.hpp"
+#include "hier/parallel_stream.hpp"
+#include "net/event_loop.hpp"
+#include "net/protocol.hpp"
+
+namespace net {
+
+/// Monotone server counters (relaxed atomics; readable from any thread).
+struct ServerStats {
+  std::atomic<std::uint64_t> sessions_accepted{0};
+  std::atomic<std::uint64_t> sessions_closed{0};
+  std::atomic<std::uint64_t> insert_frames{0};
+  std::atomic<std::uint64_t> entries_ingested{0};
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> parks{0};           ///< lane-full back-pressure events
+  std::atomic<std::uint64_t> rejected_frames{0}; ///< corrupt/malformed/torn
+};
+
+class IngestServer {
+ public:
+  using Stream = hier::ParallelStream<double>;
+  using Governor = hier::MemoryGovernor<Stream>;
+  using Analytics = analytics::IncrementalEngine<Governor>;
+
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+    int backlog = 64;
+    /// Decoder cap: larger insert/query frames are rejected as corrupt.
+    std::uint64_t max_frame_bytes = 64u << 20;
+    /// Analytics knobs for the refresh/summary RPCs. Triangle counting
+    /// and PageRank are opt-in: they are superlinear in the snapshot
+    /// and would stall the event loop on big graphs.
+    analytics::IncrementalOptions analytics = default_analytics();
+
+    static analytics::IncrementalOptions default_analytics() {
+      analytics::IncrementalOptions a;
+      a.enable_pagerank = false;
+      a.enable_triangles = false;
+      return a;
+    }
+  };
+
+  // No `opt = {}` default argument: GCC parses default arguments before
+  // the nested class's member initializers, rejecting the braced init.
+  IngestServer(Stream& stream, Governor& governor)
+      : IngestServer(stream, governor, Options()) {}
+
+  IngestServer(Stream& stream, Governor& governor, Options opt)
+      : stream_(&stream),
+        governor_(&governor),
+        opt_(opt),
+        analytics_(governor, opt.analytics) {}
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  ~IngestServer() {
+    if (running_) stop();
+  }
+
+  /// Bind, listen, and spawn the event-loop thread. The stream must
+  /// already be start()ed (inserts would otherwise bounce as kStopped).
+  void start() {
+    GBX_CHECK(!running_, "IngestServer already started");
+    listen_ = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0));
+    GBX_CHECK(listen_.valid(), "socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    ::sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opt_.port);
+    GBX_CHECK(::bind(listen_.get(), reinterpret_cast<::sockaddr*>(&addr),
+                     sizeof addr) == 0,
+              "bind() failed");
+    GBX_CHECK(::listen(listen_.get(), opt_.backlog) == 0, "listen() failed");
+    ::socklen_t len = sizeof addr;
+    GBX_CHECK(::getsockname(listen_.get(),
+                            reinterpret_cast<::sockaddr*>(&addr), &len) == 0,
+              "getsockname() failed");
+    port_ = ntohs(addr.sin_port);
+
+    loop_ = std::make_unique<EventLoop>();
+    wake_ = std::make_unique<WakeFd>();
+    loop_->add(listen_.get(), EPOLLIN);
+    loop_->add(wake_->get(), EPOLLIN);
+    stop_.store(false, std::memory_order_relaxed);
+    running_ = true;
+    thread_ = std::thread([this] { run(); });
+  }
+
+  /// Wake the loop, join it, close every socket. In-flight sessions
+  /// (parked batches, pending flushes) are dropped with an EOF — the
+  /// clean-shutdown contract is "no hang, no crash, no partial frame
+  /// applied", not "drain the world".
+  void stop() {
+    GBX_CHECK(running_, "IngestServer not started");
+    stop_.store(true, std::memory_order_relaxed);
+    wake_->wake();
+    thread_.join();
+    sessions_.clear();
+    loop_.reset();
+    wake_.reset();
+    listen_.reset();
+    running_ = false;
+  }
+
+  /// Bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_; }
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  struct Session {
+    explicit Session(Fd f, std::uint64_t cap, std::size_t home)
+        : fd(std::move(f)), dec(cap), home_lane(home) {}
+
+    Fd fd;
+    store::RecordFrameDecoder dec;
+    std::size_t home_lane;
+    std::string out;            ///< outbound bytes
+    std::size_t out_off = 0;    ///< sent prefix of `out`
+    bool want_write = false;    ///< EPOLLOUT currently armed
+    bool reading = true;        ///< EPOLLIN currently armed
+    bool parked = false;        ///< insert waiting for lane space
+    std::size_t parked_lane = 0;
+    gbx::Tuples<double> parked_batch;
+    std::vector<bool> used_lanes;  ///< lanes this session ever fed
+    bool awaiting_flush = false;
+    bool closing = false;       ///< destroy once out drains & flush done
+    bool dead = false;          ///< destroy now (I/O error / EOF final)
+  };
+
+  void run() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Parked batches and pending flushes have no wake event of their
+      // own (lanes drain on worker threads); poll them briskly.
+      const bool busy = have_parked_ || have_flush_;
+      for (const auto& ev : loop_->wait(busy ? 1 : 50)) {
+        if (stop_.load(std::memory_order_relaxed)) break;
+        if (ev.data.fd == wake_->get()) {
+          wake_->clear();
+        } else if (ev.data.fd == listen_.get()) {
+          accept_all();
+        } else {
+          auto it = sessions_.find(ev.data.fd);
+          if (it == sessions_.end()) continue;
+          Session& s = *it->second;
+          if (ev.events & EPOLLOUT) flush_out(s);
+          if (ev.events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP))
+            if (!s.dead) read_session(s);
+        }
+      }
+      progress_pass();
+    }
+  }
+
+  void accept_all() {
+    for (;;) {
+      Fd c(::accept4(listen_.get(), nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC));
+      if (!c.valid()) return;  // EAGAIN or transient error: next wave
+      const int one = 1;
+      ::setsockopt(c.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      const int fd = c.get();
+      auto s = std::make_unique<Session>(
+          std::move(c), opt_.max_frame_bytes,
+          next_lane_++ % stream_->instances());
+      s->used_lanes.assign(stream_->instances(), false);
+      loop_->add(fd, EPOLLIN | EPOLLRDHUP);
+      sessions_.emplace(fd, std::move(s));
+      stats_.sessions_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Pull bytes until EAGAIN / EOF / park / corruption, decoding as we
+  /// go. Level-triggered epoll re-fires for anything left unread.
+  void read_session(Session& s) {
+    char buf[1u << 16];
+    while (s.reading && !s.closing && !s.dead) {
+      const auto n = ::recv(s.fd.get(), buf, sizeof buf, 0);
+      if (n > 0) {
+        s.dec.feed(buf, static_cast<std::size_t>(n));
+        if (!process_frames(s)) break;  // parked or closing
+        continue;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        s.dead = true;
+        break;
+      }
+      // EOF. A partial frame at EOF is the torn-tail case: count it,
+      // drop it. Pending work (parked batch, flush barrier, queued
+      // replies) still completes before the session is destroyed.
+      if (s.dec.buffered() > 0 && !s.dec.corrupt())
+        stats_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+      s.reading = false;
+      s.closing = true;
+      break;
+    }
+    update_interest(s);
+  }
+
+  /// Decode and dispatch every complete frame buffered on the session.
+  /// Returns false when processing must pause (lane full -> parked, or
+  /// the session started closing).
+  bool process_frames(Session& s) {
+    store::LogRecord rec;
+    for (;;) {
+      switch (s.dec.next(rec)) {
+        case store::RecordFrameDecoder::Status::kNeedMore:
+          return true;
+        case store::RecordFrameDecoder::Status::kCorrupt:
+          stats_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+          reply_error(s, MsgType::kInsert, s.dec.error());
+          s.reading = false;
+          s.closing = true;
+          return false;
+        case store::RecordFrameDecoder::Status::kFrame:
+          if (!handle_frame(s, rec)) return false;
+          break;
+      }
+    }
+  }
+
+  /// Dispatch one frame. Returns false to pause processing (parked /
+  /// closing); the decoder keeps any backlog for later.
+  bool handle_frame(Session& s, store::LogRecord& rec) {
+    const MsgType type = tag_type(rec.epoch);
+    const std::uint64_t arg = tag_arg(rec.epoch);
+    switch (type) {
+      case MsgType::kInsert:
+        return handle_insert(s, arg, rec);
+      case MsgType::kFlush:
+        s.awaiting_flush = true;
+        have_flush_ = true;
+        check_flush(s);
+        return !s.closing;
+      case MsgType::kQuerySum: {
+        stats_.queries.fetch_add(1, std::memory_order_relaxed);
+        auto handle = governor_->acquire();
+        auto img = handle.pin();
+        SumReply r;
+        r.sum = img.reduce();
+        r.epoch = handle.epoch();
+        r.nvals = img.nvals();
+        reply_ok(s, type, &r, sizeof r);
+        return !s.closing;
+      }
+      case MsgType::kQueryElements: {
+        stats_.queries.fetch_add(1, std::memory_order_relaxed);
+        std::vector<ElementQuery> qs;
+        if (!payload_as(rec.payload, qs)) {
+          stats_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+          reply_error(s, type, "element query payload is not a whole number "
+                               "of {row, col} probes");
+          s.reading = false;
+          s.closing = true;
+          return false;
+        }
+        auto img = governor_->acquire().pin();  // one pin, batched probes
+        std::vector<ElementReply> rs(qs.size());
+        for (std::size_t i = 0; i < qs.size(); ++i) {
+          if (auto v = img.extract_element(qs[i].row, qs[i].col)) {
+            rs[i].present = 1;
+            rs[i].value = *v;
+          }
+        }
+        reply_ok(s, type, rs.data(), rs.size() * sizeof(ElementReply));
+        return !s.closing;
+      }
+      case MsgType::kQuerySummary: {
+        stats_.queries.fetch_add(1, std::memory_order_relaxed);
+        analytics_.refresh();
+        const auto& sum = analytics_.summary();
+        SummaryReply r;
+        r.epoch = analytics_.last_report().epoch;
+        r.links = sum.links;
+        r.packets = sum.packets;
+        r.sources = sum.sources;
+        r.destinations = sum.destinations;
+        r.max_link = sum.max_link;
+        r.mean_link = sum.mean_link;
+        reply_ok(s, type, &r, sizeof r);
+        return !s.closing;
+      }
+      case MsgType::kQueryRefresh: {
+        stats_.queries.fetch_add(1, std::memory_order_relaxed);
+        const auto& rep = analytics_.refresh();
+        RefreshReply r;
+        r.epoch = rep.epoch;
+        r.full_recompute = rep.full_recompute ? 1 : 0;
+        r.added = rep.added;
+        r.changed = rep.changed;
+        r.triangles = analytics_.triangles();
+        r.sum = gbx::reduce_scalar<gbx::PlusMonoid<double>>(analytics_.sum());
+        reply_ok(s, type, &r, sizeof r);
+        return !s.closing;
+      }
+      case MsgType::kBye:
+        reply_ok(s, type, "", 0);
+        s.reading = false;
+        s.closing = true;
+        return false;
+      default:
+        stats_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+        reply_error(s, type, "unknown message type");
+        s.reading = false;
+        s.closing = true;
+        return false;
+    }
+  }
+
+  bool handle_insert(Session& s, std::uint64_t arg, store::LogRecord& rec) {
+    std::size_t lane = s.home_lane;
+    if (arg != kAnyLane) {
+      if (arg >= stream_->instances()) {
+        stats_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+        reply_error(s, MsgType::kInsert, "insert lane out of range");
+        s.reading = false;
+        s.closing = true;
+        return false;
+      }
+      lane = static_cast<std::size_t>(arg);
+    }
+    std::vector<gbx::Entry<double>> entries;
+    if (!payload_as(rec.payload, entries)) {
+      stats_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+      reply_error(s, MsgType::kInsert,
+                  "insert payload is not a whole number of entries");
+      s.reading = false;
+      s.closing = true;
+      return false;
+    }
+    gbx::Tuples<double> batch;
+    batch.entries() = std::move(entries);
+    return submit_or_park(s, lane, batch);
+  }
+
+  /// try_submit with park-on-full: the back-pressure pivot.
+  bool submit_or_park(Session& s, std::size_t lane,
+                      gbx::Tuples<double>& batch) {
+    const std::size_t n = batch.size();
+    switch (stream_->try_submit(lane, batch)) {
+      case hier::SubmitResult::kAccepted:
+        s.used_lanes[lane] = true;
+        stats_.insert_frames.fetch_add(1, std::memory_order_relaxed);
+        stats_.entries_ingested.fetch_add(n, std::memory_order_relaxed);
+        return true;
+      case hier::SubmitResult::kLaneFull:
+        s.parked = true;
+        s.parked_lane = lane;
+        s.parked_batch = std::move(batch);
+        s.reading = false;  // stop reading THIS connection only
+        have_parked_ = true;
+        stats_.parks.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case hier::SubmitResult::kStopped:
+        reply_error(s, MsgType::kInsert, "ingest engine is stopped");
+        s.reading = false;
+        s.closing = true;
+        return false;
+    }
+    return false;  // unreachable
+  }
+
+  /// Per-pass housekeeping: retry parks, settle flush barriers, reap
+  /// finished sessions.
+  void progress_pass() {
+    have_parked_ = false;
+    have_flush_ = false;
+    std::vector<int> reap;
+    for (auto& [fd, sp] : sessions_) {
+      Session& s = *sp;
+      if (s.parked && !s.dead) {
+        const std::size_t n = s.parked_batch.size();
+        switch (stream_->try_submit(s.parked_lane, s.parked_batch)) {
+          case hier::SubmitResult::kAccepted:
+            s.used_lanes[s.parked_lane] = true;
+            stats_.insert_frames.fetch_add(1, std::memory_order_relaxed);
+            stats_.entries_ingested.fetch_add(n, std::memory_order_relaxed);
+            s.parked_batch.clear();
+            s.parked = false;
+            s.reading = !s.closing;
+            // Drain the decoder backlog accumulated before the park; a
+            // second park here just re-enters the same state.
+            if (process_frames(s) && s.reading) read_session(s);
+            update_interest(s);
+            break;
+          case hier::SubmitResult::kLaneFull:
+            break;  // stay parked, retry next pass
+          case hier::SubmitResult::kStopped:
+            s.parked = false;
+            s.closing = true;
+            break;
+        }
+      }
+      if (s.awaiting_flush && !s.dead) check_flush(s);
+      have_parked_ |= s.parked;
+      have_flush_ |= s.awaiting_flush;
+      if (s.dead ||
+          (s.closing && !s.parked && !s.awaiting_flush &&
+           s.out_off >= s.out.size()))
+        reap.push_back(fd);
+    }
+    for (int fd : reap) destroy(fd);
+  }
+
+  /// Flush barrier: everything this session submitted has been applied.
+  void check_flush(Session& s) {
+    if (s.parked) return;
+    for (std::size_t p = 0; p < s.used_lanes.size(); ++p)
+      if (s.used_lanes[p] && !stream_->lane_idle(p)) return;
+    s.awaiting_flush = false;
+    reply_ok(s, MsgType::kFlush, "", 0);
+  }
+
+  void reply_ok(Session& s, MsgType request, const void* payload,
+                std::size_t size) {
+    append_frame(s.out, MsgType::kReplyOk,
+                 static_cast<std::uint64_t>(request), payload, size);
+    flush_out(s);
+  }
+
+  void reply_error(Session& s, MsgType request, const std::string& what) {
+    append_frame(s.out, MsgType::kReplyError,
+                 static_cast<std::uint64_t>(request), what.data(),
+                 what.size());
+    flush_out(s);
+  }
+
+  /// Opportunistic nonblocking send; arms EPOLLOUT only on partials.
+  void flush_out(Session& s) {
+    while (s.out_off < s.out.size()) {
+      const auto n = ::send(s.fd.get(), s.out.data() + s.out_off,
+                            s.out.size() - s.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        s.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      s.dead = true;  // peer reset mid-reply
+      return;
+    }
+    if (s.out_off >= s.out.size()) {
+      s.out.clear();
+      s.out_off = 0;
+    }
+    update_interest(s);
+  }
+
+  void update_interest(Session& s) {
+    if (s.dead) return;
+    const bool want_write = s.out_off < s.out.size();
+    std::uint32_t ev = EPOLLRDHUP;
+    if (s.reading && !s.closing) ev |= EPOLLIN;
+    if (want_write) ev |= EPOLLOUT;
+    loop_->mod(s.fd.get(), ev);
+    s.want_write = want_write;
+  }
+
+  void destroy(int fd) {
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) return;
+    loop_->del(fd);
+    sessions_.erase(it);
+    stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Stream* stream_;
+  Governor* governor_;
+  Options opt_;
+  Analytics analytics_;
+  ServerStats stats_;
+
+  Fd listen_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<WakeFd> wake_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::uint16_t port_ = 0;
+  std::size_t next_lane_ = 0;  ///< round-robin home-lane assignment
+  bool have_parked_ = false;   ///< loop-thread hints for the poll timeout
+  bool have_flush_ = false;
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace net
+
+#endif  // __linux__

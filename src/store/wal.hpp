@@ -24,6 +24,7 @@
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "gbx/error.hpp"
@@ -119,55 +120,146 @@ struct LogRecord {
   std::vector<std::byte> payload;
 };
 
+/// Incremental (push-style) decoder of the RecordLog frame layout.
+/// feed() appends whatever bytes happen to be available — a short read
+/// from a nonblocking socket, one stream chunk, a torn file tail — and
+/// next() yields complete frames as soon as the buffer covers them:
+///
+///   kFrame    — one whole record decoded and consumed; call again.
+///   kNeedMore — the buffered bytes form a prefix of a valid frame (or
+///               nothing at all): not an error, just not done arriving.
+///               Only end-of-input turns a non-empty kNeedMore into a
+///               torn tail — a judgment that belongs to the caller,
+///               because only the caller knows the input ended.
+///   kCorrupt  — the bytes can NEVER complete a valid frame: bad magic,
+///               checksum mismatch, or a size above max_payload_bytes.
+///               The decoder is poisoned; error() says why.
+///
+/// This is the shared core of RecordLogReader (seekable streams, where
+/// kNeedMore at EOF means a torn tail) and the network server's session
+/// codec (where kNeedMore means keep the connection reading). Memory
+/// discipline: the buffer only ever holds bytes actually fed, so a
+/// corrupted size field cannot trigger an enormous up-front allocation.
+class RecordFrameDecoder {
+ public:
+  enum class Status { kNeedMore, kFrame, kCorrupt };
+
+  static constexpr std::uint64_t kNoLimit = ~std::uint64_t{0};
+
+  /// `max_payload_bytes` rejects absurd frame sizes as corruption
+  /// instead of buffering toward them forever — servers set a sane cap;
+  /// file replay (RecordLogReader) keeps kNoLimit, where an oversized
+  /// size field simply runs into end-of-input as a torn tail.
+  explicit RecordFrameDecoder(std::uint64_t max_payload_bytes = kNoLimit)
+      : max_payload_(max_payload_bytes) {}
+
+  void feed(const void* data, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  Status next(LogRecord& out) {
+    if (corrupt_) return Status::kCorrupt;
+    const std::size_t have = buf_.size() - off_;
+    // Magic is checked the moment 8 bytes are buffered (not only once
+    // the whole header is), so garbage is classified as corruption, not
+    // mistaken for a frame that never finished arriving.
+    if (have < sizeof(std::uint64_t)) return Status::kNeedMore;
+    if (peek_u64(0) != detail::kRecordMagic)
+      return fail("record log: bad record magic (corrupt or misaligned log)");
+    if (have < kHeaderBytes) return Status::kNeedMore;
+    const std::uint64_t size = peek_u64(2 * sizeof(std::uint64_t));
+    if (size > max_payload_)
+      return fail("record log: frame size exceeds decoder limit");
+    const std::uint64_t total = kHeaderBytes + size + sizeof(std::uint64_t);
+    if (have < total) return Status::kNeedMore;
+
+    const std::byte* payload = buf_.data() + off_ + kHeaderBytes;
+    const std::uint64_t sum = peek_u64(kHeaderBytes + size);
+    if (sum != detail::fnv1a(payload, static_cast<std::size_t>(size)))
+      return fail("record log: payload checksum mismatch");
+    out.epoch = peek_u64(sizeof(std::uint64_t));
+    out.payload.assign(payload, payload + size);
+    off_ += static_cast<std::size_t>(total);
+    ++frames_;
+    // Compact once the consumed prefix dominates, amortized O(1)/byte.
+    if (off_ > buf_.size() / 2) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+      off_ = 0;
+    }
+    return Status::kFrame;
+  }
+
+  /// Undecoded bytes currently buffered. Non-zero after end-of-input
+  /// means the input stopped mid-frame (a torn tail).
+  std::size_t buffered() const { return buf_.size() - off_; }
+  std::uint64_t frames_decoded() const { return frames_; }
+  bool corrupt() const { return corrupt_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+
+  std::uint64_t peek_u64(std::size_t at) const {
+    std::uint64_t v = 0;
+    std::memcpy(&v, buf_.data() + off_ + at, sizeof v);
+    return v;
+  }
+
+  Status fail(const char* why) {
+    corrupt_ = true;
+    error_ = why;
+    return Status::kCorrupt;
+  }
+
+  std::vector<std::byte> buf_;
+  std::size_t off_ = 0;  ///< consumed prefix of buf_
+  std::uint64_t max_payload_;
+  std::uint64_t frames_ = 0;
+  bool corrupt_ = false;
+  std::string error_;
+};
+
 /// Sequential reader over a RecordLog stream. next() returns nullopt at
 /// a clean end-of-log (stream exhausted exactly at a frame boundary)
 /// and throws gbx::Error on a torn tail (truncated frame), a corrupt
-/// frame magic, or a checksum mismatch.
+/// frame magic, or a checksum mismatch. Built on RecordFrameDecoder:
+/// stream chunks are fed until a frame completes, and only end-of-input
+/// with a partial frame buffered is classified as torn — so the same
+/// decoder serves nonblocking sockets, where a short read just means
+/// "need more bytes", without misclassifying it as corruption.
 class RecordLogReader {
  public:
   explicit RecordLogReader(std::istream& is) : is_(&is) {}
 
   std::optional<LogRecord> next() {
-    std::uint64_t magic = 0;
-    is_->read(reinterpret_cast<char*>(&magic), sizeof magic);
-    if (is_->gcount() == 0 && is_->eof()) return std::nullopt;  // clean end
-    GBX_CHECK(static_cast<std::size_t>(is_->gcount()) == sizeof magic,
-              "record log: torn record header");
-    GBX_CHECK(magic == detail::kRecordMagic,
-              "record log: bad record magic (corrupt or misaligned log)");
-
-    LogRecord rec;
-    rec.epoch = read_pod("torn record header");
-    const std::uint64_t size = read_pod("torn record header");
-    // Grow incrementally so a corrupted size field cannot trigger an
-    // enormous up-front allocation (same discipline as gbx::read_vec).
-    constexpr std::uint64_t kChunk = 1u << 20;
-    std::uint64_t done = 0;
-    while (done < size) {
-      const std::uint64_t take = std::min<std::uint64_t>(kChunk, size - done);
-      rec.payload.resize(static_cast<std::size_t>(done + take));
-      is_->read(reinterpret_cast<char*>(rec.payload.data() + done),
-                static_cast<std::streamsize>(take));
-      GBX_CHECK(static_cast<std::uint64_t>(is_->gcount()) == take,
-                "record log: torn record payload");
-      done += take;
+    for (;;) {
+      LogRecord rec;
+      switch (dec_.next(rec)) {
+        case RecordFrameDecoder::Status::kFrame:
+          return rec;
+        case RecordFrameDecoder::Status::kCorrupt:
+          GBX_CHECK(false, dec_.error());
+          break;
+        case RecordFrameDecoder::Status::kNeedMore:
+          break;
+      }
+      char chunk[1u << 16];
+      is_->read(chunk, sizeof chunk);
+      const auto got = static_cast<std::size_t>(is_->gcount());
+      if (got > 0) {
+        dec_.feed(chunk, got);
+        continue;
+      }
+      if (dec_.buffered() == 0) return std::nullopt;  // clean end
+      GBX_CHECK(false, "record log: torn record (stream ended mid-frame)");
     }
-    const std::uint64_t sum = read_pod("torn record checksum");
-    GBX_CHECK(sum == detail::fnv1a(rec.payload.data(), rec.payload.size()),
-              "record log: payload checksum mismatch");
-    return rec;
   }
 
  private:
-  std::uint64_t read_pod(const char* what) {
-    std::uint64_t v = 0;
-    is_->read(reinterpret_cast<char*>(&v), sizeof v);
-    GBX_CHECK(static_cast<std::size_t>(is_->gcount()) == sizeof v,
-              std::string("record log: ") + what);
-    return v;
-  }
-
   std::istream* is_;
+  RecordFrameDecoder dec_;
 };
 
 }  // namespace store

@@ -21,7 +21,10 @@
 //     recompute; a generous budget keeps the incremental path intact.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -48,6 +51,7 @@ constexpr std::uint64_t kSeedOracle = 0x60C0003;
 constexpr std::uint64_t kSeedSpill = 0x60C0004;
 constexpr std::uint64_t kSeedSharded = 0x60C0005;
 constexpr std::uint64_t kSeedIncr = 0x60C0006;
+constexpr std::uint64_t kSeedWriteSide = 0x60C0007;
 
 /// Entry-for-entry bitwise comparison of two materialized images.
 template <class T, class M>
@@ -200,6 +204,134 @@ TEST(MemoryGovernor, BudgetEvictsLaggingReaderExactly) {
   // The superseded blocks really free: our pinned copy is now the sole
   // owner of the old level-0 block (slot dropped it, writer folded past).
   EXPECT_EQ(old_image.level(0).block_use_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Write-side enforcement: the budget holds DURING ingest, not only at the
+// next acquire. Control phase shows the failure mode being regressed
+// against — with acquire-time-only enforcement and no reader activity,
+// every shard's fold leaves the held snapshot's generation pinned (one
+// block per shard); with enforce_on_write the per-shard notification
+// evicts after the FIRST shard folds, so peak pinned never exceeds the
+// budget plus what one shard sub-update can supersede — bounded by that
+// shard's frozen part, i.e. "one block total, not one per shard".
+// ---------------------------------------------------------------------------
+TEST(MemoryGovernor, WriteSideEnforcementBoundsPinnedToOneGeneration) {
+  HHGBX_PROP_SEED(seed, kSeedWriteSide);
+  const Index dim = 1u << 13;
+  const std::size_t kShards = 4;
+  const int kWarmup = 8;
+  const int kStream = 48;
+  const std::size_t kBatch = 600;
+
+  // Both phases ingest the identical batch sequence.
+  auto make_batches = [&] {
+    std::mt19937_64 rng(seed);
+    std::vector<Tuples<double>> bs;
+    for (int k = 0; k < kWarmup + kStream; ++k)
+      bs.push_back(proptest::random_batch<double>(rng, dim, kBatch));
+    return bs;
+  };
+  const auto batches = make_batches();
+
+  // --- Control: acquire-time-only governor, no reader activity during
+  // the stream. Nothing ever tells the governor that writers folded, so
+  // the held snapshot drifts to one superseded generation PER SHARD.
+  std::uint64_t control_pinned = 0;
+  std::uint64_t control_max_part = 0;
+  {
+    ShardedHier<double> sh(kShards, dim, dim, CutPolicy({256, 4096}));
+    GovernorConfig cfg;
+    cfg.budget_bytes = 0;
+    cfg.min_evict_lag = 1;
+    MemoryGovernor<ShardedHier<double>> gov(sh, cfg);
+
+    for (int k = 0; k < kWarmup; ++k) sh.update(batches[k]);
+    auto held = gov.acquire();
+    {
+      auto image = held.pin();
+      for (std::size_t p = 0; p < image.size(); ++p)
+        control_max_part = std::max<std::uint64_t>(
+            control_max_part, image.part(p).memory_bytes());
+    }
+    for (int k = kWarmup; k < kWarmup + kStream; ++k) sh.update(batches[k]);
+
+    const auto mem = gov.memory();
+    control_pinned = mem.pinned_bytes;
+    EXPECT_FALSE(held.evicted());  // nobody enforced while writers ran
+  }
+  ASSERT_GT(control_max_part, 0u);
+  // Pinned drift spans several shards' generations: strictly more than
+  // the largest single frozen part could account for.
+  EXPECT_GT(control_pinned, control_max_part);
+
+  // --- Enforced: same stream, enforce_on_write. A concurrent reader
+  // thread keeps probing the held handle and the accounting while the
+  // writer ingests (reads race eviction; both must stay exact).
+  ShardedHier<double> sh(kShards, dim, dim, CutPolicy({256, 4096}));
+  GovernorConfig cfg;
+  cfg.budget_bytes = 0;  // any pinned byte is over budget
+  cfg.min_evict_lag = 1;
+  cfg.enforce_on_write = true;
+  MemoryGovernor<ShardedHier<double>> gov(sh, cfg);
+
+  for (int k = 0; k < kWarmup; ++k) sh.update(batches[k]);
+  auto held = gov.acquire();
+  const auto ref = held.pin().to_matrix();
+  std::uint64_t max_part = 0;
+  {
+    auto image = held.pin();
+    for (std::size_t p = 0; p < image.size(); ++p)
+      max_part =
+          std::max<std::uint64_t>(max_part, image.part(p).memory_bytes());
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)gov.memory();
+      auto got = held.extract_element(0, 0);
+      auto want = ref.extract_element(0, 0);
+      if (got.has_value() != want.has_value() ||
+          (got.has_value() && *got != *want))
+        ADD_FAILURE() << "handle read diverged mid-ingest";
+      std::this_thread::yield();
+    }
+  });
+  for (int k = kWarmup; k < kWarmup + kStream; ++k) sh.update(batches[k]);
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // The write observer fired per shard sub-update and evicted the held
+  // snapshot as soon as the first fold superseded any of its blocks.
+  const auto st = gov.stats();
+  EXPECT_TRUE(held.evicted());
+  EXPECT_GE(st.evictions, 1u);
+  EXPECT_GE(st.enforcements, static_cast<std::uint64_t>(kStream));
+  EXPECT_GT(st.peak_pinned_bytes, 0u);
+  // The bound under test: budget + one shard's generation. Between two
+  // write notifications exactly one shard sub-update ran, so only that
+  // shard's slice of the held image can have become pinned before the
+  // eviction — never one block per shard (the control's drift).
+  EXPECT_LE(st.peak_pinned_bytes, cfg.budget_bytes + max_part);
+  EXPECT_LT(st.peak_pinned_bytes, control_pinned);
+  EXPECT_EQ(gov.memory().pinned_bytes, 0u);
+
+  // Reads through the evicted handle stay bit-identical to the image
+  // frozen at acquire time.
+  EXPECT_TRUE(same_matrix(held.to_matrix(), ref));
+  EXPECT_EQ(held.nvals(), ref.nvals());
+  std::mt19937_64 probe_rng(seed ^ 0x9E3779B97F4A7C15ull);
+  for (int q = 0; q < 64; ++q) {
+    const Index i = static_cast<Index>(probe_rng() % dim);
+    const Index j = static_cast<Index>(probe_rng() % dim);
+    auto got = held.extract_element(i, j);
+    auto want = ref.extract_element(i, j);
+    ASSERT_EQ(got.has_value(), want.has_value());
+    if (got) {
+      EXPECT_EQ(*got, *want);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

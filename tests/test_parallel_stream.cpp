@@ -226,4 +226,95 @@ TEST(ParallelStream, MisuseThrows) {
   engine.stop();
 }
 
+// try_submit must never block and must leave a refused batch untouched:
+// kStopped before start and after stop, kLaneFull while the lane queue
+// is at capacity, kAccepted otherwise — with every accepted batch
+// applied exactly once.
+TEST(ParallelStream, TrySubmitRefusalLeavesBatchUntouched) {
+  InstanceArray<double> array(1, kDim, kDim, CutPolicy::geometric(3, 512, 8));
+  ParallelStream<double>::Options opt;
+  opt.queue_capacity = 1;
+  ParallelStream<double> engine(array, opt);
+
+  auto g = kron(41);
+  auto batch = g.batch<double>(1000);
+  const auto copy = batch.entries();
+
+  // Not started: defined refusal, not a throw, not a hang.
+  EXPECT_EQ(engine.try_submit(0, batch), hier::SubmitResult::kStopped);
+  EXPECT_EQ(batch.entries(), copy) << "refused batch was modified";
+
+  engine.start();
+  // A huge batch keeps the worker busy applying while we fill the
+  // 1-deep queue behind it; the next try_submit must bounce.
+  engine.submit(0, g.batch<double>(1u << 21));
+  std::size_t accepted = 1;
+  hier::SubmitResult r;
+  std::size_t filled = 0;
+  do {
+    auto b = g.batch<double>(1000);
+    r = engine.try_submit(0, b);
+    if (r == hier::SubmitResult::kAccepted)
+      ++accepted;
+    else
+      EXPECT_EQ(b.size(), 1000u) << "kLaneFull consumed the batch";
+    ++filled;
+  } while (r == hier::SubmitResult::kAccepted && filled < 1000);
+  EXPECT_EQ(r, hier::SubmitResult::kLaneFull)
+      << "queue never filled; worker outran a 2M-entry apply";
+
+  // The refused batch submits fine once space opens (blocking submit).
+  EXPECT_EQ(engine.try_submit(0, batch), hier::SubmitResult::kLaneFull);
+  engine.submit(0, std::move(batch));
+  ++accepted;
+  auto report = engine.stop();
+  EXPECT_EQ(report.entries, (accepted - 1) * 1000 + (1u << 21));
+
+  EXPECT_EQ(engine.try_submit(0, batch), hier::SubmitResult::kStopped);
+}
+
+// Producers racing stop() get a defined kStopped instead of blocking on
+// a queue no worker will drain; every batch accepted before the close
+// is applied exactly once.
+TEST(ParallelStream, TrySubmitVersusStopRace) {
+  for (int round = 0; round < 8; ++round) {
+    InstanceArray<double> array(2, kDim, kDim,
+                                CutPolicy::geometric(3, 512, 8));
+    ParallelStream<double> engine(array);
+    engine.start();
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<bool> saw_stopped{false};
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < 2; ++p) {
+      producers.emplace_back([&, p] {
+        auto g = kron(900 + static_cast<std::uint64_t>(round) * 10 + p);
+        for (int i = 0; i < 100000; ++i) {
+          auto b = g.batch<double>(8);
+          switch (engine.try_submit(p, b)) {
+            case hier::SubmitResult::kAccepted:
+              accepted.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case hier::SubmitResult::kLaneFull:
+              std::this_thread::yield();
+              break;
+            case hier::SubmitResult::kStopped:
+              saw_stopped.store(true, std::memory_order_relaxed);
+              return;
+          }
+        }
+      });
+    }
+    while (accepted.load(std::memory_order_relaxed) < 50) std::this_thread::yield();
+    auto report = engine.stop();
+    for (auto& t : producers) t.join();
+
+    EXPECT_TRUE(saw_stopped.load()) << "producers outran stop() entirely";
+    EXPECT_EQ(report.entries, accepted.load() * 8)
+        << "accepted batches and applied entries diverged (round " << round
+        << ")";
+    EXPECT_EQ(array.total_entries_appended(), accepted.load() * 8);
+  }
+}
+
 }  // namespace
