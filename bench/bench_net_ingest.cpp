@@ -15,8 +15,12 @@
 //   NET_SETS       batches per client                        (def 16)
 //   NET_SET_SIZE   entries per batch                         (def 50000)
 //
-// BENCH_JSON: {"bench":"net_ingest","series":[{"clients":N,
-// "insert_rate":e/s,"query_p50_us":us,"parks":n},...],"exact":bool}
+// BENCH_JSON: {"bench":"net_ingest","exact_ratio":1|0,"series":
+// [{"clients":N,"insert_rate":e/s,"query_p50_us":us,"parks":n},...],
+// "exact":bool}. Only exact_ratio is meant for the perf gate
+// (scripts/check_perf.py): loopback insert rates and query latencies
+// are scheduler/TCP-timing sensitive and vary across CI hosts, so the
+// committed baseline deliberately omits them from its gated report.
 #include <cstdio>
 #include <cstdlib>
 
@@ -165,8 +169,9 @@ int main() {
               all_exact ? "PASS" : "FAIL",
               all_exact ? "exact" : "DIVERGED", series.size());
   std::printf("BENCH_JSON {\"bench\":\"net_ingest\",\"sets\":%zu,"
-              "\"set_size\":%zu,\"series\":%s,\"exact\":%s}\n",
-              sets, set_size, series_json.c_str(),
+              "\"set_size\":%zu,\"exact_ratio\":%.1f,\"series\":%s,"
+              "\"exact\":%s}\n",
+              sets, set_size, all_exact ? 1.0 : 0.0, series_json.c_str(),
               all_exact ? "true" : "false");
   return all_exact ? 0 : 1;
 }

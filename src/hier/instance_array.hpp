@@ -35,6 +35,10 @@ class InstanceArray {
   instance_type& instance(std::size_t p) { return instances_[p]; }
   const instance_type& instance(std::size_t p) const { return instances_[p]; }
 
+  /// Shared logical dimensions (every instance is constructed alike).
+  gbx::Index nrows() const { return instances_.front().nrows(); }
+  gbx::Index ncols() const { return instances_.front().ncols(); }
+
   /// Stream per-instance batches in parallel: batches[p] goes to instance
   /// p, one thread per instance (matching the paper's process model —
   /// instances never share state, so this is lock-free by construction).

@@ -68,6 +68,7 @@ enum class SubmitResult {
 struct LaneCounters {
   std::uint64_t batches = 0;
   std::uint64_t entries = 0;
+  std::uint64_t failed_batches = 0;  ///< dropped: update() threw (bad coords)
   double busy_seconds = 0;  ///< time spent inside HierMatrix::update
 };
 
@@ -152,6 +153,12 @@ class ParallelStream {
 
   std::size_t instances() const { return lanes_.size(); }
   bool running() const { return running_; }
+
+  /// Logical dimensions of every lane's matrix (a submitted batch's
+  /// coordinates must all be < these; producers that accept external
+  /// input — e.g. the network server — validate against them up front).
+  gbx::Index nrows() const { return array_->nrows(); }
+  gbx::Index ncols() const { return array_->ncols(); }
 
   /// Spawn one worker thread per instance and open the lanes.
   void start() {
@@ -426,14 +433,28 @@ class ParallelStream {
         lane.cv_space.notify_all();
       }
       const auto b0 = std::chrono::steady_clock::now();
-      matrix.update(batch);
+      // An exception escaping a std::thread is std::terminate for the
+      // whole process, so no batch — however malformed — may throw past
+      // this point. Producers validate coordinates up front; this catch
+      // is the backstop that turns a bad batch into a dropped batch
+      // (counted in failed_batches) instead of a dead engine.
+      bool applied = true;
+      try {
+        matrix.update(batch);
+      } catch (const std::exception&) {
+        applied = false;
+      }
       const double dt = detail::seconds_since(b0);
       {
         std::lock_guard<std::mutex> lk(lane.m);
         lane.applying = false;
-        ++lane.counters.batches;
-        lane.counters.entries += batch.size();
-        lane.counters.busy_seconds += dt;
+        if (applied) {
+          ++lane.counters.batches;
+          lane.counters.entries += batch.size();
+          lane.counters.busy_seconds += dt;
+        } else {
+          ++lane.counters.failed_batches;
+        }
         lane.cv_space.notify_all();
       }
       // Outside the lane lock: the observer (a governor's write-side

@@ -111,16 +111,22 @@ struct RefreshReply {
 /// as store::RecordLogWriter::append would produce for (tag, payload).
 inline void append_frame(std::string& out, MsgType type, std::uint64_t arg48,
                          const void* payload, std::size_t size) {
+  // An empty POD array legitimately arrives as (nullptr, 0) — e.g.
+  // vector::data() of an empty reply set. Substitute a non-null
+  // sentinel so neither fnv1a nor string::append ever sees a null
+  // pointer (formally UB even for zero lengths).
+  const char* body =
+      size > 0 ? static_cast<const char*>(payload) : "";
   const std::uint64_t tag = make_tag(type, arg48);
   const std::uint64_t size64 = size;
-  const std::uint64_t sum = store::detail::fnv1a(payload, size);
+  const std::uint64_t sum = store::detail::fnv1a(body, size);
   const auto put = [&out](const void* p, std::size_t n) {
     out.append(static_cast<const char*>(p), n);
   };
   put(&store::detail::kRecordMagic, sizeof(std::uint64_t));
   put(&tag, sizeof tag);
   put(&size64, sizeof size64);
-  put(payload, size);
+  if (size > 0) put(body, size);
   put(&sum, sizeof sum);
 }
 

@@ -22,10 +22,18 @@
 //     other session keeps streaming. The park is retried each loop
 //     pass; on success the decoder backlog resumes and EPOLLIN returns.
 //
+//   * Back-pressure also covers the reply direction: a session whose
+//     outbound buffer exceeds max_outbound_bytes (a client pipelining
+//     queries without reading replies) likewise loses EPOLLIN until the
+//     backlog drains below half the cap — the server's memory stays
+//     bounded per session in both directions.
+//
 //   * kFlush is the session barrier: acknowledged only when the session
 //     has nothing parked and every lane it ever touched is idle
 //     (lane_idle — queue empty, no batch mid-application), so a client
-//     that flushes then queries observes its own writes.
+//     that flushes then queries observes its own writes. Pipelined
+//     flushes are counted, and each one is acknowledged individually
+//     when the barrier clears.
 //
 //   * Queries never block writers. kQuerySum / kQueryElements acquire a
 //     governed snapshot (freeze waits at most one in-flight batch per
@@ -36,9 +44,11 @@
 //     loop calls refresh()).
 //
 //   * Malformed bytes (bad magic, checksum mismatch, oversized or
-//     non-integral payloads) earn one kReplyError frame with the
-//     decoder's diagnostic, then an orderly close. A torn frame at
-//     peer EOF is counted and dropped — exactly the WAL torn-tail rule.
+//     non-integral payloads, insert coordinates outside the matrix
+//     dimensions) earn one kReplyError frame with a diagnostic, then an
+//     orderly close — never an exception into the engine. A torn frame
+//     at peer EOF is counted and dropped — exactly the WAL torn-tail
+//     rule.
 //
 // stop() wakes the loop via eventfd, joins the thread, and closes all
 // sockets; in-flight sessions see EOF. The stream/governor are the
@@ -82,6 +92,7 @@ struct ServerStats {
   std::atomic<std::uint64_t> entries_ingested{0};
   std::atomic<std::uint64_t> queries{0};
   std::atomic<std::uint64_t> parks{0};           ///< lane-full back-pressure events
+  std::atomic<std::uint64_t> out_throttles{0};   ///< reply-backlog back-pressure events
   std::atomic<std::uint64_t> rejected_frames{0}; ///< corrupt/malformed/torn
 };
 
@@ -96,6 +107,11 @@ class IngestServer {
     int backlog = 64;
     /// Decoder cap: larger insert/query frames are rejected as corrupt.
     std::uint64_t max_frame_bytes = 64u << 20;
+    /// Reply-backlog cap: once a session's unsent outbound bytes exceed
+    /// this, the server stops reading that connection until the backlog
+    /// drains below half the cap (see out_throttles). Bounds the memory
+    /// a client can pin by pipelining queries without reading replies.
+    std::size_t max_outbound_bytes = 4u << 20;
     /// Analytics knobs for the refresh/summary RPCs. Triangle counting
     /// and PageRank are opt-in: they are superlinear in the snapshot
     /// and would stall the event loop on big graphs.
@@ -118,7 +134,9 @@ class IngestServer {
       : stream_(&stream),
         governor_(&governor),
         opt_(opt),
-        analytics_(governor, opt.analytics) {}
+        analytics_(governor, opt.analytics),
+        nrows_(stream.nrows()),
+        ncols_(stream.ncols()) {}
 
   IngestServer(const IngestServer&) = delete;
   IngestServer& operator=(const IngestServer&) = delete;
@@ -193,12 +211,15 @@ class IngestServer {
     bool want_write = false;    ///< EPOLLOUT currently armed
     bool reading = true;        ///< EPOLLIN currently armed
     bool parked = false;        ///< insert waiting for lane space
+    bool out_throttled = false; ///< reply backlog over cap; reads paused
     std::size_t parked_lane = 0;
     gbx::Tuples<double> parked_batch;
     std::vector<bool> used_lanes;  ///< lanes this session ever fed
-    bool awaiting_flush = false;
+    std::uint64_t pending_flushes = 0;  ///< kFlush frames awaiting their ack
     bool closing = false;       ///< destroy once out drains & flush done
     bool dead = false;          ///< destroy now (I/O error / EOF final)
+
+    std::size_t out_pending() const { return out.size() - out_off; }
   };
 
   void run() {
@@ -288,6 +309,9 @@ class IngestServer {
           return false;
         case store::RecordFrameDecoder::Status::kFrame:
           if (!handle_frame(s, rec)) return false;
+          // Reply backlog over cap: stop decoding (and reading) until
+          // the client drains it — progress_pass resumes the backlog.
+          if (s.out_throttled) return false;
           break;
       }
     }
@@ -302,7 +326,9 @@ class IngestServer {
       case MsgType::kInsert:
         return handle_insert(s, arg, rec);
       case MsgType::kFlush:
-        s.awaiting_flush = true;
+        // A counter, not a flag: pipelined flushes each get their own
+        // ack (a client blocking per-flush would otherwise hang).
+        ++s.pending_flushes;
         have_flush_ = true;
         check_flush(s);
         return !s.closing;
@@ -402,6 +428,22 @@ class IngestServer {
       s.closing = true;
       return false;
     }
+    // Validate coordinates BEFORE the batch reaches a lane: a bad
+    // coordinate must be a rejected frame on this session, never an
+    // exception inside a lane worker thread.
+    for (const auto& e : entries) {
+      if (e.row >= nrows_ || e.col >= ncols_) {
+        stats_.rejected_frames.fetch_add(1, std::memory_order_relaxed);
+        reply_error(s, MsgType::kInsert,
+                    "insert coordinate out of range: (" +
+                        std::to_string(e.row) + ", " + std::to_string(e.col) +
+                        ") vs " + std::to_string(nrows_) + " x " +
+                        std::to_string(ncols_));
+        s.reading = false;
+        s.closing = true;
+        return false;
+      }
+    }
     gbx::Tuples<double> batch;
     batch.entries() = std::move(entries);
     return submit_or_park(s, lane, batch);
@@ -451,7 +493,7 @@ class IngestServer {
             stats_.entries_ingested.fetch_add(n, std::memory_order_relaxed);
             s.parked_batch.clear();
             s.parked = false;
-            s.reading = !s.closing;
+            s.reading = !s.closing && !s.out_throttled;
             // Drain the decoder backlog accumulated before the park; a
             // second park here just re-enters the same state.
             if (process_frames(s) && s.reading) read_session(s);
@@ -465,11 +507,23 @@ class IngestServer {
             break;
         }
       }
-      if (s.awaiting_flush && !s.dead) check_flush(s);
+      // Reply-backlog throttle release: EPOLLOUT drains `out` on its
+      // own wake-ups; once below half the cap, resume reading and work
+      // through any frames decoded before the pause.
+      if (s.out_throttled && !s.dead &&
+          s.out_pending() <= opt_.max_outbound_bytes / 2) {
+        s.out_throttled = false;
+        if (!s.parked) {
+          s.reading = !s.closing;
+          if (process_frames(s) && s.reading) read_session(s);
+        }
+        update_interest(s);
+      }
+      if (s.pending_flushes > 0 && !s.dead) check_flush(s);
       have_parked_ |= s.parked;
-      have_flush_ |= s.awaiting_flush;
+      have_flush_ |= s.pending_flushes > 0;
       if (s.dead ||
-          (s.closing && !s.parked && !s.awaiting_flush &&
+          (s.closing && !s.parked && s.pending_flushes == 0 &&
            s.out_off >= s.out.size()))
         reap.push_back(fd);
     }
@@ -477,12 +531,15 @@ class IngestServer {
   }
 
   /// Flush barrier: everything this session submitted has been applied.
+  /// Every flush received before the barrier cleared gets its own ack.
   void check_flush(Session& s) {
     if (s.parked) return;
     for (std::size_t p = 0; p < s.used_lanes.size(); ++p)
       if (s.used_lanes[p] && !stream_->lane_idle(p)) return;
-    s.awaiting_flush = false;
-    reply_ok(s, MsgType::kFlush, "", 0);
+    while (s.pending_flushes > 0) {
+      --s.pending_flushes;
+      reply_ok(s, MsgType::kFlush, "", 0);
+    }
   }
 
   void reply_ok(Session& s, MsgType request, const void* payload,
@@ -490,6 +547,7 @@ class IngestServer {
     append_frame(s.out, MsgType::kReplyOk,
                  static_cast<std::uint64_t>(request), payload, size);
     flush_out(s);
+    throttle_if_backlogged(s);
   }
 
   void reply_error(Session& s, MsgType request, const std::string& what) {
@@ -497,6 +555,21 @@ class IngestServer {
                  static_cast<std::uint64_t>(request), what.data(),
                  what.size());
     flush_out(s);
+    throttle_if_backlogged(s);
+  }
+
+  /// Write-side back-pressure: a client that pipelines requests without
+  /// reading replies stops being read once its unsent backlog passes the
+  /// cap, so `out` can never grow without bound. progress_pass resumes
+  /// the session when the backlog halves.
+  void throttle_if_backlogged(Session& s) {
+    if (s.dead || s.out_throttled ||
+        s.out_pending() <= opt_.max_outbound_bytes)
+      return;
+    s.out_throttled = true;
+    s.reading = false;
+    stats_.out_throttles.fetch_add(1, std::memory_order_relaxed);
+    update_interest(s);
   }
 
   /// Opportunistic nonblocking send; arms EPOLLOUT only on partials.
@@ -541,6 +614,8 @@ class IngestServer {
   Governor* governor_;
   Options opt_;
   Analytics analytics_;
+  gbx::Index nrows_;  ///< matrix dims, cached for insert validation
+  gbx::Index ncols_;
   ServerStats stats_;
 
   Fd listen_;

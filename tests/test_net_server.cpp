@@ -231,6 +231,111 @@ TEST(NetServer, MalformedFramesEarnErrorReplyAndClose) {
   cl.bye();
 }
 
+TEST(NetServer, OutOfRangeInsertCoordinateIsRejectedNotFatal) {
+  ServerHarness h(1);
+
+  {  // Well-framed kInsert whose coordinate exceeds the matrix dims:
+     // must be a per-session error reply + close, never an exception
+     // inside a lane worker (which would std::terminate the server).
+    net::Client cl;
+    cl.connect("127.0.0.1", h.server->port());
+    std::vector<gbx::Entry<double>> es = {{0, 0, 1.0}, {kDim, 0, 1.0}};
+    std::string frame;
+    net::append_frame(frame, net::MsgType::kInsert, 0, es.data(),
+                      es.size() * sizeof(es[0]));
+    cl.send_raw(frame.data(), frame.size());
+    auto rec = cl.read_reply();
+    EXPECT_EQ(net::tag_type(rec.epoch), net::MsgType::kReplyError);
+    std::string what(reinterpret_cast<const char*>(rec.payload.data()),
+                     rec.payload.size());
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+    EXPECT_THROW(cl.read_reply(), gbx::Error);  // server closed the session
+  }
+  EXPECT_GE(h.server->stats().rejected_frames.load(), 1u);
+
+  // The server survived and the bad batch left no trace: a fresh
+  // session ingests and observes exactly its own entries.
+  net::Client cl;
+  cl.connect("127.0.0.1", h.server->port());
+  auto g = kron(8);
+  cl.insert(g.batch<double>(300), 0);
+  cl.flush();
+  EXPECT_EQ(cl.query_sum().sum, 300.0);
+  cl.bye();
+}
+
+TEST(NetServer, PipelinedFlushesEachGetTheirOwnAck) {
+  ServerHarness h(1);
+  net::Client cl;
+  cl.connect("127.0.0.1", h.server->port());
+  auto g = kron(9);
+  cl.insert(g.batch<double>(2000), 0);
+
+  // Two kFlush frames back-to-back before reading any reply: the
+  // barrier clears once but BOTH must be acknowledged (a client
+  // blocking one recv per flush would otherwise hang forever).
+  std::string frames;
+  net::append_frame(frames, net::MsgType::kFlush);
+  net::append_frame(frames, net::MsgType::kFlush);
+  cl.send_raw(frames.data(), frames.size());
+  for (int i = 0; i < 2; ++i) {
+    auto rec = cl.read_reply();
+    EXPECT_EQ(net::tag_type(rec.epoch), net::MsgType::kReplyOk) << "ack " << i;
+    EXPECT_EQ(net::tag_arg(rec.epoch),
+              static_cast<std::uint64_t>(net::MsgType::kFlush))
+        << "ack " << i;
+  }
+
+  EXPECT_EQ(cl.query_sum().sum, 2000.0);
+  cl.bye();
+}
+
+TEST(NetServer, ReplyBacklogIsBoundedAndEveryPipelinedQueryAnswered) {
+  net::IngestServer::Options sopt;
+  sopt.max_outbound_bytes = 64u << 10;  // small cap: throttle engages
+  ServerHarness h(1, {}, sopt);
+
+  net::Client cl;
+  cl.connect("127.0.0.1", h.server->port());
+  cl.insert(kron(10).batch<double>(1000), 0);
+  cl.flush();
+
+  // Pipeline element queries with fat replies while nobody reads: the
+  // server must stop reading the connection once its reply backlog
+  // passes the cap (bounded memory) yet eventually answer every query
+  // once the client drains. Send from a second thread — the sender may
+  // block in send() exactly because the server stopped reading.
+  // ~33 MB of replies: far beyond what loopback socket buffers can
+  // absorb (~4 MB sndbuf + ~128 KB unread rcvbuf), so send() must hit
+  // EAGAIN and the backlog must cross the 64 KB cap.
+  const std::size_t kQueries = 2048, kProbes = 1024;
+  std::vector<net::ElementQuery> probes(kProbes);  // all {0,0}: cheap
+  std::string frame;
+  net::append_frame(frame, net::MsgType::kQueryElements, 0, probes.data(),
+                    probes.size() * sizeof(net::ElementQuery));
+  std::thread sender([&] {
+    for (std::size_t i = 0; i < kQueries; ++i)
+      cl.send_raw(frame.data(), frame.size());
+  });
+
+  // Let the backlog build before draining a single reply.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<net::ElementReply> want(kProbes);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    auto rec = cl.read_reply();
+    ASSERT_EQ(net::tag_type(rec.epoch), net::MsgType::kReplyOk) << i;
+    ASSERT_TRUE(net::payload_as(rec.payload, want)) << i;
+    ASSERT_EQ(want.size(), kProbes) << i;
+  }
+  sender.join();
+
+  EXPECT_GT(h.server->stats().out_throttles.load(), 0u)
+      << "reply backlog never hit the cap: throttle path unexercised "
+         "(kernel buffers absorbed everything; raise kQueries)";
+  EXPECT_EQ(h.server->stats().queries.load(), kQueries);
+  cl.bye();
+}
+
 TEST(NetServer, BackPressureThrottlesOnlyTheSaturatedLane) {
   hier::ParallelStream<double>::Options popt;
   popt.queue_capacity = 1;  // park at the first busy overlap
