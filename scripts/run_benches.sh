@@ -35,6 +35,17 @@
 #                           throughput must stay ≥ EVICT_MIN_RATE_RATIO
 #                           (default 0.9) of the governor-off run.
 #                           EVICT_SETS / EVICT_SET_SIZE shrink for CI.
+#   bench_outofcore       — out-of-core tiering: a demoting HierMatrix
+#                           streams >= 3x its resident budget through a
+#                           file-backed BlockStore; every sweep point
+#                           must be bit-identical to an in-memory twin,
+#                           resident bytes must respect the budget, and
+#                           the demoting ingest rate must stay ≥
+#                           OUTOFCORE_MIN_RATE_RATIO (default 0.8) of
+#                           the in-memory run. OOC_SETS / OOC_SET_SIZE
+#                           shrink the workload for CI; OOC_DIR points
+#                           the store at a specific filesystem (e.g.
+#                           tmpfs).
 #   bench_net_ingest      — loopback ingest through net::IngestServer,
 #                           1..N concurrent clients: the server's Σ Ai
 #                           must equal the streamed entry count exactly
@@ -55,6 +66,8 @@ export SNAPQ_MAX_DEGRADATION="${SNAPQ_MAX_DEGRADATION:-0.30}"
 export BENCH_DELTA_MIN_SPEEDUP="${BENCH_DELTA_MIN_SPEEDUP:-5.0}"
 # Speedup floor for bench_ingest_hotpath (ISSUE acceptance: 1.5x).
 export BENCH_INGEST_MIN_SPEEDUP="${BENCH_INGEST_MIN_SPEEDUP:-1.5}"
+# Rate floor for bench_outofcore (ISSUE acceptance: 0.8x in-memory).
+export OUTOFCORE_MIN_RATE_RATIO="${OUTOFCORE_MIN_RATE_RATIO:-0.8}"
 # Space-separated bench names to skip (e.g. a gate already run by a
 # dedicated CI step — avoids paying for the same bench twice).
 BENCH_SKIP="${BENCH_SKIP:-}"

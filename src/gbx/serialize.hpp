@@ -91,6 +91,40 @@ void serialize_dcsr(std::ostream& os, Index nrows, Index ncols,
   GBX_CHECK(os.good(), "serialize: write failure");
 }
 
+/// Row-subrange writer: the same container as serialize_dcsr, holding
+/// only the rows in positions [row_begin, row_end) of s.rows() (ptr
+/// rebased to start at 0). Each slice is a complete, independently
+/// deserializable matrix of the full dims — the out-of-core tier packs
+/// a level into block-sized segments with it, and a reader that
+/// plus_assigns the slices back together reconstructs the level
+/// bit-exactly (row ranges are disjoint, so no fold reassociation).
+template <class T>
+void serialize_rows(std::ostream& os, Index nrows, Index ncols,
+                    const Dcsr<T>& s, std::size_t row_begin,
+                    std::size_t row_end) {
+  GBX_CHECK_VALUE(row_begin <= row_end && row_end <= s.rows().size(),
+                  "serialize_rows: row position range out of bounds");
+  const Offset p0 = s.ptr()[row_begin];
+  const Offset p1 = s.ptr()[row_end];
+  write_pod(os, kSerializeMagic);
+  write_pod(os, kSerializeVersion);
+  write_pod(os, type_tag<T>());
+  write_pod<std::uint32_t>(os, 0);  // reserved/padding
+  write_pod<Index>(os, nrows);
+  write_pod<Index>(os, ncols);
+  write_vec(os, std::vector<Index>(s.rows().begin() + row_begin,
+                                   s.rows().begin() + row_end));
+  std::vector<Offset> ptr(row_end - row_begin + 1);
+  for (std::size_t i = 0; i <= row_end - row_begin; ++i)
+    ptr[i] = s.ptr()[row_begin + i] - p0;
+  write_vec(os, ptr);
+  write_vec(os, std::vector<Index>(s.cols().begin() + p0,
+                                   s.cols().begin() + p1));
+  write_vec(os,
+            std::vector<T>(s.vals().begin() + p0, s.vals().begin() + p1));
+  GBX_CHECK(os.good(), "serialize: write failure");
+}
+
 }  // namespace detail
 
 /// Write A (canonicalized) to the stream.
@@ -104,6 +138,16 @@ void serialize(std::ostream& os, const Matrix<T, M>& A) {
 template <class T>
 void serialize(std::ostream& os, const MatrixView<T>& A) {
   detail::serialize_dcsr(os, A.nrows(), A.ncols(), A.storage());
+}
+
+/// Write positions [row_begin, row_end) of s's row list as a complete,
+/// independently deserializable matrix of the given dims (the
+/// out-of-core tier's segment writer — see detail::serialize_rows).
+template <class T>
+void serialize_rows(std::ostream& os, Index nrows, Index ncols,
+                    const Dcsr<T>& s, std::size_t row_begin,
+                    std::size_t row_end) {
+  detail::serialize_rows(os, nrows, ncols, s, row_begin, row_end);
 }
 
 /// Read a matrix previously written by serialize<T>.

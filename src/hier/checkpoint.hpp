@@ -72,8 +72,17 @@ template <class T, class M>
 void checkpoint(std::ostream& os, const HierMatrix<T, M>& h) {
   detail::write_checkpoint(
       os, h.nrows(), h.ncols(), h.cut_policy().cuts(), h.num_levels(),
-      h.stats(),
-      [&](std::ostream& o, std::size_t i) { gbx::serialize(o, h.level(i)); });
+      h.stats(), [&](std::ostream& o, std::size_t i) {
+        // A demoted bottom level's resident matrix is only a fragment of
+        // the level's logical value — fold the on-disk tier back in so
+        // the checkpoint is self-contained (restore() needs no block
+        // store, and recover() stays store-agnostic).
+        if (i + 1 == h.num_levels() && h.has_demoted()) {
+          gbx::serialize(o, h.materialized_level(i));
+        } else {
+          gbx::serialize(o, h.level(i));
+        }
+      });
 }
 
 /// Checkpoint a live epoch snapshot: byte-for-byte the same container as
@@ -85,8 +94,22 @@ template <class T, class M>
 void checkpoint(std::ostream& os, const HierSnapshot<T, M>& snap) {
   detail::write_checkpoint(
       os, snap.nrows(), snap.ncols(), snap.cuts(), snap.num_levels(),
-      snap.stats(),
-      [&](std::ostream& o, std::size_t i) { gbx::serialize(o, snap.level(i)); });
+      snap.stats(), [&](std::ostream& o, std::size_t i) {
+        // Same demoted-bottom rule as the HierMatrix overload: fold the
+        // snapshot's pinned tier image into the bottom level so the file
+        // is self-contained. Tier runs fold oldest-first, resident view
+        // last — the canonical read order, so the bytes match a
+        // checkpoint of the equivalent never-demoted matrix whenever the
+        // monoid's fold is bit-associative.
+        if (i + 1 == snap.num_levels() && snap.has_demoted()) {
+          gbx::Matrix<T, M> bottom(snap.nrows(), snap.ncols());
+          snap.tier_view().materialize_into(bottom);
+          bottom.plus_assign(snap.level(i));
+          gbx::serialize(o, bottom);
+        } else {
+          gbx::serialize(o, snap.level(i));
+        }
+      });
 }
 
 template <class T, class M = gbx::PlusMonoid<T>>

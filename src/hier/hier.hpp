@@ -13,3 +13,4 @@
 #include "hier/sharded_hier.hpp"
 #include "hier/snapshot.hpp"
 #include "hier/stats.hpp"
+#include "hier/tier.hpp"

@@ -32,6 +32,7 @@
 #include "hier/cut_policy.hpp"
 #include "hier/snapshot.hpp"
 #include "hier/stats.hpp"
+#include "hier/tier.hpp"
 
 namespace hier {
 
@@ -104,11 +105,83 @@ class HierMatrix {
     return n;
   }
 
-  /// Heap bytes across all levels.
+  /// Heap bytes across all levels (resident only — demoted runs live in
+  /// the block store, counted by store_bytes()).
   std::size_t memory_bytes() const {
     std::size_t n = 0;
     for (const auto& l : levels_) n += l.memory_bytes();
     return n;
+  }
+
+  // ---- Out-of-core demotion (hier/tier.hpp) -------------------------
+
+  /// Attach a block store the bottom level may demote into. The store
+  /// must outlive this matrix and every snapshot taken from it (run GC
+  /// erases blocks on snapshot teardown). Demotion never happens
+  /// implicitly on the ingest path — only demote_now() and
+  /// enforce_residency() (the governor's write-observer hook) move data.
+  void enable_demotion(store::BlockStore* store, DemotionConfig cfg = {}) {
+    tier_ = std::make_shared<DemotedTier<T, AddMonoid>>(store, cfg, nrows_,
+                                                        ncols_);
+  }
+
+  bool demotion_enabled() const { return tier_ != nullptr; }
+
+  /// True when demoted runs currently exist.
+  bool has_demoted() const { return tier_ && tier_->demoted(); }
+
+  /// The tier (valid only after enable_demotion), for stats/tests.
+  const DemotedTier<T, AddMonoid>& tier() const { return *tier_; }
+
+  /// Demote the bottom level into a new run (folding its pending buffer
+  /// first), then compact if the run list exceeded its bound. Returns
+  /// whether anything moved.
+  bool demote_now() {
+    if (!tier_) return false;
+    const bool moved = tier_->demote(levels_.back());
+    tier_->maybe_compact();
+    return moved;
+  }
+
+  /// Bring resident heap bytes at or under `budget_bytes` by demoting:
+  /// first the bottom level as-is, then — if still over — a full flush()
+  /// (all levels folded down) followed by a second demotion, which moves
+  /// every compressed byte out and leaves only warm-capacity buffers.
+  /// Returns the number of demotions performed. No-op without a tier.
+  std::size_t enforce_residency(std::size_t budget_bytes) {
+    if (!tier_) return 0;
+    std::size_t demoted = 0;
+    if (memory_bytes() > budget_bytes && tier_->demote(levels_.back()))
+      ++demoted;
+    if (memory_bytes() > budget_bytes && levels_.size() > 1) {
+      flush();
+      if (tier_->demote(levels_.back())) ++demoted;
+    }
+    tier_->maybe_compact();
+    return demoted;
+  }
+
+  /// Serialized bytes the demoted runs occupy in the block store.
+  std::uint64_t store_bytes() const {
+    return tier_ ? tier_->store_bytes() : 0;
+  }
+
+  /// Level i's full logical value as a standalone matrix — for the
+  /// bottom level this folds the demoted runs (oldest first) back under
+  /// the resident remainder, the checkpoint writer's view of a demoted
+  /// matrix. Other levels are plain copies.
+  matrix_type materialized_level(std::size_t i) const {
+    GBX_CHECK_INDEX(i < levels_.size(), "materialized_level out of range");
+    matrix_type acc(nrows_, ncols_);
+    if (i + 1 == levels_.size() && tier_) tier_->view().materialize_into(acc);
+    acc.plus_assign(levels_[i].view());
+    return acc;
+  }
+
+  /// Point query of the logical matrix Σ Ai across resident levels AND
+  /// demoted runs (freeze() publishes views without copying a block).
+  std::optional<T> extract_element(gbx::Index i, gbx::Index j) const {
+    return freeze().extract_element(i, j);
   }
 
   /// Non-destructive query: A = Σ Ai. Levels are left untouched, so
@@ -135,8 +208,10 @@ class HierMatrix {
     for (const auto& v : views)
       if (v.shared_storage()) blocks.push_back(v.shared_storage().get());
     stats_.memory_bytes = detail::deduped_bytes(std::move(blocks));
-    return HierSnapshot<T, AddMonoid>(nrows_, ncols_, std::move(views),
-                                      cuts_.cuts(), stats_, stats_.updates);
+    return HierSnapshot<T, AddMonoid>(
+        nrows_, ncols_, std::move(views), cuts_.cuts(), stats_,
+        stats_.updates,
+        tier_ ? tier_->view() : TierView<T, AddMonoid>());
   }
 
   /// Epoch watermark: update() calls applied so far.
@@ -147,6 +222,16 @@ class HierMatrix {
   /// Streaming is over, so the emptied levels release their memory too.
   const matrix_type& collapse() {
     ++stats_.queries;
+    // Promote the demoted runs back under the resident bottom first, so
+    // the fold below sees the bottom level's full logical value (runs
+    // oldest-first then resident — the tier read path's grouping).
+    if (has_demoted()) {
+      matrix_type bottom(nrows_, ncols_);
+      tier_->view().materialize_into(bottom);
+      bottom.plus_assign(levels_.back().view());
+      levels_.back() = std::move(bottom);
+      tier_->clear();
+    }
     auto& top = levels_.back();
     for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
       if (levels_[i].empty()) continue;
@@ -242,6 +327,10 @@ class HierMatrix {
   CutPolicy cuts_;
   std::vector<matrix_type> levels_;
   std::function<void()> write_observer_;  ///< see set_write_observer
+  // shared_ptr keeps HierMatrix copyable (copies share the tier; attach
+  // one tier per logically distinct matrix, as enable_demotion's
+  // lifetime contract implies).
+  std::shared_ptr<DemotedTier<T, AddMonoid>> tier_;
   mutable HierStats stats_;
 };
 

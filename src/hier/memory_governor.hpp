@@ -107,6 +107,15 @@ struct GovernorConfig {
   /// governor must outlive the source's write activity — it detaches on
   /// destruction, which is only safe once writers have stopped.
   bool enforce_on_write = false;
+  /// Resident-byte ceiling for the LIVE matrix (the out-of-core tier,
+  /// alongside the snapshot budgets above): every enforcement pass also
+  /// asks the source to demote cold bottom levels into its block store
+  /// until resident heap fits. Requires a source exposing
+  /// enforce_residency (HierMatrix / ShardedHier after enable_demotion;
+  /// see governor_enforce_residency) — silently inert otherwise.
+  /// Usually combined with enforce_on_write so ingest itself keeps the
+  /// matrix under budget. kNever disables.
+  std::uint64_t live_budget_bytes = kNever;
 };
 
 /// Monotone counters of governor activity (copyable POD view).
@@ -119,6 +128,8 @@ struct GovernorStats {
   std::uint64_t bytes_released = 0;   ///< pinned bytes actually freed by
                                       ///< evictions (pool delta, exact)
   std::uint64_t peak_pinned_bytes = 0;///< high-water mark of pinned class
+  std::uint64_t demotions = 0;        ///< live-matrix levels demoted to the
+                                      ///< block store (live_budget_bytes)
 };
 
 /// One accounting pass over the outstanding snapshots (identity-deduped
@@ -157,6 +168,7 @@ struct GovernorCounters {
   std::atomic<std::uint64_t> rehydrations{0};
   std::atomic<std::uint64_t> bytes_released{0};
   std::atomic<std::uint64_t> peak_pinned_bytes{0};
+  std::atomic<std::uint64_t> demotions{0};
 
   void peak_pinned(std::uint64_t v) {
     std::uint64_t seen = peak_pinned_bytes.load(std::memory_order_relaxed);
@@ -473,6 +485,30 @@ bool governor_attach_write_observer(Source& s,
   }
 }
 
+/// Live-matrix residency customization (live_budget_bytes): ask the
+/// source to demote cold bottom levels into its block store until its
+/// resident heap fits `budget`, returning demotions performed; 0 when
+/// the source has no residency control (no enforce_residency hook, or
+/// demotion not enabled — both report "nothing demoted"). Detection is
+/// structural, like the write-observer hook.
+template <class Source, class = void>
+struct source_has_residency : std::false_type {};
+template <class Source>
+struct source_has_residency<
+    Source, std::void_t<decltype(std::declval<Source&>().enforce_residency(
+                std::size_t{}))>> : std::true_type {};
+
+template <class Source>
+std::size_t governor_enforce_residency(Source& s, std::uint64_t budget) {
+  if constexpr (source_has_residency<Source>::value) {
+    return s.enforce_residency(static_cast<std::size_t>(budget));
+  } else {
+    (void)s;
+    (void)budget;
+    return 0;
+  }
+}
+
 /// Live write-progress customization: eviction lag is measured against
 /// the newest epoch the governor can SEE. Acquire-only governors only
 /// see what readers acquired — during a pure-write phase nothing
@@ -527,7 +563,12 @@ class MemoryGovernor {
       // pinned, so a write-heavy phase with no readers pays one relaxed
       // load per batch.
       attached_write_ = governor_attach_write_observer(*source_, [this] {
-        if (registered_.load(std::memory_order_relaxed) == 0) return;
+        // A live-matrix budget must be enforced even with zero readers
+        // outstanding — resident growth comes from ingest itself, not
+        // from snapshot pins.
+        if (registered_.load(std::memory_order_relaxed) == 0 &&
+            cfg_.live_budget_bytes == GovernorConfig::kNever)
+          return;
         enforce();
       });
     }
@@ -627,6 +668,18 @@ class MemoryGovernor {
           spill_locked(*s);
         }
       }
+
+      // --- live-matrix resident budget: demote cold bottom levels into
+      // the source's block store. Inside the registry lock so passes
+      // stay serialized (ShardedHier's observer fires from several
+      // writer threads); lock order mu_ -> shard locks matches the
+      // accounting passes above.
+      if (cfg_.live_budget_bytes != GovernorConfig::kNever) {
+        const std::size_t demoted =
+            governor_enforce_residency(*source_, cfg_.live_budget_bytes);
+        if (demoted > 0)
+          counters_->demotions.fetch_add(demoted, std::memory_order_relaxed);
+      }
     }
     const std::uint64_t current =
         governor_current_epoch(*source_, engine_.last_epoch());
@@ -660,6 +713,7 @@ class MemoryGovernor {
         counters_->bytes_released.load(std::memory_order_relaxed);
     s.peak_pinned_bytes =
         counters_->peak_pinned_bytes.load(std::memory_order_relaxed);
+    s.demotions = counters_->demotions.load(std::memory_order_relaxed);
     return s;
   }
 

@@ -267,6 +267,55 @@ class ShardedHier {
     return n;
   }
 
+  /// Enable out-of-core demotion on every shard, all sharing one block
+  /// store (the store is internally locked; run ids stay distinct via
+  /// per-shard tiers over distinct block ids). Call before writers
+  /// start. The store must outlive this matrix and its snapshots.
+  void enable_demotion(store::BlockStore* store, DemotionConfig cfg = {}) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      shards_[s].enable_demotion(store, cfg);
+    }
+  }
+
+  /// Bring aggregate resident bytes at or under `budget_bytes` by
+  /// demoting shard bottoms (budget split evenly across shards).
+  /// Thread-safe via the shard locks ONLY — deliberately NOT the writer
+  /// slot: the governor's write observer calls this while the writer
+  /// already holds a shared slot on snap_mu_ (re-acquiring it here would
+  /// be UB), and demotion preserves each shard's logical value, so a
+  /// concurrent freeze stitching shards mid-enforcement still reads
+  /// exactly the whole batches it always did. Returns demotions done.
+  std::size_t enforce_residency(std::size_t budget_bytes) {
+    const std::size_t per_shard =
+        std::max<std::size_t>(1, budget_bytes / shards_.size());
+    std::size_t demoted = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      demoted += shards_[s].enforce_residency(per_shard);
+    }
+    return demoted;
+  }
+
+  /// Serialized bytes all shards' demoted runs occupy in the store.
+  std::uint64_t store_bytes() const {
+    std::uint64_t n = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      n += shards_[s].store_bytes();
+    }
+    return n;
+  }
+
+  /// True when any shard currently holds demoted runs.
+  bool has_demoted() const {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> g(locks_[s]);
+      if (shards_[s].has_demoted()) return true;
+    }
+    return false;
+  }
+
  private:
   /// Below this many total level-0 pending entries the per-shard folds
   /// are cheaper than spawning worker threads for them.

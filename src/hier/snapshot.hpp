@@ -36,6 +36,7 @@
 #include "gbx/reduce.hpp"
 #include "gbx/view.hpp"
 #include "hier/stats.hpp"
+#include "hier/tier.hpp"
 
 namespace hier {
 
@@ -161,16 +162,20 @@ class HierSnapshot {
 
   HierSnapshot() = default;
 
+  /// `tier` (default: none) is the frozen image of the source's demoted
+  /// runs; all read paths fold it between the upper levels and the
+  /// resident bottom — see the canonical-order note on fold_element_into.
   HierSnapshot(gbx::Index nrows, gbx::Index ncols,
                std::vector<gbx::MatrixView<T>> levels,
                std::vector<std::size_t> cuts, HierStats stats,
-               std::uint64_t epoch)
+               std::uint64_t epoch, TierView<T, AddMonoid> tier = {})
       : nrows_(nrows),
         ncols_(ncols),
         levels_(std::move(levels)),
         cuts_(std::move(cuts)),
         stats_(std::move(stats)),
-        epoch_(epoch) {}
+        epoch_(epoch),
+        tier_(std::move(tier)) {}
 
   gbx::Index nrows() const { return nrows_; }
   gbx::Index ncols() const { return ncols_; }
@@ -185,36 +190,63 @@ class HierSnapshot {
   const HierStats& stats() const { return stats_; }
 
   bool empty() const {
+    if (tier_.demoted()) return false;
     for (const auto& v : levels_) if (!v.empty()) return false;
     return true;
   }
 
+  /// True when this image carries demoted (out-of-core) runs.
+  bool has_demoted() const { return tier_.demoted(); }
+
+  /// The frozen demoted-run image (absent unless the source demoted).
+  const TierView<T, AddMonoid>& tier_view() const { return tier_; }
+
+  /// Serialized bytes the frozen demoted runs pin in the block store.
+  std::uint64_t store_bytes() const { return tier_.store_bytes(); }
+
   /// Sum of per-level entry counts (coordinates living in several levels
-  /// counted once per level) — the bound cut thresholds act on.
+  /// counted once per level) — the bound cut thresholds act on. Demoted
+  /// runs count like levels: once per run.
   std::size_t nvals_bound() const {
-    std::size_t n = 0;
+    std::size_t n = static_cast<std::size_t>(tier_.entries_bound());
     for (const auto& v : levels_) n += v.nvals();
     return n;
   }
 
   /// Exact number of distinct coordinates of Σ Ai, counted by a k-way
-  /// union scan over the frozen level blocks — no level is copied and
-  /// nothing is materialized (the HierMatrix::nvals fast path).
+  /// union scan over the frozen level blocks — no resident level is
+  /// copied and the sum is never materialized (the HierMatrix::nvals
+  /// fast path). Demoted segments are decoded transiently into the scan.
   std::size_t nvals() const {
     std::vector<const gbx::Dcsr<T>*> bs;
-    collect_blocks(bs);
+    std::vector<std::shared_ptr<const gbx::Dcsr<T>>> keepalive;
+    collect_count_blocks(bs, keepalive);
     return detail::count_distinct_coords(std::move(bs));
   }
 
-  /// Entry lookup across levels, duplicates combined with the fold
-  /// monoid: the value A(i,j) of the logical matrix Σ Ai.
+  /// Continue a flat left fold of acc across THIS image's contributions
+  /// in canonical order: upper levels shallowest-first, then the demoted
+  /// runs oldest-first, then the resident bottom. This single definition
+  /// is shared by extract_element here AND SnapshotSet::extract_element
+  /// (which must keep one flat chain across parts to stay bit-identical
+  /// with to_matrix's plus_assign order).
+  void fold_element_into(std::optional<T>& acc, gbx::Index i,
+                         gbx::Index j) const {
+    auto fold = [&acc](std::optional<T> x) {
+      if (!x) return;
+      acc = acc ? std::optional<T>(AddMonoid::apply(*acc, *x)) : x;
+    };
+    const std::size_t nl = levels_.size();
+    for (std::size_t l = 0; l + 1 < nl; ++l) fold(levels_[l].get(i, j));
+    if (tier_.demoted()) fold(tier_.extract(i, j));
+    if (nl > 0) fold(levels_[nl - 1].get(i, j));
+  }
+
+  /// Entry lookup across levels (and demoted runs), duplicates combined
+  /// with the fold monoid: the value A(i,j) of the logical matrix Σ Ai.
   std::optional<T> extract_element(gbx::Index i, gbx::Index j) const {
     std::optional<T> acc;
-    for (const auto& v : levels_) {
-      if (auto x = v.get(i, j)) {
-        acc = acc ? std::optional<T>(AddMonoid::apply(*acc, *x)) : x;
-      }
-    }
+    fold_element_into(acc, i, j);
     return acc;
   }
 
@@ -227,19 +259,36 @@ class HierSnapshot {
   /// materialize first (reduce_scalar over to_matrix()).
   T reduce() const {
     auto acc = AddMonoid::identity();
-    for (const auto& v : levels_)
-      acc = AddMonoid::apply(acc, gbx::reduce_scalar<AddMonoid>(v));
+    const std::size_t nl = levels_.size();
+    for (std::size_t l = 0; l + 1 < nl; ++l)
+      acc = AddMonoid::apply(acc, gbx::reduce_scalar<AddMonoid>(levels_[l]));
+    tier_.for_each_block([&acc](const matrix_type& m) {
+      acc = AddMonoid::apply(acc, gbx::reduce_scalar<AddMonoid>(m.view()));
+    });
+    if (nl > 0)
+      acc = AddMonoid::apply(acc,
+                             gbx::reduce_scalar<AddMonoid>(levels_[nl - 1]));
     return acc;
+  }
+
+  /// acc ⊕= this image in canonical order (the plus_assign twin of
+  /// fold_element_into; to_matrix here and in SnapshotSet share it).
+  void fold_into(matrix_type& acc) const {
+    const std::size_t nl = levels_.size();
+    for (std::size_t l = 0; l + 1 < nl; ++l) acc.plus_assign(levels_[l]);
+    tier_.materialize_into(acc);
+    if (nl > 0) acc.plus_assign(levels_[nl - 1]);
   }
 
   /// Materialize A = Σ Ai as a standalone matrix. This is the bridge to
   /// every existing algo/ and analytics/ kernel: the result is an
-  /// ordinary gbx::Matrix, fully detached from the streaming source.
+  /// ordinary gbx::Matrix, fully detached from the streaming source
+  /// (demoted runs are read back through the checksummed store).
   matrix_type to_matrix() const {
     GBX_CHECK_VALUE(nrows_ > 0 && ncols_ > 0,
                     "to_matrix on a default-constructed snapshot");
     matrix_type acc(nrows_, ncols_);
-    for (const auto& v : levels_) acc.plus_assign(v);
+    fold_into(acc);
     return acc;
   }
 
@@ -255,6 +304,8 @@ class HierSnapshot {
   /// bits float folds may differ in final ulps from the levelwise
   /// reduce(), exactly as the two read paths always could.)
   /// Epoch, cuts, and stats ride along unchanged; num_levels becomes 1.
+  /// A demoted image compacts to a fully-resident one — the store pins
+  /// (and the blocks, once no other image references them) are released.
   HierSnapshot compacted() const {
     if (nrows_ == 0 || ncols_ == 0) return *this;  // default-constructed
     matrix_type m = to_matrix();
@@ -276,8 +327,9 @@ class HierSnapshot {
 
   /// Heap bytes this snapshot holds, deduplicated by block identity:
   /// a block aliased by several levels (plus_assign aliasing) is counted
-  /// once. Whether those bytes are an *extra* cost depends on the live
-  /// source — see hier::snapshot_memory / SnapshotMemory for the
+  /// once. Resident only — demoted runs are store bytes (store_bytes()),
+  /// not heap. Whether those bytes are an *extra* cost depends on the
+  /// live source — see hier::snapshot_memory / SnapshotMemory for the
   /// pinned-vs-live split.
   std::size_t memory_bytes() const {
     std::vector<const gbx::Dcsr<T>*> blocks;
@@ -287,9 +339,25 @@ class HierSnapshot {
 
   /// Append this snapshot's raw block pointers (for identity-based
   /// accounting across snapshots/parts; nulls from empty views skipped).
+  /// Resident blocks only — identity accounting is about heap sharing,
+  /// which demoted runs do not participate in.
   void collect_blocks(std::vector<const gbx::Dcsr<T>*>& out) const {
     for (const auto& v : levels_)
       if (v.shared_storage()) out.push_back(v.shared_storage().get());
+  }
+
+  /// Resident blocks PLUS transiently decoded demoted segments, for the
+  /// distinct-coordinate union scan (nvals here and in SnapshotSet).
+  /// `keepalive` owns the decoded blocks for as long as the pointers in
+  /// `out` are used.
+  void collect_count_blocks(
+      std::vector<const gbx::Dcsr<T>*>& out,
+      std::vector<std::shared_ptr<const gbx::Dcsr<T>>>& keepalive) const {
+    collect_blocks(out);
+    tier_.for_each_block([&](const matrix_type& m) {
+      keepalive.push_back(m.shared_storage());
+      out.push_back(keepalive.back().get());
+    });
   }
 
  private:
@@ -299,6 +367,7 @@ class HierSnapshot {
   std::vector<std::size_t> cuts_;
   HierStats stats_;
   std::uint64_t epoch_ = 0;
+  TierView<T, AddMonoid> tier_;
 };
 
 /// Per-part watermark: how much of that part's submitted sequence the
@@ -352,13 +421,10 @@ class SnapshotSet {
   /// bit-for-bit (delta extraction relies on this).
   std::optional<T> extract_element(gbx::Index i, gbx::Index j) const {
     std::optional<T> acc;
-    for (const auto& p : parts_) {
-      for (std::size_t l = 0; l < p.num_levels(); ++l) {
-        if (auto x = p.level(l).get(i, j)) {
-          acc = acc ? std::optional<T>(AddMonoid::apply(*acc, *x)) : x;
-        }
-      }
-    }
+    // One flat fold chain across all parts (each part continues it in
+    // its own canonical level/tier order) — pre-folding per part would
+    // re-associate the chain and break bit-identity with to_matrix().
+    for (const auto& p : parts_) p.fold_element_into(acc, i, j);
     return acc;
   }
 
@@ -369,7 +435,8 @@ class SnapshotSet {
   /// nothing is materialized.
   std::size_t nvals() const {
     std::vector<const gbx::Dcsr<T>*> bs;
-    collect_blocks(bs);
+    std::vector<std::shared_ptr<const gbx::Dcsr<T>>> keepalive;
+    for (const auto& p : parts_) p.collect_count_blocks(bs, keepalive);
     return detail::count_distinct_coords(std::move(bs));
   }
 
@@ -385,9 +452,7 @@ class SnapshotSet {
   matrix_type to_matrix() const {
     GBX_CHECK_VALUE(!parts_.empty(), "to_matrix on an empty snapshot set");
     matrix_type acc(parts_.front().nrows(), parts_.front().ncols());
-    for (const auto& p : parts_)
-      for (std::size_t i = 0; i < p.num_levels(); ++i)
-        acc.plus_assign(p.level(i));
+    for (const auto& p : parts_) p.fold_into(acc);
     return acc;
   }
 

@@ -1,6 +1,7 @@
 // store/store.hpp — umbrella header for the database baselines.
 #pragma once
 
+#include "store/block_store.hpp"
 #include "store/bloom.hpp"
 #include "store/btree_store.hpp"
 #include "store/kv_types.hpp"

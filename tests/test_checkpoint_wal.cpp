@@ -246,6 +246,123 @@ TEST(CheckpointWal, RestoreRejectsCorruptMagic) {
   EXPECT_THROW(hier::restore<double>(bad), gbx::Error);
 }
 
+// ---------------------------------------------------------------------------
+// Out-of-core tier vs crash recovery (ISSUE 7 satellite). Demotion moves
+// the cold bottom level's bytes into a block store, but durability still
+// belongs to checkpoint + WAL: hier::recover() never consults the store,
+// so a crash at ANY point of a demotion — mid-run with blocks half
+// written, or after the store write with the resident level already
+// released — recovers to the bit-identical Σ Ai from the log alone.
+// ---------------------------------------------------------------------------
+
+// Backend that dies at the Nth write (the crash point lands inside a
+// demotion's block loop).
+class DyingBackend final : public store::BlockBackend {
+ public:
+  explicit DyingBackend(std::uint64_t fail_at) : fail_at_(fail_at) {}
+  void write(store::BlockId id, const void* data, std::size_t size) override {
+    GBX_CHECK(++writes_ != fail_at_, "injected crash mid-demotion");
+    inner_.write(id, data, size);
+  }
+  bool read(store::BlockId id, std::string& out) override {
+    return inner_.read(id, out);
+  }
+  void erase(store::BlockId id) override { inner_.erase(id); }
+  std::vector<std::pair<store::BlockId, std::uint64_t>> entries()
+      const override {
+    return inner_.entries();
+  }
+
+ private:
+  store::MemBackend inner_;
+  std::uint64_t writes_ = 0, fail_at_;
+};
+
+TEST(CheckpointWal, RecoverAfterCrashMidDemotionIsBitIdentical) {
+  const auto cuts = CutPolicy::geometric(3, 256, 8);
+  const std::size_t pre = 5, post = 4, batch_size = 3000;
+
+  gen::KroneckerParams kp;
+  kp.scale = 17;
+  kp.seed = 123;
+  gen::KroneckerGenerator g(kp);
+
+  std::stringstream wal_ss, ckpt_ss;
+  hier::BatchWal<double> wal(wal_ss);
+
+  // Huge segments: one block per demotion. The second block write dies,
+  // so the first demotion succeeds and the final one crashes mid-run.
+  store::BlockStore bstore(std::make_unique<DyingBackend>(2));
+  HierMatrix<double> live(kDim, kDim, cuts);
+  hier::DemotionConfig dcfg;
+  dcfg.segment_bytes = 64u << 20;
+  live.enable_demotion(&bstore, dcfg);
+  HierMatrix<double> twin(kDim, kDim, cuts);  // never demotes, no WAL
+
+  for (std::size_t s = 0; s < pre; ++s) {
+    auto b = g.batch<double>(batch_size);
+    wal.log_and_update(live, b);
+    twin.update(b);
+  }
+  live.flush();
+  twin.flush();
+  ASSERT_TRUE(live.demote_now());  // succeeds (few blocks yet)
+  hier::checkpoint(ckpt_ss, live);  // checkpoint WHILE demoted
+
+  for (std::size_t s = 0; s < post; ++s) {
+    auto b = g.batch<double>(batch_size);
+    wal.log_and_update(live, b);
+    twin.update(b);
+  }
+  live.flush();
+  EXPECT_THROW(live.demote_now(), gbx::Error);  // crash mid-demotion
+
+  // --- process dies here; recover from checkpoint + full WAL only ---
+  hier::RecoveryReport rep;
+  auto recovered = hier::recover<double>(ckpt_ss, wal_ss, &rep);
+  EXPECT_EQ(rep.checkpoint_epoch, pre);
+  EXPECT_EQ(rep.replayed_records, post);
+  EXPECT_TRUE(gbx::equal(recovered.snapshot(), twin.snapshot()))
+      << "recovery diverged from the never-demoted twin";
+  EXPECT_EQ(recovered.epoch(), twin.epoch());
+}
+
+TEST(CheckpointWal, RecoverAfterCrashBetweenDemoteAndNextBatch) {
+  // The converse ordering: the demotion COMPLETED (store written,
+  // resident level released) and the process dies before anything else
+  // lands. The store's contents are irrelevant to recovery.
+  const auto cuts = CutPolicy::geometric(3, 256, 8);
+  const std::size_t pre = 6, batch_size = 3000;
+
+  gen::KroneckerParams kp;
+  kp.scale = 17;
+  kp.seed = 321;
+  gen::KroneckerGenerator g(kp);
+
+  std::stringstream wal_ss, ckpt_ss;
+  hier::BatchWal<double> wal(wal_ss);
+  auto bstore = store::make_mem_block_store();
+  HierMatrix<double> live(kDim, kDim, cuts);
+  live.enable_demotion(bstore.get());
+  HierMatrix<double> twin(kDim, kDim, cuts);
+
+  for (std::size_t s = 0; s < pre; ++s) {
+    auto b = g.batch<double>(batch_size);
+    wal.log_and_update(live, b);
+    twin.update(b);
+    if (s == 2) hier::checkpoint(ckpt_ss, live);
+  }
+  live.flush();
+  ASSERT_TRUE(live.demote_now());
+  ASSERT_TRUE(live.has_demoted());  // resident bottom gone, bytes in store
+
+  // --- crash; the block store evaporates with the process ---
+  auto recovered = hier::recover<double>(ckpt_ss, wal_ss);
+  EXPECT_TRUE(gbx::equal(recovered.snapshot(), twin.snapshot()));
+  EXPECT_TRUE(gbx::equal(recovered.snapshot(), live.snapshot()))
+      << "demotion must not change the logical value the WAL reproduces";
+}
+
 // --- RecordFrameDecoder: the incremental frame decoder under the
 // reader (and the network server's session codec). The contract under
 // test: arbitrarily short reads are never misclassified as corruption

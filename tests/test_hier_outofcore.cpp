@@ -1,0 +1,483 @@
+// Out-of-core tiering property tests (ISSUE 7): demoting the cold
+// bottom level into a store::BlockStore must be invisible to every
+// query path. The differential oracle is the same DenseRef replay the
+// other property suites use, plus a never-demoting twin matrix fed the
+// identical operation stream — randomized interleavings of update /
+// flush / collapse / demote / enforce_residency / freeze must leave
+// snapshot, extract_element, reduce, and to_matrix agreeing with both.
+//
+// Bit-exactness discipline: randomized values are small integers (exact
+// in every tested type), so fold regrouping at demote boundaries cannot
+// round — twin equality is exact. A separate test feeds arbitrary
+// doubles and checks the SELF-consistency contract instead: all read
+// paths of the demoted matrix agree bit-for-bit with each other.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gbx/gbx.hpp"
+#include "hier/hier.hpp"
+#include "prop_util.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Matrix;
+using gbx::Tuples;
+using hier::CutPolicy;
+using hier::DemotionConfig;
+using hier::HierMatrix;
+using hier::ShardedHier;
+
+// Visit every stored entry of a materialized matrix as f(i, j, v).
+template <class T, class M, class F>
+void for_each_entry(const Matrix<T, M>& m, F&& f) {
+  const auto& s = m.storage();
+  for (std::size_t r = 0; r < s.rows().size(); ++r)
+    for (auto p = s.ptr()[r]; p < s.ptr()[r + 1]; ++p)
+      f(s.rows()[r], s.cols()[p], s.vals()[p]);
+}
+
+// Small segments + few runs so modest streams exercise segmentation,
+// run accumulation, AND compaction.
+DemotionConfig small_segments(DemotionConfig::Directory dir) {
+  DemotionConfig cfg;
+  cfg.segment_bytes = 2048;
+  cfg.max_runs = 3;
+  cfg.directory = dir;
+  return cfg;
+}
+
+TEST(OutOfCore, DemoteMovesBottomLevelIntoStore) {
+  auto store = store::make_mem_block_store();
+  HierMatrix<std::int64_t> h(1u << 16, 1u << 16, CutPolicy({32, 256}));
+  h.enable_demotion(store.get(), small_segments(DemotionConfig::Directory::kBtree));
+
+  proptest::DenseRef<std::int64_t> ref;
+  std::mt19937_64 rng(7);
+  for (int s = 0; s < 6; ++s) {
+    auto b = proptest::random_batch<std::int64_t>(rng, 4096, 800);
+    h.update(b);
+    ref.apply(b);
+  }
+  h.flush();  // everything now lives in the bottom level
+  const std::size_t resident_before = h.memory_bytes();
+
+  ASSERT_TRUE(h.demote_now());
+  EXPECT_TRUE(h.has_demoted());
+  EXPECT_GT(h.store_bytes(), 0u);
+  EXPECT_GT(store->blocks(), 0u);
+  EXPECT_LT(h.memory_bytes(), resident_before);
+  EXPECT_EQ(h.level(h.num_levels() - 1).nvals_bound(), 0u);
+
+  // Every read path still sees the full value.
+  EXPECT_TRUE(ref.matches(h.freeze()));
+  EXPECT_EQ(h.nvals(), ref.nvals());
+  for (const auto& [k, v] : ref.cells())
+    EXPECT_EQ(h.extract_element(k.first, k.second).value(), v);
+}
+
+TEST(OutOfCore, EmptyBottomDemotesToNothing) {
+  auto store = store::make_mem_block_store();
+  HierMatrix<double> h(100, 100, CutPolicy({8}));
+  h.enable_demotion(store.get());
+  EXPECT_FALSE(h.demote_now());  // nothing to move
+  EXPECT_FALSE(h.has_demoted());
+  h.update(1, 2, 3.0);  // still in the hot level
+  h.flush();
+  EXPECT_TRUE(h.demote_now());
+  EXPECT_FALSE(h.demote_now());  // bottom emptied by the first demote
+  EXPECT_DOUBLE_EQ(h.extract_element(1, 2).value(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interleaving property, parameterized over fold monoid and
+// directory kind. A never-demoting twin receives the identical stream;
+// values are small integers so the fold is bit-associative and twin
+// equality is exact.
+// ---------------------------------------------------------------------------
+
+template <class M>
+void interleaving_property(std::uint64_t pinned,
+                           DemotionConfig::Directory dir) {
+  HHGBX_PROP_SEED(seed, pinned);
+  using T = typename M::value_type;
+  const Index dim = 1024;
+  std::mt19937_64 rng(seed);
+
+  auto store = store::make_mem_block_store();
+  HierMatrix<T, M> h(dim, dim, CutPolicy({24, 192}));
+  h.enable_demotion(store.get(), small_segments(dir));
+  HierMatrix<T, M> twin(dim, dim, CutPolicy({24, 192}));
+  proptest::DenseRef<T, M> ref;
+
+  std::uniform_int_distribution<int> op(0, 99);
+  std::uniform_int_distribution<std::size_t> nbatch(1, 400);
+  for (int step = 0; step < 250; ++step) {
+    const int o = op(rng);
+    if (o < 60) {
+      auto b = proptest::random_batch<T>(rng, dim, nbatch(rng));
+      h.update(b);
+      twin.update(b);
+      ref.apply(b);
+    } else if (o < 70) {
+      ASSERT_TRUE(h.demotion_enabled());
+      h.demote_now();
+    } else if (o < 78) {
+      // Byte budgets below the current footprint force flush+demote.
+      h.enforce_residency(h.memory_bytes() / 2);
+    } else if (o < 84) {
+      h.flush();
+      twin.flush();
+    } else if (o < 88) {
+      (void)h.collapse();
+      (void)twin.collapse();
+    } else {
+      // Interleaved queries must not perturb anything.
+      auto snap = h.freeze();
+      const Index i = static_cast<Index>(rng() % dim);
+      const Index j = static_cast<Index>(rng() % dim);
+      auto got = snap.extract_element(i, j);
+      auto it = ref.cells().find({i, j});
+      if (it == ref.cells().end()) {
+        EXPECT_FALSE(got.has_value()) << "(" << i << "," << j << ")";
+      } else {
+        ASSERT_TRUE(got.has_value()) << "(" << i << "," << j << ")";
+        EXPECT_EQ(*got, it->second) << "(" << i << "," << j << ")";
+      }
+    }
+  }
+
+  ASSERT_TRUE(ref.matches(h.freeze()));
+  EXPECT_EQ(h.nvals(), ref.nvals());
+  EXPECT_TRUE(gbx::equal(h.snapshot(), twin.snapshot()))
+      << "demotion changed the accumulated value";
+}
+
+TEST(OutOfCoreInterleaving, PlusInt64Btree) {
+  interleaving_property<gbx::PlusMonoid<std::int64_t>>(
+      101, DemotionConfig::Directory::kBtree);
+}
+TEST(OutOfCoreInterleaving, PlusInt64Lsm) {
+  interleaving_property<gbx::PlusMonoid<std::int64_t>>(
+      102, DemotionConfig::Directory::kLsm);
+}
+TEST(OutOfCoreInterleaving, MinInt64Btree) {
+  interleaving_property<gbx::MinMonoid<std::int64_t>>(
+      103, DemotionConfig::Directory::kBtree);
+}
+TEST(OutOfCoreInterleaving, MaxInt64Lsm) {
+  interleaving_property<gbx::MaxMonoid<std::int64_t>>(
+      104, DemotionConfig::Directory::kLsm);
+}
+TEST(OutOfCoreInterleaving, PlusDoubleBtree) {
+  // Small-integer-valued doubles: exactly representable, so plus stays
+  // bit-associative and the twin comparison is still exact.
+  interleaving_property<gbx::PlusMonoid<double>>(
+      105, DemotionConfig::Directory::kBtree);
+}
+
+// ---------------------------------------------------------------------------
+// Self-consistency with arbitrary float values: whatever demotion did
+// to the fold grouping, every read path of THIS matrix must agree with
+// every other bit-for-bit (the unconditional half of the contract).
+// ---------------------------------------------------------------------------
+
+TEST(OutOfCore, ReadPathsAgreeBitExactlyOnArbitraryDoubles) {
+  HHGBX_PROP_SEED(seed, 77);
+  const Index dim = 512;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_int_distribution<Index> coord(0, dim - 1);
+
+  auto store = store::make_mem_block_store();
+  HierMatrix<double> h(dim, dim, CutPolicy({16, 128}));
+  auto cfg = small_segments(DemotionConfig::Directory::kBtree);
+  cfg.max_runs = 100;  // keep the runs un-merged: distinct fold chains
+  h.enable_demotion(store.get(), cfg);
+  for (int s = 0; s < 12; ++s) {
+    Tuples<double> b;
+    for (int k = 0; k < 600; ++k) b.push_back(coord(rng), coord(rng), val(rng));
+    h.update(b);
+    if (s % 3 == 2) h.demote_now();  // several runs, un-merged chains
+  }
+  ASSERT_TRUE(h.has_demoted());
+  ASSERT_GT(h.tier().num_runs(), 1u);
+
+  auto snap = h.freeze();
+  auto m = snap.to_matrix();
+  EXPECT_EQ(snap.nvals(), m.nvals());
+  std::size_t checked = 0;
+  for_each_entry(m, [&](Index i, Index j, double v) {
+    const auto a = snap.extract_element(i, j);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, v) << "extract vs to_matrix differ at (" << i << "," << j
+                     << ")";
+    const auto b = h.extract_element(i, j);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, v);
+    ++checked;
+  });
+  EXPECT_EQ(checked, m.nvals());
+  // reduce() folds per-block partial sums (documented partial-value
+  // caveat) — numerically equivalent, not bit-identical, for floats.
+  EXPECT_NEAR(snap.reduce(),
+              gbx::reduce_scalar<gbx::PlusMonoid<double>>(m.view()), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction: run-count bound, value preservation, and RAII block GC —
+// a live snapshot pins the pre-compaction image; blocks are reclaimed
+// only when it dies.
+// ---------------------------------------------------------------------------
+
+TEST(OutOfCore, CompactionBoundsRunsAndReclaimsBlocksAfterReaders) {
+  auto store = store::make_mem_block_store();
+  HierMatrix<std::int64_t> h(2048, 2048, CutPolicy({16}));
+  auto cfg = small_segments(DemotionConfig::Directory::kBtree);
+  h.enable_demotion(store.get(), cfg);
+
+  proptest::DenseRef<std::int64_t> ref;
+  std::mt19937_64 rng(13);
+
+  // Pin a snapshot mid-stream, then keep demoting past max_runs so a
+  // compaction happens underneath it.
+  hier::HierSnapshot<std::int64_t> pinned;
+  proptest::DenseRef<std::int64_t> pinned_ref;
+  for (int s = 0; s < 10; ++s) {
+    auto b = proptest::random_batch<std::int64_t>(rng, 2048, 500);
+    h.update(b);
+    ref.apply(b);
+    h.flush();
+    ASSERT_TRUE(h.demote_now());
+    if (s == 4) {
+      pinned = h.freeze();
+      pinned_ref = ref;
+    }
+  }
+  EXPECT_LE(h.tier().num_runs(), cfg.max_runs);
+  EXPECT_GE(h.tier().stats().compactions, 1u);
+  EXPECT_EQ(h.tier().stats().demotions, 10u);
+
+  // The pinned reader still sees its epoch exactly, through blocks that
+  // compaction superseded.
+  ASSERT_TRUE(pinned_ref.matches(pinned));
+  const std::size_t blocks_while_pinned = store->blocks();
+
+  // Dropping the last reference to the old image erases its blocks.
+  pinned = hier::HierSnapshot<std::int64_t>();
+  EXPECT_LT(store->blocks(), blocks_while_pinned);
+  ASSERT_TRUE(ref.matches(h.freeze()));
+}
+
+TEST(OutOfCore, CollapsePromotesTierBackAndReleasesStore) {
+  auto store = store::make_mem_block_store();
+  HierMatrix<std::int64_t> h(1024, 1024, CutPolicy({16, 64}));
+  h.enable_demotion(store.get(),
+                    small_segments(DemotionConfig::Directory::kLsm));
+  proptest::DenseRef<std::int64_t> ref;
+  std::mt19937_64 rng(21);
+  for (int s = 0; s < 6; ++s) {
+    auto b = proptest::random_batch<std::int64_t>(rng, 1024, 700);
+    h.update(b);
+    ref.apply(b);
+    if (s % 2 == 1) h.demote_now();
+  }
+  ASSERT_TRUE(h.has_demoted());
+
+  const auto& collapsed = h.collapse();
+  EXPECT_FALSE(h.has_demoted());
+  EXPECT_EQ(store->blocks(), 0u);  // no snapshots outstanding: all GC'd
+  EXPECT_EQ(h.store_bytes(), 0u);
+  ASSERT_TRUE(ref.matches(collapsed));
+  ASSERT_TRUE(ref.matches(h.freeze()));
+}
+
+// ---------------------------------------------------------------------------
+// MemoryGovernor live budget: streaming ingest with enforce_on_write
+// keeps resident bytes near the budget by demoting, and the stream's
+// value survives untouched.
+// ---------------------------------------------------------------------------
+
+TEST(OutOfCore, GovernorLiveBudgetDemotesDuringIngest) {
+  HHGBX_PROP_SEED(seed, 301);
+  const Index dim = 1u << 16;
+  std::mt19937_64 rng(seed);
+
+  auto store = store::make_mem_block_store();
+  HierMatrix<std::int64_t> h(dim, dim, CutPolicy({256, 2048}));
+  h.enable_demotion(store.get(),
+                    small_segments(DemotionConfig::Directory::kBtree));
+
+  // First pass (no governor) to learn the stream's natural footprint.
+  proptest::DenseRef<std::int64_t> ref;
+  std::vector<Tuples<std::int64_t>> batches;
+  for (int s = 0; s < 30; ++s) {
+    batches.push_back(proptest::random_batch<std::int64_t>(rng, 8192, 1500));
+    ref.apply(batches.back());
+  }
+
+  hier::GovernorConfig cfg;
+  cfg.live_budget_bytes = 256u << 10;
+  cfg.enforce_on_write = true;
+  hier::MemoryGovernor<HierMatrix<std::int64_t>> gov(h, cfg);
+
+  for (const auto& b : batches) h.update(b);
+
+  const auto st = gov.stats();
+  EXPECT_GT(st.demotions, 0u);
+  EXPECT_GT(h.store_bytes(), 0u);
+  // The budget holds at batch granularity: after the last enforcement
+  // either the resident side fits, or everything compressible has been
+  // demoted and only warm-capacity buffers remain (enforce_residency's
+  // floor — capacity is retained so the hot levels stay fast).
+  gov.enforce();
+  EXPECT_TRUE(h.memory_bytes() <=
+                  static_cast<std::size_t>(cfg.live_budget_bytes) ||
+              h.level(h.num_levels() - 1).empty())
+      << "resident " << h.memory_bytes() << " over budget with a non-empty "
+      << "bottom level still resident";
+  ASSERT_TRUE(ref.matches(h.freeze()));
+}
+
+TEST(OutOfCore, ShardedHierDemotionMatchesSingleMatrix) {
+  HHGBX_PROP_SEED(seed, 302);
+  const Index dim = 1u << 16;
+  std::mt19937_64 rng(seed);
+
+  auto store = store::make_mem_block_store();
+  ShardedHier<std::int64_t> sharded(8, dim, dim, CutPolicy({64, 512}));
+  sharded.enable_demotion(store.get(),
+                          small_segments(DemotionConfig::Directory::kBtree));
+  HierMatrix<std::int64_t> single(dim, dim, CutPolicy({64, 512}));
+
+  for (int s = 0; s < 20; ++s) {
+    auto b = proptest::random_batch<std::int64_t>(rng, 8192, 1200);
+    sharded.update(b);
+    single.update(b);
+    if (s % 4 == 3) sharded.enforce_residency(sharded.memory_bytes() / 2);
+  }
+  EXPECT_TRUE(sharded.has_demoted());
+  EXPECT_GT(sharded.store_bytes(), 0u);
+  EXPECT_TRUE(gbx::equal(sharded.snapshot(), single.snapshot()));
+
+  // SnapshotSet point reads continue one flat fold chain across parts
+  // and the demoted runs inside each part.
+  auto set = sharded.freeze();
+  auto m = single.snapshot();
+  std::size_t n = 0;
+  for_each_entry(m, [&](Index i, Index j, std::int64_t v) {
+    if (++n > 2000) return;  // sample; full equality checked above
+    EXPECT_EQ(set.extract_element(i, j).value(), v);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend end-to-end: the tier over a real file, with a cache small
+// enough that reads actually hit the disk path, plus vacuum reclaim.
+// ---------------------------------------------------------------------------
+
+TEST(OutOfCore, FileBackedTierSurvivesCacheChurnAndVacuum) {
+  const std::string path = testing::TempDir() + "hhgbx_outofcore_blocks.bin";
+  std::remove(path.c_str());
+  {
+    store::BlockStoreConfig scfg;
+    scfg.cache_budget_bytes = 4096;  // force backend reads
+    auto store = store::make_file_block_store(path, scfg);
+
+    HierMatrix<std::int64_t> h(4096, 4096, CutPolicy({32}));
+    auto cfg = small_segments(DemotionConfig::Directory::kBtree);
+    h.enable_demotion(store.get(), cfg);
+    proptest::DenseRef<std::int64_t> ref;
+    std::mt19937_64 rng(31);
+    for (int s = 0; s < 8; ++s) {
+      auto b = proptest::random_batch<std::int64_t>(rng, 4096, 900);
+      h.update(b);
+      ref.apply(b);
+      h.flush();
+      ASSERT_TRUE(h.demote_now());
+    }
+    ASSERT_TRUE(ref.matches(h.freeze()));
+    const auto st = store->stats();
+    EXPECT_GT(st.cache_misses, 0u) << "cache too big to exercise the file";
+
+    // Compactions superseded blocks; vacuum rewrites only live frames.
+    auto& fb = static_cast<store::FileBackend&>(store->backend());
+    const auto before = fb.file_bytes();
+    fb.vacuum();
+    EXPECT_LT(fb.file_bytes(), before);
+    ASSERT_TRUE(ref.matches(h.freeze()));  // reads fine after the rewrite
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints of a demoted matrix are self-contained: restore() needs
+// no block store and reproduces the full logical value.
+// ---------------------------------------------------------------------------
+
+TEST(OutOfCore, CheckpointOfDemotedMatrixIsSelfContained) {
+  auto store = store::make_mem_block_store();
+  HierMatrix<std::int64_t> h(1u << 14, 1u << 14, CutPolicy({32, 256}));
+  h.enable_demotion(store.get(),
+                    small_segments(DemotionConfig::Directory::kBtree));
+  proptest::DenseRef<std::int64_t> ref;
+  std::mt19937_64 rng(41);
+  for (int s = 0; s < 8; ++s) {
+    auto b = proptest::random_batch<std::int64_t>(rng, 4096, 800);
+    h.update(b);
+    ref.apply(b);
+    if (s % 2 == 1) h.enforce_residency(0);
+  }
+  ASSERT_TRUE(h.has_demoted());
+
+  // Through the HierMatrix overload...
+  std::stringstream ss;
+  hier::checkpoint(ss, h);
+  auto restored = hier::restore<std::int64_t>(ss);
+  EXPECT_FALSE(restored.demotion_enabled());
+  EXPECT_TRUE(gbx::equal(restored.snapshot(), h.snapshot()));
+  ASSERT_TRUE(ref.matches(restored.freeze()));
+  EXPECT_EQ(restored.epoch(), h.epoch());
+
+  // ...and through the snapshot overload (reader-thread checkpoints).
+  std::stringstream ss2;
+  hier::checkpoint(ss2, h.freeze());
+  auto restored2 = hier::restore<std::int64_t>(ss2);
+  EXPECT_TRUE(gbx::equal(restored2.snapshot(), h.snapshot()));
+
+  // The restored matrix keeps streaming like any other.
+  auto b = proptest::random_batch<std::int64_t>(rng, 4096, 500);
+  restored.update(b);
+  h.update(b);
+  EXPECT_TRUE(gbx::equal(restored.snapshot(), h.snapshot()));
+}
+
+// Bloom guard: point probes for rows that never demoted skip the
+// directory entirely (the negative fast path actually fires).
+TEST(OutOfCore, BloomGuardSkipsAbsentRows) {
+  auto store = store::make_mem_block_store();
+  HierMatrix<std::int64_t> h(1u << 20, 1u << 20, CutPolicy({16}));
+  h.enable_demotion(store.get(),
+                    small_segments(DemotionConfig::Directory::kBtree));
+  // Demoted rows all live in [0, 64).
+  for (Index i = 0; i < 64; ++i) h.update(i, i, 1);
+  h.flush();
+  ASSERT_TRUE(h.demote_now());
+
+  auto snap = h.freeze();
+  for (Index i = 0; i < 4096; ++i)
+    (void)snap.extract_element((1u << 19) + i, 0);  // far from demoted rows
+  const auto& dir = h.tier().directory();
+  EXPECT_GT(dir.probes(), 4000u);
+  // ~1% false positives configured; 4096 probes should overwhelmingly
+  // short-circuit. Loose bound: at least half.
+  EXPECT_GT(dir.bloom_negatives(), dir.probes() / 2);
+}
+
+}  // namespace

@@ -103,4 +103,30 @@ TEST(LsmBloom, LookupsStillCorrectWithBloom) {
     EXPECT_DOUBLE_EQ(s.get({k.first, k.second}).value(), v);
 }
 
+// The out-of-core tier directory keys its row filter as Key{row, 0}
+// regardless of which run holds the row. The convention must never
+// produce a false negative for any added row.
+TEST(Bloom, RowKeyConventionNoFalseNegatives) {
+  store::BloomFilter f(4096, 0.01);
+  std::mt19937_64 rng(17);
+  std::vector<gbx::Index> rows;
+  for (int k = 0; k < 4000; ++k) {
+    rows.push_back(static_cast<gbx::Index>(rng() % (1ull << 40)));
+    f.add(store::Key{rows.back(), 0});
+  }
+  for (const auto r : rows)
+    ASSERT_TRUE(f.may_contain(store::Key{r, 0})) << "row " << r;
+}
+
+// Saturation (10x the sizing capacity) erodes the false-positive rate,
+// never the no-false-negative guarantee — the property the tier's
+// rebuild-at-2x policy protects, checked well past that threshold.
+TEST(Bloom, SaturationNeverFalseNegative) {
+  const std::size_t capacity = 512;
+  store::BloomFilter f(capacity, 0.01);
+  for (gbx::Index k = 0; k < 10 * capacity; ++k) f.add(store::Key{k, 0});
+  for (gbx::Index k = 0; k < 10 * capacity; ++k)
+    ASSERT_TRUE(f.may_contain(store::Key{k, 0})) << k;
+}
+
 }  // namespace

@@ -129,6 +129,68 @@ TEST_P(BTreeFuzz, MatchesMapModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzz, ::testing::Values(1u, 2u, 3u, 4u));
 
+// Zero is a value, not absence: the accumulate semantics must keep a
+// key inserted with 0.0 distinguishable from a key never inserted (the
+// out-of-core tier stores block id 0... never, but monoid identities do
+// land in stores).
+TEST(BTree, ZeroValuesAreStoredNotAbsent) {
+  BTreeStore t;
+  t.insert({7, 7}, 0.0);
+  ASSERT_TRUE(t.get({7, 7}).has_value());
+  EXPECT_DOUBLE_EQ(t.get({7, 7}).value(), 0.0);
+  EXPECT_EQ(t.size(), 1u);
+  t.insert({7, 7}, 0.0);
+  EXPECT_DOUBLE_EQ(t.get({7, 7}).value(), 0.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.get({7, 8}).has_value());
+}
+
+// The out-of-core tier directory stores Key{row, run} -> block id as a
+// double. Ordinals must round-trip exactly up to the 2^53 contiguous-
+// integer limit the tier checks against.
+TEST(BTree, DirectoryShapedKeysRoundTripLargeOrdinals) {
+  BTreeStore t;
+  const std::uint64_t kMax = (1ull << 53) - 1;
+  const std::uint64_t ids[] = {1, 255, 1ull << 20, 1ull << 40, kMax};
+  gbx::Index row = 0;
+  for (const auto id : ids)
+    t.insert({row++, 3}, static_cast<store::Value>(id));
+  row = 0;
+  for (const auto id : ids) {
+    const auto v = t.get({row++, 3});
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(static_cast<std::uint64_t>(*v), id);
+  }
+  // One row in several runs: distinct keys, adjacent in scan order.
+  t.insert({100, 1}, 10.0);
+  t.insert({100, 9}, 90.0);
+  t.insert({100, 4}, 40.0);
+  std::vector<std::uint64_t> runs;
+  t.scan([&](const Key& k, store::Value) {
+    if (k.row == 100) runs.push_back(k.col);
+  });
+  EXPECT_EQ(runs, (std::vector<std::uint64_t>{1, 4, 9}));
+}
+
+// Exactly-at-fanout boundaries: the first split, and a payload sized to
+// land a leaf exactly full.
+TEST(BTree, FanoutBoundaryPayloads) {
+  for (const std::size_t n :
+       {BTreeStore::kFanout - 1, BTreeStore::kFanout, BTreeStore::kFanout + 1,
+        2 * BTreeStore::kFanout}) {
+    BTreeStore t;
+    for (gbx::Index k = 0; k < n; ++k) t.insert({k, k}, static_cast<double>(k));
+    EXPECT_EQ(t.size(), n);
+    EXPECT_TRUE(t.validate()) << "n=" << n;
+    for (gbx::Index k = 0; k < n; ++k)
+      ASSERT_DOUBLE_EQ(t.get({k, k}).value(), static_cast<double>(k));
+    // The split fires on the insert that finds its leaf full — i.e. at
+    // n == kFanout, not past it.
+    EXPECT_EQ(t.stats().leaf_splits > 0, n >= BTreeStore::kFanout)
+        << "n=" << n;
+  }
+}
+
 TEST(PublishedRates, LogLogInterpolation) {
   // Rates must interpolate monotonically on the published spans.
   for (const auto& s : store::kPublishedSeries) {

@@ -142,4 +142,73 @@ TEST_P(LsmFuzz, MatchesMapModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LsmFuzz, ::testing::Values(1u, 2u, 3u));
 
+// Zero values must survive every layer transition — a 0.0 in the
+// memtable, flushed to a run, merged by compaction, is still a present
+// entry, never dropped as "empty".
+TEST(Lsm, ZeroValuesSurviveFlushAndCompaction) {
+  LsmOptions opt;
+  opt.memtable_limit = 4;
+  LsmStore s(opt);
+  s.insert({1, 1}, 0.0);
+  s.flush();
+  ASSERT_TRUE(s.get({1, 1}).has_value());
+  EXPECT_DOUBLE_EQ(s.get({1, 1}).value(), 0.0);
+  s.insert({1, 1}, 2.0);   // combines with the flushed zero
+  s.insert({2, 2}, -2.0);
+  s.insert({2, 2}, 2.0);   // sums to zero across two memtable inserts
+  s.flush();
+  s.major_compact();
+  EXPECT_DOUBLE_EQ(s.get({1, 1}).value(), 2.0);
+  ASSERT_TRUE(s.get({2, 2}).has_value());
+  EXPECT_DOUBLE_EQ(s.get({2, 2}).value(), 0.0);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+// The exact memtable-limit boundary: N distinct keys sit resident; the
+// insert crossing the limit triggers the flush.
+TEST(Lsm, ExactMemtableLimitBoundary) {
+  LsmOptions opt;
+  opt.memtable_limit = 8;
+  LsmStore s(opt);
+  for (gbx::Index k = 0; k < 7; ++k) s.insert({k, 0}, 1.0);
+  EXPECT_EQ(s.num_runs(), 0u);
+  EXPECT_EQ(s.memtable_entries(), 7u);
+  s.insert({7, 0}, 1.0);  // at the limit
+  const auto runs_at_limit = s.num_runs();
+  s.insert({8, 0}, 1.0);
+  EXPECT_GE(s.num_runs(), 1u);  // the boundary crossing flushed
+  EXPECT_LE(runs_at_limit, 1u);
+  // A duplicate key does not grow the memtable past the limit either.
+  for (int i = 0; i < 100; ++i) s.insert({8, 0}, 1.0);
+  EXPECT_LE(s.memtable_entries(), 8u);
+  for (gbx::Index k = 0; k < 8; ++k)
+    EXPECT_DOUBLE_EQ(s.get({k, 0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(s.get({8, 0}).value(), 101.0);
+}
+
+// Reopen-after-crash analogue for the WAL-less configuration the tier
+// directory uses: merged_view() is the full durable image; a store
+// rebuilt from it answers identically (the recovery path of anything
+// persisting LSM contents wholesale).
+TEST(Lsm, RebuildFromMergedViewMatches) {
+  LsmOptions opt;
+  opt.memtable_limit = 16;
+  opt.enable_wal = false;
+  LsmStore s(opt);
+  std::mt19937_64 rng(29);
+  std::uniform_int_distribution<gbx::Index> coord(0, 127);
+  for (int k = 0; k < 3000; ++k)
+    s.insert({coord(rng), coord(rng)}, static_cast<double>(k % 7));
+
+  LsmStore rebuilt(opt);
+  for (const auto& [key, val] : s.merged_view()) rebuilt.insert(key, val);
+
+  EXPECT_EQ(rebuilt.size(), s.size());
+  s.scan([&](const Key& k, store::Value v) {
+    auto got = rebuilt.get(k);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(*got, v);
+  });
+}
+
 }  // namespace
