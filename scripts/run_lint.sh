@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Diff-aware clang-tidy driver.
+#
+#   scripts/run_lint.sh             # lint files changed vs origin/main (or HEAD~1)
+#   scripts/run_lint.sh --all       # lint every source file
+#   scripts/run_lint.sh src/a.cpp   # lint specific files
+#
+# Needs a compile_commands.json; generates one into build-tidy/ if no
+# build directory has it yet. Degrades gracefully (exit 0 with a notice)
+# when clang-tidy is not installed, so pre-push hooks can call it
+# unconditionally.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO}"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "run_lint: ${TIDY} not found; skipping (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+# Locate (or create) compile_commands.json.
+DB_DIR=""
+for d in build build-tidy build-*; do
+  if [[ -f "${d}/compile_commands.json" ]]; then
+    DB_DIR="${d}"
+    break
+  fi
+done
+if [[ -z "${DB_DIR}" ]]; then
+  echo "run_lint: generating compile_commands.json in build-tidy/" >&2
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DHHGBX_BUILD_BENCH=OFF -DHHGBX_BUILD_EXAMPLES=OFF >/dev/null
+  DB_DIR="build-tidy"
+fi
+
+# Pick the file set.
+declare -a FILES=()
+if [[ $# -gt 0 && "$1" == "--all" ]]; then
+  while IFS= read -r f; do FILES+=("$f"); done \
+    < <(git ls-files 'src/**/*.cpp' 'src/*.cpp' 'tests/*.cpp')
+elif [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  BASE="$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse HEAD~1 2>/dev/null || echo '')"
+  if [[ -n "${BASE}" ]]; then
+    while IFS= read -r f; do
+      [[ "$f" == *.cpp || "$f" == *.hpp ]] && FILES+=("$f")
+    done < <(git diff --name-only --diff-filter=d "${BASE}" -- 'src/' 'tests/')
+  fi
+fi
+
+# Headers have no compile command of their own; lint them through every
+# TU that includes them (HeaderFilterRegex covers src/). Swap each .hpp
+# for the TUs that pull it in.
+declare -a TUS=()
+for f in "${FILES[@]}"; do
+  case "$f" in
+    *.cpp) TUS+=("$f") ;;
+    *.hpp)
+      base="$(basename "$f")"
+      while IFS= read -r tu; do TUS+=("$tu"); done \
+        < <(grep -rl --include='*.cpp' "${base}" src/ tests/ 2>/dev/null || true)
+      ;;
+  esac
+done
+
+if [[ ${#TUS[@]} -eq 0 ]]; then
+  echo "run_lint: nothing to lint"
+  exit 0
+fi
+
+# De-dup while keeping order.
+declare -a UNIQ=()
+declare -A SEEN=()
+for tu in "${TUS[@]}"; do
+  if [[ -z "${SEEN[$tu]:-}" ]]; then
+    SEEN[$tu]=1
+    UNIQ+=("$tu")
+  fi
+done
+
+echo "run_lint: ${#UNIQ[@]} translation unit(s) via ${DB_DIR}/compile_commands.json"
+"${TIDY}" -p "${DB_DIR}" --quiet "${UNIQ[@]}"
+echo "run_lint: clean"

@@ -18,6 +18,7 @@
 
 #include "assoc/assoc.hpp"
 #include "cluster/workload.hpp"
+#include "gbx/tsan_omp.hpp"
 #include "gen/gen.hpp"
 #include "hier/hier.hpp"
 #include "store/store.hpp"
@@ -51,28 +52,33 @@ RunResult run_instances(
   const int ambient_threads = omp_get_max_threads();
   const double t0 = omp_get_wtime();
 
-#pragma omp parallel for schedule(static) num_threads(static_cast<int>(instances))
-  for (std::size_t p = 0; p < instances; ++p) {
-    // Each instance is strictly single-threaded, like one of the paper's
-    // processes: gbx kernels called from here must not spawn nested
-    // teams (they would for P=1, where the enclosing one-thread region
-    // counts as inactive), or per-instance rates would not be comparable
-    // across instance counts.
-    omp_set_num_threads(1);
-    gen::PowerLawParams pp;
-    pp.scale = w.scale;
-    pp.alpha = w.alpha;
-    pp.dim = w.dim;
-    pp.seed = w.seed + p;
-    gen::PowerLawGenerator g(pp);
-    State state = make(p);
-    gbx::Tuples<double> batch;
-    for (std::size_t s = 0; s < w.sets; ++s) {
-      batch.clear();
-      g.batch(w.set_size, batch);          // untimed: workload generation
-      const double b0 = omp_get_wtime();
-      update(state, batch);                // timed: the streaming insert
-      busy[p] += omp_get_wtime() - b0;
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel num_threads(static_cast<int>(instances))
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (std::size_t p = 0; p < instances; ++p) {
+      // Each instance is strictly single-threaded, like one of the paper's
+      // processes: gbx kernels called from here must not spawn nested
+      // teams (they would for P=1, where the enclosing one-thread region
+      // counts as inactive), or per-instance rates would not be comparable
+      // across instance counts.
+      omp_set_num_threads(1);
+      gen::PowerLawParams pp;
+      pp.scale = w.scale;
+      pp.alpha = w.alpha;
+      pp.dim = w.dim;
+      pp.seed = w.seed + p;
+      gen::PowerLawGenerator g(pp);
+      State state = make(p);
+      gbx::Tuples<double> batch;
+      for (std::size_t s = 0; s < w.sets; ++s) {
+        batch.clear();
+        g.batch(w.set_size, batch);          // untimed: workload generation
+        const double b0 = omp_get_wtime();
+        update(state, batch);                // timed: the streaming insert
+        busy[p] += omp_get_wtime() - b0;
+      }
     }
   }
 

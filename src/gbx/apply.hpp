@@ -7,6 +7,7 @@
 
 #include "gbx/matrix.hpp"
 #include "gbx/ops.hpp"
+#include "gbx/tsan_omp.hpp"
 
 namespace gbx {
 
@@ -16,9 +17,15 @@ Matrix<T, M> apply(const Matrix<T, M>& A) {
   const Dcsr<T>& s = A.storage();
   Dcsr<T> c = s;
   auto& vals = c.mutable_vals();
-#pragma omp parallel for schedule(static)
-  for (std::size_t p = 0; p < vals.size(); ++p)
-    vals[p] = UnaryOpT::apply(vals[p]);
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (std::size_t p = 0; p < vals.size(); ++p) {
+      vals[p] = UnaryOpT::apply(vals[p]);
+    }
+  }
   return Matrix<T, M>::adopt(A.nrows(), A.ncols(), std::move(c));
 }
 
@@ -29,8 +36,15 @@ Matrix<T, M> apply_fn(const Matrix<T, M>& A, const F& f) {
   const Dcsr<T>& s = A.storage();
   Dcsr<T> c = s;
   auto& vals = c.mutable_vals();
-#pragma omp parallel for schedule(static)
-  for (std::size_t p = 0; p < vals.size(); ++p) vals[p] = f.apply(vals[p]);
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (std::size_t p = 0; p < vals.size(); ++p) {
+      vals[p] = f.apply(vals[p]);
+    }
+  }
   return Matrix<T, M>::adopt(A.nrows(), A.ncols(), std::move(c));
 }
 

@@ -17,6 +17,7 @@
 #include "gbx/dcsr.hpp"
 #include "gbx/parallel.hpp"
 #include "gbx/scratch.hpp"
+#include "gbx/tsan_omp.hpp"
 
 namespace gbx {
 
@@ -152,20 +153,25 @@ void ewise_add_into(const Dcsr<T>& A, const Dcsr<T>& B, Dcsr<T>& C,
   auto& cp = C.mutable_ptr();
   cp.resize(nr + 1);
   cp[0] = 0;
-#pragma omp parallel for schedule(guided)
-  for (std::size_t k = 0; k < nr; ++k) {
-    const std::size_t a = ia[k], b = ib[k];
-    std::size_t cnt;
-    if (a == detail::kNoRow) {
-      cnt = static_cast<std::size_t>(B.ptr()[b + 1] - B.ptr()[b]);
-    } else if (b == detail::kNoRow) {
-      cnt = static_cast<std::size_t>(A.ptr()[a + 1] - A.ptr()[a]);
-    } else {
-      cnt = detail::union_count(
-          A.cols().subspan(A.ptr()[a], A.ptr()[a + 1] - A.ptr()[a]),
-          B.cols().subspan(B.ptr()[b], B.ptr()[b + 1] - B.ptr()[b]));
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(guided)
+    for (std::size_t k = 0; k < nr; ++k) {
+      const std::size_t a = ia[k], b = ib[k];
+      std::size_t cnt;
+      if (a == detail::kNoRow) {
+        cnt = static_cast<std::size_t>(B.ptr()[b + 1] - B.ptr()[b]);
+      } else if (b == detail::kNoRow) {
+        cnt = static_cast<std::size_t>(A.ptr()[a + 1] - A.ptr()[a]);
+      } else {
+        cnt = detail::union_count(
+            A.cols().subspan(A.ptr()[a], A.ptr()[a + 1] - A.ptr()[a]),
+            B.cols().subspan(B.ptr()[b], B.ptr()[b + 1] - B.ptr()[b]));
+      }
+      cp[k + 1] = cnt;
     }
-    cp[k + 1] = cnt;
   }
   for (std::size_t k = 0; k < nr; ++k) cp[k + 1] += cp[k];
 
@@ -176,46 +182,51 @@ void ewise_add_into(const Dcsr<T>& A, const Dcsr<T>& B, Dcsr<T>& C,
   // Pass 2: fill.
   auto& cc = C.mutable_cols();
   auto& cv = C.mutable_vals();
-#pragma omp parallel for schedule(guided)
-  for (std::size_t k = 0; k < nr; ++k) {
-    Offset w = cp[k];
-    const std::size_t a = ia[k], b = ib[k];
-    if (a == detail::kNoRow) {
-      for (Offset p = B.ptr()[b]; p < B.ptr()[b + 1]; ++p, ++w) {
-        cc[w] = B.cols()[p];
-        cv[w] = B.vals()[p];
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(guided)
+    for (std::size_t k = 0; k < nr; ++k) {
+      Offset w = cp[k];
+      const std::size_t a = ia[k], b = ib[k];
+      if (a == detail::kNoRow) {
+        for (Offset p = B.ptr()[b]; p < B.ptr()[b + 1]; ++p, ++w) {
+          cc[w] = B.cols()[p];
+          cv[w] = B.vals()[p];
+        }
+        continue;
       }
-      continue;
-    }
-    if (b == detail::kNoRow) {
-      for (Offset p = A.ptr()[a]; p < A.ptr()[a + 1]; ++p, ++w) {
-        cc[w] = A.cols()[p];
-        cv[w] = A.vals()[p];
+      if (b == detail::kNoRow) {
+        for (Offset p = A.ptr()[a]; p < A.ptr()[a + 1]; ++p, ++w) {
+          cc[w] = A.cols()[p];
+          cv[w] = A.vals()[p];
+        }
+        continue;
       }
-      continue;
-    }
-    Offset pa = A.ptr()[a], ea = A.ptr()[a + 1];
-    Offset pb = B.ptr()[b], eb = B.ptr()[b + 1];
-    while (pa < ea && pb < eb) {
-      const Index caI = A.cols()[pa], cbI = B.cols()[pb];
-      if (caI < cbI) {
-        cc[w] = caI;
-        cv[w++] = A.vals()[pa++];
-      } else if (cbI < caI) {
-        cc[w] = cbI;
-        cv[w++] = B.vals()[pb++];
-      } else {
-        cc[w] = caI;
-        cv[w++] = Op::apply(A.vals()[pa++], B.vals()[pb++]);
+      Offset pa = A.ptr()[a], ea = A.ptr()[a + 1];
+      Offset pb = B.ptr()[b], eb = B.ptr()[b + 1];
+      while (pa < ea && pb < eb) {
+        const Index caI = A.cols()[pa], cbI = B.cols()[pb];
+        if (caI < cbI) {
+          cc[w] = caI;
+          cv[w++] = A.vals()[pa++];
+        } else if (cbI < caI) {
+          cc[w] = cbI;
+          cv[w++] = B.vals()[pb++];
+        } else {
+          cc[w] = caI;
+          cv[w++] = Op::apply(A.vals()[pa++], B.vals()[pb++]);
+        }
       }
-    }
-    for (; pa < ea; ++pa, ++w) {
-      cc[w] = A.cols()[pa];
-      cv[w] = A.vals()[pa];
-    }
-    for (; pb < eb; ++pb, ++w) {
-      cc[w] = B.cols()[pb];
-      cv[w] = B.vals()[pb];
+      for (; pa < ea; ++pa, ++w) {
+        cc[w] = A.cols()[pa];
+        cv[w] = A.vals()[pa];
+      }
+      for (; pb < eb; ++pb, ++w) {
+        cc[w] = B.cols()[pb];
+        cv[w] = B.vals()[pb];
+      }
     }
   }
 }
@@ -244,12 +255,17 @@ Dcsr<T> ewise_mult(const Dcsr<T>& A, const Dcsr<T>& B) {
   const std::size_t nr = rows.size();
 
   std::vector<Offset> cnt(nr, 0);
-#pragma omp parallel for schedule(guided)
-  for (std::size_t k = 0; k < nr; ++k) {
-    if (ia[k] == detail::kNoRow || ib[k] == detail::kNoRow) continue;
-    cnt[k] = detail::intersect_count(
-        A.cols().subspan(A.ptr()[ia[k]], A.ptr()[ia[k] + 1] - A.ptr()[ia[k]]),
-        B.cols().subspan(B.ptr()[ib[k]], B.ptr()[ib[k] + 1] - B.ptr()[ib[k]]));
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(guided)
+    for (std::size_t k = 0; k < nr; ++k) {
+      if (ia[k] == detail::kNoRow || ib[k] == detail::kNoRow) continue;
+      cnt[k] = detail::intersect_count(
+          A.cols().subspan(A.ptr()[ia[k]], A.ptr()[ia[k] + 1] - A.ptr()[ia[k]]),
+          B.cols().subspan(B.ptr()[ib[k]], B.ptr()[ib[k] + 1] - B.ptr()[ib[k]]));
+    }
   }
 
   // Compact away empty output rows while building ptr.
@@ -273,18 +289,23 @@ Dcsr<T> ewise_mult(const Dcsr<T>& A, const Dcsr<T>& B) {
   auto& cp = C.mutable_ptr();
   auto& cc = C.mutable_cols();
   auto& cv = C.mutable_vals();
-#pragma omp parallel for schedule(guided)
-  for (std::size_t k = 0; k < onr; ++k) {
-    Offset w = cp[k];
-    Offset pa = A.ptr()[oia[k]], ea = A.ptr()[oia[k] + 1];
-    Offset pb = B.ptr()[oib[k]], eb = B.ptr()[oib[k] + 1];
-    while (pa < ea && pb < eb) {
-      const Index caI = A.cols()[pa], cbI = B.cols()[pb];
-      if (caI < cbI) ++pa;
-      else if (cbI < caI) ++pb;
-      else {
-        cc[w] = caI;
-        cv[w++] = Op::apply(A.vals()[pa++], B.vals()[pb++]);
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(guided)
+    for (std::size_t k = 0; k < onr; ++k) {
+      Offset w = cp[k];
+      Offset pa = A.ptr()[oia[k]], ea = A.ptr()[oia[k] + 1];
+      Offset pb = B.ptr()[oib[k]], eb = B.ptr()[oib[k] + 1];
+      while (pa < ea && pb < eb) {
+        const Index caI = A.cols()[pa], cbI = B.cols()[pb];
+        if (caI < cbI) ++pa;
+        else if (cbI < caI) ++pb;
+        else {
+          cc[w] = caI;
+          cv[w++] = Op::apply(A.vals()[pa++], B.vals()[pb++]);
+        }
       }
     }
   }

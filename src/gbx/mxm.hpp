@@ -12,6 +12,7 @@
 
 #include "gbx/matrix.hpp"
 #include "gbx/semiring.hpp"
+#include "gbx/tsan_omp.hpp"
 
 namespace gbx {
 
@@ -32,8 +33,10 @@ Matrix<T, M> mxm(const Matrix<T, M>& A, const Matrix<T, M>& B) {
   // Per-output-row results, assembled independently then concatenated.
   std::vector<std::vector<std::pair<Index, T>>> rowbuf(nra);
 
+  GBX_OMP_CAPTURE_HANDOFF;
 #pragma omp parallel
   {
+    gbx::OmpRegionGuard tsan_region;
     std::unordered_map<Index, T> acc;
 #pragma omp for schedule(dynamic, 16)
     for (std::size_t k = 0; k < nra; ++k) {

@@ -12,6 +12,7 @@
 #include "gbx/matrix.hpp"
 #include "gbx/semiring.hpp"
 #include "gbx/transpose.hpp"
+#include "gbx/tsan_omp.hpp"
 
 namespace gbx {
 
@@ -42,35 +43,40 @@ Matrix<T, M> mxm_masked(const Matrix<TM, MM>& mask, const Matrix<T, M>& A,
   const std::size_t nmr = sm.nrows_nonempty();
   std::vector<std::vector<Entry<T>>> rowbuf(nmr);
 
-#pragma omp parallel for schedule(dynamic, 8)
-  for (std::size_t mk = 0; mk < nmr; ++mk) {
-    const Index i = sm.rows()[mk];
-    auto ait = arow.find(i);
-    if (ait == arow.end()) continue;
-    const std::size_t ka = ait->second;
-    const Offset abeg = sa.ptr()[ka], aend = sa.ptr()[ka + 1];
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(dynamic, 8)
+    for (std::size_t mk = 0; mk < nmr; ++mk) {
+      const Index i = sm.rows()[mk];
+      auto ait = arow.find(i);
+      if (ait == arow.end()) continue;
+      const std::size_t ka = ait->second;
+      const Offset abeg = sa.ptr()[ka], aend = sa.ptr()[ka + 1];
 
-    auto& out = rowbuf[mk];
-    for (Offset mp = sm.ptr()[mk]; mp < sm.ptr()[mk + 1]; ++mp) {
-      const Index j = sm.cols()[mp];
-      auto bit = btrow.find(j);
-      if (bit == btrow.end()) continue;
-      const std::size_t kb = bit->second;
-      // Sparse dot of A(i,:) with B(:,j) == B^T(j,:).
-      Offset pa = abeg, pb = sbt.ptr()[kb];
-      const Offset eb = sbt.ptr()[kb + 1];
-      T acc = S::zero();
-      bool any = false;
-      while (pa < aend && pb < eb) {
-        const Index ca = sa.cols()[pa], cb = sbt.cols()[pb];
-        if (ca < cb) ++pa;
-        else if (cb < ca) ++pb;
-        else {
-          acc = S::add(acc, S::mul(sa.vals()[pa++], sbt.vals()[pb++]));
-          any = true;
+      auto& out = rowbuf[mk];
+      for (Offset mp = sm.ptr()[mk]; mp < sm.ptr()[mk + 1]; ++mp) {
+        const Index j = sm.cols()[mp];
+        auto bit = btrow.find(j);
+        if (bit == btrow.end()) continue;
+        const std::size_t kb = bit->second;
+        // Sparse dot of A(i,:) with B(:,j) == B^T(j,:).
+        Offset pa = abeg, pb = sbt.ptr()[kb];
+        const Offset eb = sbt.ptr()[kb + 1];
+        T acc = S::zero();
+        bool any = false;
+        while (pa < aend && pb < eb) {
+          const Index ca = sa.cols()[pa], cb = sbt.cols()[pb];
+          if (ca < cb) ++pa;
+          else if (cb < ca) ++pb;
+          else {
+            acc = S::add(acc, S::mul(sa.vals()[pa++], sbt.vals()[pb++]));
+            any = true;
+          }
         }
+        if (any) out.push_back({i, j, acc});
       }
-      if (any) out.push_back({i, j, acc});
     }
   }
 

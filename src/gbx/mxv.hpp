@@ -7,6 +7,7 @@
 
 #include "gbx/matrix.hpp"
 #include "gbx/semiring.hpp"
+#include "gbx/tsan_omp.hpp"
 #include "gbx/vector.hpp"
 
 namespace gbx {
@@ -23,26 +24,31 @@ SparseVector<T> mxv(const Matrix<T, M>& A, const SparseVector<T>& x) {
 
   std::vector<T> acc(nr, S::zero());
   std::vector<char> hit(nr, 0);
-#pragma omp parallel for schedule(guided)
-  for (std::size_t k = 0; k < nr; ++k) {
-    Offset p = s.ptr()[k];
-    const Offset e = s.ptr()[k + 1];
-    std::size_t q = 0;
-    T a = S::zero();
-    bool any = false;
-    while (p < e && q < xi.size()) {
-      const Index cj = s.cols()[p];
-      if (cj < xi[q]) ++p;
-      else if (xi[q] < cj) ++q;
-      else {
-        a = S::add(a, S::mul(s.vals()[p], xv[q]));
-        any = true;
-        ++p;
-        ++q;
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(guided)
+    for (std::size_t k = 0; k < nr; ++k) {
+      Offset p = s.ptr()[k];
+      const Offset e = s.ptr()[k + 1];
+      std::size_t q = 0;
+      T a = S::zero();
+      bool any = false;
+      while (p < e && q < xi.size()) {
+        const Index cj = s.cols()[p];
+        if (cj < xi[q]) ++p;
+        else if (xi[q] < cj) ++q;
+        else {
+          a = S::add(a, S::mul(s.vals()[p], xv[q]));
+          any = true;
+          ++p;
+          ++q;
+        }
       }
+      acc[k] = a;
+      hit[k] = any ? 1 : 0;
     }
-    acc[k] = a;
-    hit[k] = any ? 1 : 0;
   }
 
   std::vector<Index> oi;
@@ -71,8 +77,10 @@ SparseVector<T> vxm(const SparseVector<T>& x, const Matrix<T, M>& A) {
   std::vector<std::unordered_map<Index, T>> local(
       static_cast<std::size_t>(threads));
 
+  GBX_OMP_CAPTURE_HANDOFF;
 #pragma omp parallel num_threads(threads)
   {
+    gbx::OmpRegionGuard tsan_region;
     auto& acc = local[static_cast<std::size_t>(omp_get_thread_num())];
 #pragma omp for schedule(guided)
     for (std::size_t q = 0; q < xi.size(); ++q) {

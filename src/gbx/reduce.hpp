@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gbx/matrix.hpp"
+#include "gbx/tsan_omp.hpp"
 #include "gbx/vector.hpp"
 #include "gbx/view.hpp"
 
@@ -16,12 +17,17 @@ template <class MonoidT, class T>
 T reduce_scalar_dcsr(const Dcsr<T>& s) {
   const auto nr = s.nrows_nonempty();
   std::vector<T> partial(nr, MonoidT::identity());
-#pragma omp parallel for schedule(guided)
-  for (std::size_t k = 0; k < nr; ++k) {
-    T acc = MonoidT::identity();
-    for (Offset p = s.ptr()[k]; p < s.ptr()[k + 1]; ++p)
-      acc = MonoidT::apply(acc, s.vals()[p]);
-    partial[k] = acc;
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(guided)
+    for (std::size_t k = 0; k < nr; ++k) {
+      T acc = MonoidT::identity();
+      for (Offset p = s.ptr()[k]; p < s.ptr()[k + 1]; ++p)
+        acc = MonoidT::apply(acc, s.vals()[p]);
+      partial[k] = acc;
+    }
   }
   T acc = MonoidT::identity();
   for (const T& v : partial) acc = MonoidT::apply(acc, v);
@@ -50,13 +56,18 @@ SparseVector<T> reduce_rows_dcsr(const Dcsr<T>& s, Index nrows) {
   const auto nr = s.nrows_nonempty();
   std::vector<Index> idx(nr);
   std::vector<T> val(nr);
-#pragma omp parallel for schedule(guided)
-  for (std::size_t k = 0; k < nr; ++k) {
-    T acc = MonoidT::identity();
-    for (Offset p = s.ptr()[k]; p < s.ptr()[k + 1]; ++p)
-      acc = MonoidT::apply(acc, s.vals()[p]);
-    idx[k] = s.rows()[k];
-    val[k] = acc;
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(guided)
+    for (std::size_t k = 0; k < nr; ++k) {
+      T acc = MonoidT::identity();
+      for (Offset p = s.ptr()[k]; p < s.ptr()[k + 1]; ++p)
+        acc = MonoidT::apply(acc, s.vals()[p]);
+      idx[k] = s.rows()[k];
+      val[k] = acc;
+    }
   }
   SparseVector<T> out(nrows);
   out.adopt(std::move(idx), std::move(val));

@@ -37,6 +37,7 @@
 
 #include "gbx/parallel.hpp"
 #include "gbx/scratch.hpp"
+#include "gbx/tsan_omp.hpp"
 #include "gbx/types.hpp"
 
 namespace gbx {
@@ -106,12 +107,17 @@ void sample_sort(std::vector<Entry<T>>& v) {
       static_cast<std::size_t>(nchunks),
       std::vector<Offset>(static_cast<std::size_t>(kb), 0));
 
-#pragma omp parallel for schedule(static)
-  for (int c = 0; c < nchunks; ++c) {
-    auto& h = hist[static_cast<std::size_t>(c)];
-    for (Offset i = chunks[static_cast<std::size_t>(c)];
-         i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
-      ++h[static_cast<std::size_t>(bucket_of(v[i]))];
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (int c = 0; c < nchunks; ++c) {
+      auto& h = hist[static_cast<std::size_t>(c)];
+      for (Offset i = chunks[static_cast<std::size_t>(c)];
+           i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
+        ++h[static_cast<std::size_t>(bucket_of(v[i]))];
+    }
   }
 
   // --- global offsets: bucket-major, then chunk within bucket ---------
@@ -137,22 +143,33 @@ void sample_sort(std::vector<Entry<T>>& v) {
 
   // --- scatter ---------------------------------------------------------
   std::vector<Entry<T>> tmp(n);
-#pragma omp parallel for schedule(static)
-  for (int c = 0; c < nchunks; ++c) {
-    auto& cur = cursor[static_cast<std::size_t>(c)];
-    for (Offset i = chunks[static_cast<std::size_t>(c)];
-         i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
-      tmp[cur[static_cast<std::size_t>(bucket_of(v[i]))]++] = v[i];
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (int c = 0; c < nchunks; ++c) {
+      auto& cur = cursor[static_cast<std::size_t>(c)];
+      for (Offset i = chunks[static_cast<std::size_t>(c)];
+           i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
+        tmp[cur[static_cast<std::size_t>(bucket_of(v[i]))]++] = v[i];
+    }
   }
 
   // --- sort buckets independently --------------------------------------
-#pragma omp parallel for schedule(dynamic, 1)
-  for (int b = 0; b < kb; ++b)
-    std::sort(tmp.begin() + static_cast<std::ptrdiff_t>(
-                                bucket_start[static_cast<std::size_t>(b)]),
-              tmp.begin() + static_cast<std::ptrdiff_t>(
-                                bucket_start[static_cast<std::size_t>(b) + 1]),
-              entry_less<T>);
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(dynamic, 1)
+    for (int b = 0; b < kb; ++b) {
+      std::sort(tmp.begin() + static_cast<std::ptrdiff_t>(
+                                  bucket_start[static_cast<std::size_t>(b)]),
+                tmp.begin() + static_cast<std::ptrdiff_t>(
+                                  bucket_start[static_cast<std::size_t>(b) + 1]),
+                entry_less<T>);
+    }
+  }
 
   v.swap(tmp);
 }
@@ -306,12 +323,17 @@ bool radix_sort_pairs(std::uint64_t* k0, T* v0, std::uint64_t* k1, T* v1,
   for (int p = 0; p < npasses; ++p) {
     const int shift = p * digit_bits;
     std::fill(hist.begin(), hist.end(), Offset{0});
-#pragma omp parallel for schedule(static)
-    for (int c = 0; c < nchunks; ++c) {
-      Offset* h = h_at(c);
-      for (Offset i = chunks[static_cast<std::size_t>(c)];
-           i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
-        ++h[(ka[i] >> shift) & mask];
+    GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+    {
+      gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+      for (int c = 0; c < nchunks; ++c) {
+        Offset* h = h_at(c);
+        for (Offset i = chunks[static_cast<std::size_t>(c)];
+             i < chunks[static_cast<std::size_t>(c) + 1]; ++i)
+          ++h[(ka[i] >> shift) & mask];
+      }
     }
 
     // Cursors (and constant-digit detection) in one bucket-major walk.
@@ -330,16 +352,21 @@ bool radix_sort_pairs(std::uint64_t* k0, T* v0, std::uint64_t* k1, T* v1,
     }
     if (constant) continue;
 
-#pragma omp parallel for schedule(static)
-    for (int c = 0; c < nchunks; ++c) {
-      Offset* cur = cursor.data() +
-                    static_cast<std::size_t>(c) * static_cast<std::size_t>(buckets);
-      for (Offset i = chunks[static_cast<std::size_t>(c)];
-           i < chunks[static_cast<std::size_t>(c) + 1]; ++i) {
-        const auto d = (ka[i] >> shift) & mask;
-        const Offset w = cur[d]++;
-        kb[w] = ka[i];
-        vb[w] = va[i];
+    GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+    {
+      gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+      for (int c = 0; c < nchunks; ++c) {
+        Offset* cur = cursor.data() + static_cast<std::size_t>(c) *
+                                          static_cast<std::size_t>(buckets);
+        for (Offset i = chunks[static_cast<std::size_t>(c)];
+             i < chunks[static_cast<std::size_t>(c) + 1]; ++i) {
+          const auto d = (ka[i] >> shift) & mask;
+          const Offset w = cur[d]++;
+          kb[w] = ka[i];
+          vb[w] = va[i];
+        }
       }
     }
     std::swap(ka, kb);
@@ -485,21 +512,26 @@ std::size_t dedup_sorted_entries_parallel(std::vector<Entry<T>>& v) {
   const int nchunks = static_cast<int>(bounds.size()) - 1;
   std::vector<std::size_t> out_count(static_cast<std::size_t>(nchunks), 0);
 
-#pragma omp parallel for schedule(static)
-  for (int c = 0; c < nchunks; ++c) {
-    const Offset lo = bounds[static_cast<std::size_t>(c)];
-    const Offset hi = bounds[static_cast<std::size_t>(c) + 1];
-    if (lo >= hi) continue;
-    Offset w = lo;
-    for (Offset r = lo + 1; r < hi; ++r) {
-      if (entry_key_equal(v[r], v[w])) {
-        v[w].val = MonoidT::apply(v[w].val, v[r].val);
-      } else {
-        ++w;
-        v[w] = v[r];
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (int c = 0; c < nchunks; ++c) {
+      const Offset lo = bounds[static_cast<std::size_t>(c)];
+      const Offset hi = bounds[static_cast<std::size_t>(c) + 1];
+      if (lo >= hi) continue;
+      Offset w = lo;
+      for (Offset r = lo + 1; r < hi; ++r) {
+        if (entry_key_equal(v[r], v[w])) {
+          v[w].val = MonoidT::apply(v[w].val, v[r].val);
+        } else {
+          ++w;
+          v[w] = v[r];
+        }
       }
+      out_count[static_cast<std::size_t>(c)] = w + 1 - lo;
     }
-    out_count[static_cast<std::size_t>(c)] = w + 1 - lo;
   }
 
   // Exclusive prefix sum of chunk output sizes -> scatter destinations.
@@ -520,22 +552,33 @@ std::size_t dedup_sorted_entries_parallel(std::vector<Entry<T>>& v) {
   auto staged = ScratchPool::local().acquire<Entry<T>>(total);
   Entry<T>* const out = staged.data();
   const Entry<T>* const in = v.data();
-#pragma omp parallel for schedule(static)
-  for (int c = 0; c < nchunks; ++c) {
-    const Offset lo = bounds[static_cast<std::size_t>(c)];
-    const std::size_t cnt = out_count[static_cast<std::size_t>(c)];
-    if (cnt > 0)
-      std::copy(in + lo, in + lo + cnt,
-                out + dst[static_cast<std::size_t>(c)]);
-  }
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (int c = 0; c < nchunks; ++c) {
+      const Offset lo = bounds[static_cast<std::size_t>(c)];
+      const std::size_t cnt = out_count[static_cast<std::size_t>(c)];
+      if (cnt > 0)
+        std::copy(in + lo, in + lo + cnt,
+                  out + dst[static_cast<std::size_t>(c)]);
+    }
+  }  // staging scatter joins before the copy-back region reads `out`
   Entry<T>* const back = v.data();
   const auto cb = block_ranges(total, threads);
   const int ncb = static_cast<int>(cb.size()) - 1;
-#pragma omp parallel for schedule(static)
-  for (int c = 0; c < ncb; ++c)
-    std::copy(out + cb[static_cast<std::size_t>(c)],
-              out + cb[static_cast<std::size_t>(c) + 1],
-              back + cb[static_cast<std::size_t>(c)]);
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (int c = 0; c < ncb; ++c) {
+      std::copy(out + cb[static_cast<std::size_t>(c)],
+                out + cb[static_cast<std::size_t>(c) + 1],
+                back + cb[static_cast<std::size_t>(c)]);
+    }
+  }
   v.resize(total);
   return total;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gbx/error.hpp"
+#include "gbx/tsan_omp.hpp"
 #include "hier/hier_matrix.hpp"
 
 namespace hier {
@@ -46,8 +47,15 @@ class InstanceArray {
     GBX_CHECK_DIM(batches.size() == instances_.size(),
                   "one batch per instance required");
     const std::size_t n = instances_.size();
-#pragma omp parallel for schedule(static)
-    for (std::size_t p = 0; p < n; ++p) instances_[p].update(batches[p]);
+    GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+    {
+      gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+      for (std::size_t p = 0; p < n; ++p) {
+        instances_[p].update(batches[p]);
+      }
+    }
   }
 
   /// Total raw entries appended across instances.

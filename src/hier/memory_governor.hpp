@@ -56,7 +56,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -65,6 +64,7 @@
 #include <vector>
 
 #include "gbx/serialize.hpp"
+#include "gbx/thread_annotations.hpp"
 #include "hier/delta.hpp"
 #include "hier/hier_matrix.hpp"
 #include "hier/sharded_hier.hpp"
@@ -190,13 +190,14 @@ struct GovernedSlot {
   GovernedSlot(Snap s, std::uint64_t e, std::shared_ptr<GovernorCounters> c)
       : snap(std::move(s)), epoch(e), counters(std::move(c)) {}
 
-  mutable std::mutex mu;
-  Snap snap;                      ///< live image / compact image / skeleton
-  bool evicted = false;           ///< some or all levels compacted
-  bool spilled = false;           ///< compact image serialized into `spill`
-  std::vector<bool> compacted_parts;    ///< per-part state (sets only)
-  std::vector<block_type> private_blocks;  ///< sorted; owned compact blocks
-  std::string spill;              ///< RecordLog frames of the compact image
+  mutable gbx::Mutex mu;
+  Snap snap GBX_GUARDED_BY(mu);   ///< live image / compact image / skeleton
+  bool evicted GBX_GUARDED_BY(mu) = false;  ///< some/all levels compacted
+  bool spilled GBX_GUARDED_BY(mu) = false;  ///< image serialized into `spill`
+  std::vector<bool> compacted_parts GBX_GUARDED_BY(mu);  ///< per-part (sets)
+  std::vector<block_type> private_blocks
+      GBX_GUARDED_BY(mu);  ///< sorted; owned compact blocks
+  std::string spill GBX_GUARDED_BY(mu);  ///< RecordLog frames, compact image
   const std::uint64_t epoch;
   std::shared_ptr<GovernorCounters> counters;
 };
@@ -324,14 +325,16 @@ class GovernedSnapshot {
 
   bool evicted() const {
     if (!slot_) return false;
-    std::lock_guard<std::mutex> lk(slot_->mu);
-    return slot_->evicted;
+    auto& s = *slot_;
+    gbx::ScopedLock lk(s.mu);
+    return s.evicted;
   }
 
   bool spilled() const {
     if (!slot_) return false;
-    std::lock_guard<std::mutex> lk(slot_->mu);
-    return slot_->spilled;
+    auto& s = *slot_;
+    gbx::ScopedLock lk(s.mu);
+    return s.spilled;
   }
 
   /// Copy of the current image: the original frozen levels before
@@ -342,12 +345,13 @@ class GovernedSnapshot {
   /// holds it.
   Snap pin() const {
     GBX_CHECK(slot_ != nullptr, "pin() on an empty governed snapshot");
-    std::lock_guard<std::mutex> lk(slot_->mu);
-    if (slot_->spilled) {
-      slot_->counters->rehydrations.fetch_add(1, std::memory_order_relaxed);
-      return detail::rehydrated(slot_->snap, slot_->spill);
+    auto& s = *slot_;
+    gbx::ScopedLock lk(s.mu);
+    if (s.spilled) {
+      s.counters->rehydrations.fetch_add(1, std::memory_order_relaxed);
+      return detail::rehydrated(s.snap, s.spill);
     }
-    return slot_->snap;
+    return s.snap;
   }
 
   /// Pin only if the image still has its original (diffable) level
@@ -356,9 +360,10 @@ class GovernedSnapshot {
   /// a full-recompute fallback.
   std::optional<Snap> try_pin_live() const {
     if (!slot_) return std::nullopt;
-    std::lock_guard<std::mutex> lk(slot_->mu);
-    if (slot_->evicted || slot_->spilled) return std::nullopt;
-    return slot_->snap;
+    auto& s = *slot_;
+    gbx::ScopedLock lk(s.mu);
+    if (s.evicted || s.spilled) return std::nullopt;
+    return s.snap;
   }
 
   /// Read-path conveniences; each pins a copy first (see pin()). On a
@@ -376,8 +381,9 @@ class GovernedSnapshot {
   /// when live/evicted, serialized bytes when spilled).
   std::size_t memory_bytes() const {
     if (!slot_) return 0;
-    std::lock_guard<std::mutex> lk(slot_->mu);
-    return slot_->spilled ? slot_->spill.size() : slot_->snap.memory_bytes();
+    auto& s = *slot_;
+    gbx::ScopedLock lk(s.mu);
+    return s.spilled ? s.spill.size() : s.snap.memory_bytes();
   }
 
   /// Drop the handle early (destructor semantics, explicit).
@@ -553,6 +559,7 @@ class MemoryGovernor {
   explicit MemoryGovernor(Source& source, GovernorConfig cfg = {})
       : source_(&source),
         cfg_(cfg),
+        budget_bytes_(cfg.budget_bytes),
         engine_(source),
         counters_(std::make_shared<detail::GovernorCounters>()) {
     if (cfg_.enforce_on_write) {
@@ -593,7 +600,7 @@ class MemoryGovernor {
     const std::uint64_t e = snap.epoch();
     auto slot = std::make_shared<Slot>(std::move(snap), e, counters_);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      gbx::ScopedLock lk(mu_);
       slots_.push_back(slot);
       registered_.store(slots_.size(), std::memory_order_relaxed);
     }
@@ -619,7 +626,7 @@ class MemoryGovernor {
     EvictionHook hook;
     std::size_t compactions = 0;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      gbx::ScopedLock lk(mu_);
       hook = eviction_hook_;
       counters_->enforcements.fetch_add(1, std::memory_order_relaxed);
       auto slots = gather_locked();
@@ -636,7 +643,8 @@ class MemoryGovernor {
         if (evicted_last && prev_pinned > mem.pinned_bytes)
           counters_->bytes_released.fetch_add(prev_pinned - mem.pinned_bytes,
                                               std::memory_order_relaxed);
-        if (mem.pinned_bytes <= cfg_.budget_bytes) break;
+        if (mem.pinned_bytes <= budget_bytes_.load(std::memory_order_relaxed))
+          break;
         Slot* victim = nullptr;
         for (const auto& s : slots) {  // ascending epoch = laggiest first
           if (current - s->epoch < cfg_.min_evict_lag) continue;
@@ -693,7 +701,7 @@ class MemoryGovernor {
   /// Accounting snapshot (also updates the pinned high-water mark).
   /// Same thread-safety as enforce().
   GovernorMemory memory() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     auto slots = gather_locked();
     std::vector<Block> baseline;
     auto mem = account_locked(slots, &baseline);
@@ -717,13 +725,18 @@ class MemoryGovernor {
     return s;
   }
 
-  const GovernorConfig& config() const { return cfg_; }
+  /// Effective configuration (budget_bytes reflects set_budget updates).
+  GovernorConfig config() const {
+    GovernorConfig c = cfg_;
+    c.budget_bytes = budget_bytes_.load(std::memory_order_relaxed);
+    return c;
+  }
 
   /// Adjust the global budget (e.g. an operator tightening a live
-  /// system); next enforcement applies it.
+  /// system); next enforcement applies it. Lock-free: the knob lives in
+  /// its own atomic so the (otherwise immutable) config needs no lock.
   void set_budget(std::uint64_t bytes) {
-    std::lock_guard<std::mutex> lk(mu_);
-    cfg_.budget_bytes = bytes;
+    budget_bytes_.store(bytes, std::memory_order_relaxed);
   }
 
   /// The underlying snapshot engine (epoch counters, staleness hook —
@@ -737,13 +750,13 @@ class MemoryGovernor {
   }
 
   void set_eviction_hook(EvictionHook hook) {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     eviction_hook_ = std::move(hook);
   }
 
   /// Outstanding (still-referenced) snapshot handles.
   std::size_t outstanding() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return gather_locked().size();
   }
 
@@ -754,7 +767,8 @@ class MemoryGovernor {
 
   /// Prune dead registrations; return live slots sorted by epoch
   /// ascending (the eviction order).
-  std::vector<std::shared_ptr<Slot>> gather_locked() const {
+  std::vector<std::shared_ptr<Slot>> gather_locked() const
+      GBX_REQUIRES(mu_) {
     std::vector<std::shared_ptr<Slot>> out;
     out.reserve(slots_.size());
     std::size_t w = 0;
@@ -779,12 +793,13 @@ class MemoryGovernor {
   /// the live structure — anything it does not share is certainly
   /// superseded). Sorted unique.
   void baseline_locked(const std::vector<std::shared_ptr<Slot>>& slots,
-                       std::vector<Block>& out) const {
+                       std::vector<Block>& out) const GBX_REQUIRES(mu_) {
     if (!governor_live_blocks(*source_, out)) {
       for (auto it = slots.rbegin(); it != slots.rend(); ++it) {  // newest 1st
-        std::lock_guard<std::mutex> lk((*it)->mu);
-        if ((*it)->evicted || (*it)->spilled) continue;
-        (*it)->snap.collect_blocks(out);
+        Slot& sl = **it;
+        gbx::ScopedLock lk(sl.mu);
+        if (sl.evicted || sl.spilled) continue;
+        sl.snap.collect_blocks(out);
         break;
       }
     }
@@ -794,7 +809,8 @@ class MemoryGovernor {
   /// One identity-deduped accounting pass. `baseline_out`, when given,
   /// receives the classification baseline for reuse by the caller.
   GovernorMemory account_locked(const std::vector<std::shared_ptr<Slot>>& slots,
-                                std::vector<Block>* baseline_out) const {
+                                std::vector<Block>* baseline_out) const
+      GBX_REQUIRES(mu_) {
     std::vector<Block> baseline;
     baseline_locked(slots, baseline);
 
@@ -802,19 +818,20 @@ class MemoryGovernor {
     mem.snapshots = slots.size();
     std::vector<Block> shared_pool, private_pool;
     for (const auto& s : slots) {
-      std::lock_guard<std::mutex> lk(s->mu);
-      if (s->spilled) {
+      Slot& sl = *s;
+      gbx::ScopedLock lk(sl.mu);
+      if (sl.spilled) {
         ++mem.evicted_snapshots;
         ++mem.spilled_snapshots;
-        mem.spilled_bytes += s->spill.size();
+        mem.spilled_bytes += sl.spill.size();
         continue;
       }
-      if (s->evicted) ++mem.evicted_snapshots;
+      if (sl.evicted) ++mem.evicted_snapshots;
       std::vector<Block> blocks;
-      s->snap.collect_blocks(blocks);
+      sl.snap.collect_blocks(blocks);
       for (Block b : blocks) {
-        if (std::binary_search(s->private_blocks.begin(),
-                               s->private_blocks.end(), b))
+        if (std::binary_search(sl.private_blocks.begin(),
+                               sl.private_blocks.end(), b))
           private_pool.push_back(b);
         else
           shared_pool.push_back(b);
@@ -843,8 +860,9 @@ class MemoryGovernor {
   /// eviction is *about* (0 means compacting frees nothing: the slot is
   /// fully live-shared, already compact, or spilled).
   std::uint64_t pinned_involvement_locked(Slot& s,
-                                          const std::vector<Block>& baseline) const {
-    std::lock_guard<std::mutex> lk(s.mu);
+                                          const std::vector<Block>& baseline)
+      const GBX_REQUIRES(mu_) {
+    gbx::ScopedLock lk(s.mu);
     if (s.spilled) return 0;
     std::vector<Block> blocks;
     s.snap.collect_blocks(blocks);
@@ -864,7 +882,7 @@ class MemoryGovernor {
   /// by part (skipping parts already compacted, preserving the shard
   /// structure); everything else collapses the whole image into one
   /// exact Σ block (SnapshotSet::compacted(nullptr) semantics).
-  snapshot_type compact_remaining_locked(Slot& s) const {
+  snapshot_type compact_remaining_locked(Slot& s) const GBX_REQUIRES(s.mu) {
     if constexpr (detail::is_snapshot_set<snapshot_type>::value) {
       if (governor_parts_disjoint(*source_)) {
         std::vector<bool> mask(s.snap.size());
@@ -876,7 +894,7 @@ class MemoryGovernor {
     return s.snap.compacted();
   }
 
-  void refresh_private_locked(Slot& s) const {
+  void refresh_private_locked(Slot& s) const GBX_REQUIRES(s.mu) {
     s.private_blocks.clear();
     if constexpr (detail::is_snapshot_set<snapshot_type>::value) {
       for (std::size_t p = 0; p < s.snap.size(); ++p) {
@@ -891,9 +909,9 @@ class MemoryGovernor {
 
   /// Materialize-and-release one whole snapshot. Hooks are the caller's
   /// business (enforce() fires them after dropping the registry lock).
-  void evict_locked(Slot& s) {
+  void evict_locked(Slot& s) GBX_REQUIRES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(s.mu);
+      gbx::ScopedLock lk(s.mu);
       if (s.spilled) return;
       s.snap = compact_remaining_locked(s);
       if constexpr (detail::is_snapshot_set<snapshot_type>::value)
@@ -908,13 +926,15 @@ class MemoryGovernor {
   /// part's blocks across snapshots against the shard's own live blocks
   /// (plus the newest image's part) and compact the laggiest offenders.
   std::size_t enforce_parts_locked(
-      const std::vector<std::shared_ptr<Slot>>& slots, std::uint64_t current) {
+      const std::vector<std::shared_ptr<Slot>>& slots, std::uint64_t current)
+      GBX_REQUIRES(mu_) {
     std::size_t compactions = 0;
     std::size_t nparts = 0;
     for (const auto& s : slots) {
-      std::lock_guard<std::mutex> lk(s->mu);
-      if (!s->spilled) {
-        nparts = s->snap.size();
+      Slot& sl = *s;
+      gbx::ScopedLock lk(sl.mu);
+      if (!sl.spilled) {
+        nparts = sl.snap.size();
         break;
       }
     }
@@ -924,9 +944,10 @@ class MemoryGovernor {
         if (!governor_part_live_blocks(*source_, p, baseline)) {
           // No thread-safe shard peek: the newest image stands in.
           for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
-            std::lock_guard<std::mutex> lk((*it)->mu);
-            if ((*it)->spilled || part_compacted_locked(**it, p)) continue;
-            (*it)->snap.part(p).collect_blocks(baseline);
+            Slot& sl = **it;
+            gbx::ScopedLock lk(sl.mu);
+            if (sl.spilled || part_compacted_locked(sl, p)) continue;
+            sl.snap.part(p).collect_blocks(baseline);
             break;
           }
         }
@@ -935,10 +956,11 @@ class MemoryGovernor {
         std::uint64_t pinned = 0;
         Slot* victim = nullptr;
         for (const auto& s : slots) {
-          std::lock_guard<std::mutex> lk(s->mu);
-          if (s->spilled || part_compacted_locked(*s, p)) continue;
+          Slot& sl = *s;
+          gbx::ScopedLock lk(sl.mu);
+          if (sl.spilled || part_compacted_locked(sl, p)) continue;
           std::vector<Block> blocks;
-          s->snap.part(p).collect_blocks(blocks);
+          sl.snap.part(p).collect_blocks(blocks);
           detail::dedupe_blocks(blocks);
           std::uint64_t involved = 0;
           for (Block b : blocks) {
@@ -956,15 +978,16 @@ class MemoryGovernor {
         }
         if (pinned <= cfg_.part_budget_bytes || victim == nullptr) break;
         {
-          std::lock_guard<std::mutex> lk(victim->mu);
-          if (victim->compacted_parts.empty())
-            victim->compacted_parts.assign(victim->snap.size(), false);
-          std::vector<bool> mask(victim->snap.size(), false);
+          Slot& v = *victim;
+          gbx::ScopedLock lk(v.mu);
+          if (v.compacted_parts.empty())
+            v.compacted_parts.assign(v.snap.size(), false);
+          std::vector<bool> mask(v.snap.size(), false);
           mask[p] = true;
-          victim->snap = victim->snap.compacted(&mask);
-          victim->compacted_parts[p] = true;
-          victim->evicted = true;
-          refresh_private_locked(*victim);
+          v.snap = v.snap.compacted(&mask);
+          v.compacted_parts[p] = true;
+          v.evicted = true;
+          refresh_private_locked(v);
         }
         counters_->part_evictions.fetch_add(1, std::memory_order_relaxed);
         ++compactions;
@@ -973,14 +996,15 @@ class MemoryGovernor {
     return compactions;
   }
 
-  bool part_compacted_locked(const Slot& s, std::size_t p) const {
+  bool part_compacted_locked(const Slot& s, std::size_t p) const
+      GBX_REQUIRES(s.mu) {
     return !s.compacted_parts.empty() && s.compacted_parts[p];
   }
 
   /// Serialize a cold snapshot's compact image out of block form. The
   /// image is compacted first if eviction had not reached it yet.
-  void spill_locked(Slot& s) {
-    std::lock_guard<std::mutex> lk(s.mu);
+  void spill_locked(Slot& s) GBX_REQUIRES(mu_) {
+    gbx::ScopedLock lk(s.mu);
     if (s.spilled) return;
     auto compact = s.evicted && all_compacted_locked(s)
                        ? std::move(s.snap)
@@ -993,7 +1017,7 @@ class MemoryGovernor {
     counters_->spills.fetch_add(1, std::memory_order_relaxed);
   }
 
-  bool all_compacted_locked(const Slot& s) const {
+  bool all_compacted_locked(const Slot& s) const GBX_REQUIRES(s.mu) {
     if constexpr (detail::is_snapshot_set<snapshot_type>::value) {
       if (s.compacted_parts.empty()) return false;
       for (bool c : s.compacted_parts)
@@ -1005,18 +1029,19 @@ class MemoryGovernor {
   }
 
   Source* source_;
-  GovernorConfig cfg_;
+  const GovernorConfig cfg_;  ///< immutable; the one runtime knob is below
+  std::atomic<std::uint64_t> budget_bytes_;  ///< set_budget, any thread
   SnapshotEngine<Source> engine_;
   std::shared_ptr<detail::GovernorCounters> counters_;
-  mutable std::mutex mu_;  ///< registry + enforcement serialization
-  mutable std::vector<std::weak_ptr<Slot>> slots_;
+  mutable gbx::Mutex mu_;  ///< registry + enforcement serialization
+  mutable std::vector<std::weak_ptr<Slot>> slots_ GBX_GUARDED_BY(mu_);
   /// Registration-count hint for the write observer's lock-free skip
   /// (refreshed whenever the registry changes under mu_). May briefly
   /// overcount dead handles — the observer then runs one enforcement
   /// pass that prunes them; it never undercounts a live registration.
   mutable std::atomic<std::size_t> registered_{0};
   bool attached_write_ = false;  ///< write observer installed on source_
-  EvictionHook eviction_hook_;
+  EvictionHook eviction_hook_ GBX_GUARDED_BY(mu_);
 };
 
 }  // namespace hier

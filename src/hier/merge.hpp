@@ -8,6 +8,7 @@
 // discipline instead of collapsing everything to the top.
 #pragma once
 
+#include "gbx/tsan_omp.hpp"
 #include "hier/hier_matrix.hpp"
 
 namespace hier {
@@ -41,9 +42,17 @@ void tree_reduce(std::vector<HierMatrix<T, M>>& instances) {
   GBX_CHECK_VALUE(!instances.empty(), "tree_reduce needs at least one instance");
   for (std::size_t stride = 1; stride < instances.size(); stride *= 2) {
     const std::size_t step = stride * 2;
-#pragma omp parallel for schedule(dynamic, 1)
-    for (std::size_t i = 0; i < instances.size() - stride; i += step)
-      merge_into(instances[i], std::move(instances[i + stride]));
+    // One region (and TSan guard) per tree level: round k reads the
+    // merges round k-1 produced, so each level joins before the next.
+    GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel
+    {
+      gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(dynamic, 1)
+      for (std::size_t i = 0; i < instances.size() - stride; i += step) {
+        merge_into(instances[i], std::move(instances[i + stride]));
+      }
+    }
   }
 }
 

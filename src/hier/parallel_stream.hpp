@@ -39,19 +39,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "gbx/coo.hpp"
 #include "gbx/error.hpp"
+#include "gbx/thread_annotations.hpp"
 #include "hier/instance_array.hpp"
 #include "hier/snapshot.hpp"
 
@@ -164,7 +163,7 @@ class ParallelStream {
   void start() {
     GBX_CHECK(!running_, "ParallelStream already started");
     for (auto& lane : lanes_) {
-      std::lock_guard<std::mutex> lk(lane->m);
+      gbx::ScopedLock lk(lane->m);
       lane->closed = false;
       lane->counters = LaneCounters{};
       lane->worker_alive = true;
@@ -183,10 +182,9 @@ class ParallelStream {
     GBX_CHECK(running_, "ParallelStream not started");
     GBX_CHECK_INDEX(p < lanes_.size(), "lane index out of range");
     Lane& lane = *lanes_[p];
-    std::unique_lock<std::mutex> lk(lane.m);
-    lane.cv_space.wait(lk, [&] {
-      return lane.closed || lane.queue.size() < opt_.queue_capacity;
-    });
+    gbx::ScopedLock lk(lane.m);
+    while (!lane.closed && lane.queue.size() >= opt_.queue_capacity)
+      lane.cv_space.wait(lane.m);
     GBX_CHECK(!lane.closed, "submit raced ParallelStream::stop");
     lane.queue.push_back(std::move(batch));
     lane.cv_work.notify_one();
@@ -211,7 +209,7 @@ class ParallelStream {
     GBX_CHECK_INDEX(p < lanes_.size(), "lane index out of range");
     if (!running_) return SubmitResult::kStopped;
     Lane& lane = *lanes_[p];
-    std::lock_guard<std::mutex> lk(lane.m);
+    gbx::ScopedLock lk(lane.m);
     if (lane.closed) return SubmitResult::kStopped;
     if (lane.queue.size() >= opt_.queue_capacity) return SubmitResult::kLaneFull;
     lane.queue.push_back(std::move(batch));
@@ -225,7 +223,7 @@ class ParallelStream {
   bool lane_idle(std::size_t p) const {
     GBX_CHECK_INDEX(p < lanes_.size(), "lane index out of range");
     Lane& lane = *lanes_[p];
-    std::lock_guard<std::mutex> lk(lane.m);
+    gbx::ScopedLock lk(lane.m);
     return lane.queue.empty() && !lane.applying;
   }
 
@@ -233,7 +231,7 @@ class ParallelStream {
   std::size_t lane_queue_depth(std::size_t p) const {
     GBX_CHECK_INDEX(p < lanes_.size(), "lane index out of range");
     Lane& lane = *lanes_[p];
-    std::lock_guard<std::mutex> lk(lane.m);
+    gbx::ScopedLock lk(lane.m);
     return lane.queue.size();
   }
 
@@ -250,8 +248,8 @@ class ParallelStream {
     GBX_CHECK(running_, "ParallelStream not started");
     for (auto& lptr : lanes_) {
       Lane& lane = *lptr;
-      std::unique_lock<std::mutex> lk(lane.m);
-      lane.cv_space.wait(lk, [&] { return lane.queue.empty() && !lane.applying; });
+      gbx::ScopedLock lk(lane.m);
+      while (!lane.queue.empty() || lane.applying) lane.cv_space.wait(lane.m);
     }
   }
 
@@ -259,7 +257,7 @@ class ParallelStream {
   ParallelStreamReport stop() {
     GBX_CHECK(running_, "ParallelStream not started");
     for (auto& lptr : lanes_) {
-      std::lock_guard<std::mutex> lk(lptr->m);
+      gbx::ScopedLock lk(lptr->m);
       lptr->closed = true;
       lptr->cv_work.notify_one();
       lptr->cv_space.notify_all();  // wake producers blocked in submit()
@@ -270,7 +268,10 @@ class ParallelStream {
     const double wall = detail::seconds_since(t0_);
     std::vector<LaneCounters> lane;
     lane.reserve(lanes_.size());
-    for (const auto& lptr : lanes_) lane.push_back(lptr->counters);
+    for (const auto& lptr : lanes_) {
+      gbx::ScopedLock lk(lptr->m);
+      lane.push_back(lptr->counters);
+    }
     return detail::summarize(lanes_.size(), wall, std::move(lane));
   }
 
@@ -287,7 +288,7 @@ class ParallelStream {
     std::vector<std::uint64_t> tickets(lanes_.size(), 0);
     for (std::size_t p = 0; p < lanes_.size(); ++p) {
       Lane& lane = *lanes_[p];
-      std::lock_guard<std::mutex> lk(lane.m);
+      gbx::ScopedLock lk(lane.m);
       if (lane.worker_alive) {
         tickets[p] = ++lane.freeze_ticket;
         ++lane.freeze_waiters;
@@ -301,7 +302,7 @@ class ParallelStream {
     std::uint64_t epoch = 0;
     for (std::size_t p = 0; p < lanes_.size(); ++p) {
       Lane& lane = *lanes_[p];
-      std::unique_lock<std::mutex> lk(lane.m);
+      gbx::ScopedLock lk(lane.m);
       // A worker may have started between the ticketing pass and now
       // (start() racing snapshot()): post the missed ticket here rather
       // than freezing under a live worker's feet.
@@ -313,7 +314,7 @@ class ParallelStream {
       if (tickets[p] > 0) {
         // Workers serve every pending ticket before exiting, so on
         // wake-up freeze_done always covers our ticket.
-        lane.cv_frozen.wait(lk, [&] { return lane.freeze_done >= tickets[p]; });
+        while (lane.freeze_done < tickets[p]) lane.cv_frozen.wait(lane.m);
         parts.push_back(lane.frozen);
         marks.push_back(lane.frozen_mark);
         // Last collector with no newer ticket pending: release the
@@ -366,25 +367,25 @@ class ParallelStream {
 
  private:
   struct Lane {
-    std::mutex m;
-    std::condition_variable cv_work;    ///< batch queued, lane closed, or freeze asked
-    std::condition_variable cv_space;   ///< batch applied / queue shrank
-    std::condition_variable cv_frozen;  ///< freeze published or worker exited
-    std::deque<gbx::Tuples<T>> queue;
-    bool closed = false;
-    bool applying = false;
-    bool worker_alive = false;
-    LaneCounters counters;
+    gbx::Mutex m;
+    gbx::CondVar cv_work;    ///< batch queued, lane closed, or freeze asked
+    gbx::CondVar cv_space;   ///< batch applied / queue shrank
+    gbx::CondVar cv_frozen;  ///< freeze published or worker exited
+    std::deque<gbx::Tuples<T>> queue GBX_GUARDED_BY(m);
+    bool closed GBX_GUARDED_BY(m) = false;
+    bool applying GBX_GUARDED_BY(m) = false;
+    bool worker_alive GBX_GUARDED_BY(m) = false;
+    LaneCounters counters GBX_GUARDED_BY(m);
     // Freeze handshake: readers take a ticket; the worker freezes its
     // matrix at the next batch boundary and publishes the result. One
     // freeze satisfies every ticket issued before it. The last waiting
     // collector clears `frozen` so the lane does not pin stale level
     // blocks between snapshots (the views live on in the collectors).
-    std::uint64_t freeze_ticket = 0;
-    std::uint64_t freeze_done = 0;
-    std::uint64_t freeze_waiters = 0;
-    HierSnapshot<T, AddMonoid> frozen;
-    SnapshotWatermark frozen_mark;
+    std::uint64_t freeze_ticket GBX_GUARDED_BY(m) = 0;
+    std::uint64_t freeze_done GBX_GUARDED_BY(m) = 0;
+    std::uint64_t freeze_waiters GBX_GUARDED_BY(m) = 0;
+    HierSnapshot<T, AddMonoid> frozen GBX_GUARDED_BY(m);
+    SnapshotWatermark frozen_mark GBX_GUARDED_BY(m);
   };
 
   /// Freeze the lane's matrix and publish it into the lane. Called by
@@ -393,8 +394,8 @@ class ParallelStream {
   /// it stays exact across stop()/start() restarts — lane counters are
   /// per-run for reporting, but a restarted engine's matrices retain
   /// their data and the watermark must cover it.
-  static void do_freeze(Lane& lane,
-                        const HierMatrix<T, AddMonoid>& matrix) {
+  static void do_freeze(Lane& lane, const HierMatrix<T, AddMonoid>& matrix)
+      GBX_REQUIRES(lane.m) {
     lane.frozen = matrix.freeze();
     lane.frozen_mark = SnapshotWatermark{
         lane.frozen.epoch(), lane.frozen.stats().entries_appended};
@@ -408,11 +409,10 @@ class ParallelStream {
     for (;;) {
       gbx::Tuples<T> batch;
       {
-        std::unique_lock<std::mutex> lk(lane.m);
-        lane.cv_work.wait(lk, [&] {
-          return !lane.queue.empty() || lane.closed ||
-                 lane.freeze_done < lane.freeze_ticket;
-        });
+        gbx::ScopedLock lk(lane.m);
+        while (lane.queue.empty() && !lane.closed &&
+               lane.freeze_done >= lane.freeze_ticket)
+          lane.cv_work.wait(lane.m);
         // Serve freezes first so readers never wait behind a deep queue:
         // a freeze between batches is exactly a batch-boundary snapshot.
         if (lane.freeze_done < lane.freeze_ticket) {
@@ -446,7 +446,7 @@ class ParallelStream {
       }
       const double dt = detail::seconds_since(b0);
       {
-        std::lock_guard<std::mutex> lk(lane.m);
+        gbx::ScopedLock lk(lane.m);
         lane.applying = false;
         if (applied) {
           ++lane.counters.batches;

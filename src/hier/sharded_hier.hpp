@@ -24,12 +24,12 @@
 #include <algorithm>
 #include <atomic>
 #include <functional>
-#include <mutex>
-#include <shared_mutex>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "gbx/thread_annotations.hpp"
 #include "gen/rng.hpp"
 #include "hier/hier_matrix.hpp"
 #include "hier/snapshot.hpp"
@@ -43,10 +43,11 @@ class ShardedHier {
 
   ShardedHier(std::size_t shards, gbx::Index nrows, gbx::Index ncols,
               const CutPolicy& cuts)
-      : nrows_(nrows), ncols_(ncols), locks_(shards) {
+      : nrows_(nrows), ncols_(ncols) {
     GBX_CHECK_VALUE(shards > 0, "need at least one shard");
     shards_.reserve(shards);
-    for (std::size_t s = 0; s < shards; ++s) shards_.emplace_back(nrows, ncols, cuts);
+    for (std::size_t s = 0; s < shards; ++s)
+      shards_.push_back(std::make_unique<Shard>(nrows, ncols, cuts));
   }
 
   std::size_t num_shards() const { return shards_.size(); }
@@ -55,11 +56,11 @@ class ShardedHier {
 
   /// Thread-safe single update.
   void update(gbx::Index i, gbx::Index j, T v) {
-    std::shared_lock<std::shared_mutex> batch_guard(writer_slot());
-    const std::size_t s = shard_of(i);
+    gbx::ScopedReadLock batch_guard(writer_slot());
+    Shard& sh = *shards_[shard_of(i)];
     {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      shards_[s].update(i, j, v);
+      gbx::ScopedLock g(sh.mu);
+      sh.matrix.update(i, j, v);
     }
     epoch_.fetch_add(1, std::memory_order_relaxed);
     if (write_observer_) write_observer_();
@@ -73,7 +74,7 @@ class ShardedHier {
   /// steady-state sharded ingest allocates nothing on the split path —
   /// the same arena discipline as the fold pipeline's ScratchPool.
   void update(const gbx::Tuples<T>& batch) {
-    std::shared_lock<std::shared_mutex> batch_guard(writer_slot());
+    gbx::ScopedReadLock batch_guard(writer_slot());
     // Admit the batch into the epoch up front: freeze() excludes all
     // in-flight batches via snap_mu_, so "admitted" == "applied"
     // whenever a snapshot observes the counter. Incrementing before the
@@ -89,9 +90,10 @@ class ShardedHier {
       parts[shard_of(e.row)].push_back(e.row, e.col, e.val);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (parts[s].empty()) continue;
+      Shard& sh = *shards_[s];
       {
-        std::lock_guard<std::mutex> g(locks_[s]);
-        shards_[s].update(parts[s]);
+        gbx::ScopedLock g(sh.mu);
+        sh.matrix.update(parts[s]);
       }
       // Bound what an outlier batch leaves pinned on this thread: the
       // buffers outlive this (and every) ShardedHier, so anything above
@@ -113,8 +115,9 @@ class ShardedHier {
   matrix_type snapshot() const {
     matrix_type acc(nrows_, ncols_);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      acc.plus_assign(shards_[s].snapshot());
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      acc.plus_assign(sh.matrix.snapshot());
     }
     return acc;
   }
@@ -140,7 +143,7 @@ class ShardedHier {
     // writer_slot() while any freeze is pending — a counter, so
     // concurrent freezes cannot erase each other's announcement.
     freeze_pending_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::shared_mutex> freeze_guard(snap_mu_);
+    gbx::ScopedWriteLock freeze_guard(snap_mu_);
     freeze_pending_.fetch_sub(1, std::memory_order_relaxed);
     const std::size_t n = shards_.size();
     std::vector<HierSnapshot<T, AddMonoid>> parts(n);
@@ -155,9 +158,10 @@ class ShardedHier {
     // first, shard lock second) because the legacy snapshot() path
     // takes shard locks without snap_mu_.
     const auto freeze_shard = [&](std::size_t s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      parts[s] = shards_[s].freeze();
-      const auto& st = shards_[s].stats();
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      parts[s] = sh.matrix.freeze();
+      const auto& st = sh.matrix.stats();
       marks[s] = SnapshotWatermark{st.updates, st.entries_appended};
     };
     // Spawning threads costs ~0.1 ms each; only go parallel when the
@@ -165,8 +169,9 @@ class ShardedHier {
     // locks (legacy snapshot() readers may be folding concurrently).
     std::size_t pending = 0;
     for (std::size_t s = 0; s < n; ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      pending += shards_[s].level(0).pending_count();
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      pending += sh.matrix.level(0).pending_count();
     }
     const std::size_t workers = std::min<std::size_t>(
         n, std::max(1u, std::thread::hardware_concurrency()));
@@ -227,8 +232,9 @@ class ShardedHier {
   void collect_live_blocks(std::size_t shard,
                            std::vector<const gbx::Dcsr<T>*>& out) const {
     GBX_CHECK_INDEX(shard < shards_.size(), "shard index out of range");
-    std::lock_guard<std::mutex> g(locks_[shard]);
-    shards_[shard].collect_live_blocks(out);
+    Shard& sh = *shards_[shard];
+    gbx::ScopedLock g(sh.mu);
+    sh.matrix.collect_live_blocks(out);
   }
 
   /// Install a hook fired by writers after every ingested sub-batch
@@ -252,8 +258,9 @@ class ShardedHier {
   std::uint64_t entries_appended() const {
     std::uint64_t n = 0;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      n += shards_[s].stats().entries_appended;
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      n += sh.matrix.stats().entries_appended;
     }
     return n;
   }
@@ -261,8 +268,9 @@ class ShardedHier {
   std::size_t memory_bytes() const {
     std::size_t n = 0;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      n += shards_[s].memory_bytes();
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      n += sh.matrix.memory_bytes();
     }
     return n;
   }
@@ -273,8 +281,9 @@ class ShardedHier {
   /// start. The store must outlive this matrix and its snapshots.
   void enable_demotion(store::BlockStore* store, DemotionConfig cfg = {}) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      shards_[s].enable_demotion(store, cfg);
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      sh.matrix.enable_demotion(store, cfg);
     }
   }
 
@@ -291,8 +300,9 @@ class ShardedHier {
         std::max<std::size_t>(1, budget_bytes / shards_.size());
     std::size_t demoted = 0;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      demoted += shards_[s].enforce_residency(per_shard);
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      demoted += sh.matrix.enforce_residency(per_shard);
     }
     return demoted;
   }
@@ -301,8 +311,9 @@ class ShardedHier {
   std::uint64_t store_bytes() const {
     std::uint64_t n = 0;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      n += shards_[s].store_bytes();
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      n += sh.matrix.store_bytes();
     }
     return n;
   }
@@ -310,13 +321,25 @@ class ShardedHier {
   /// True when any shard currently holds demoted runs.
   bool has_demoted() const {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> g(locks_[s]);
-      if (shards_[s].has_demoted()) return true;
+      Shard& sh = *shards_[s];
+      gbx::ScopedLock g(sh.mu);
+      if (sh.matrix.has_demoted()) return true;
     }
     return false;
   }
 
  private:
+  /// One shard: its matrix and the mutex that guards it, bound together
+  /// so the analysis can tie every matrix access to the right lock (a
+  /// parallel locks_[] vector indexed dynamically is opaque to it).
+  /// Heap-allocated because gbx::Mutex is immovable.
+  struct Shard {
+    Shard(gbx::Index nrows, gbx::Index ncols, const CutPolicy& cuts)
+        : matrix(nrows, ncols, cuts) {}
+    mutable gbx::Mutex mu;
+    HierMatrix<T, AddMonoid> matrix GBX_GUARDED_BY(mu);
+  };
+
   /// Below this many total level-0 pending entries the per-shard folds
   /// are cheaper than spawning worker threads for them.
   static constexpr std::size_t kParallelFreezeMinPending = 4096;
@@ -330,7 +353,7 @@ class ShardedHier {
   /// of piling onto the reader side of the lock. Best-effort (a writer
   /// can slip through the window between flag-check and lock), but it
   /// breaks the continuous-admission pattern that starves freeze().
-  std::shared_mutex& writer_slot() const {
+  gbx::SharedMutex& writer_slot() const GBX_RETURN_CAPABILITY(snap_mu_) {
     while (freeze_pending_.load(std::memory_order_relaxed) > 0)
       std::this_thread::yield();
     return snap_mu_;
@@ -344,11 +367,10 @@ class ShardedHier {
 
   gbx::Index nrows_;
   gbx::Index ncols_;
-  std::vector<HierMatrix<T, AddMonoid>> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::function<void()> write_observer_;  ///< see set_write_observer
-  mutable std::vector<std::mutex> locks_;
   // Writers shared, freeze() exclusive: whole-batch snapshot atomicity.
-  mutable std::shared_mutex snap_mu_;
+  mutable gbx::SharedMutex snap_mu_;
   mutable std::atomic<std::uint32_t> freeze_pending_{0};
   std::atomic<std::uint64_t> epoch_{0};
 };

@@ -38,7 +38,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -46,6 +45,7 @@
 
 #include "gbx/matrix.hpp"
 #include "gbx/serialize.hpp"
+#include "gbx/thread_annotations.hpp"
 #include "store/block_store.hpp"
 #include "store/bloom.hpp"
 #include "store/btree_store.hpp"
@@ -115,7 +115,7 @@ class TierDirectory {
     GBX_CHECK_VALUE(block < detail::kMaxOrdinalInDouble &&
                         run < detail::kMaxOrdinalInDouble,
                     "tier directory: ordinal exceeds exact double range");
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     const store::Key k{row, run};
     if (btree_) btree_->insert(k, static_cast<store::Value>(block));
     else lsm_->insert(k, static_cast<store::Value>(block));
@@ -127,7 +127,7 @@ class TierDirectory {
   /// False means NO run holds the row — the probe skips the store
   /// entirely (the read path's fast negative).
   bool may_contain(gbx::Index row) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     ++probes_;
     if (bloom_.may_contain(store::Key{row, 0})) return true;
     ++bloom_negatives_;
@@ -136,7 +136,7 @@ class TierDirectory {
 
   std::optional<store::BlockId> lookup(std::uint64_t run,
                                        gbx::Index row) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     const store::Key k{row, run};
     const auto v = btree_ ? btree_->get(k) : lsm_->get(k);
     if (!v) return std::nullopt;
@@ -144,15 +144,15 @@ class TierDirectory {
   }
 
   std::uint64_t entries() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return entries_;
   }
   std::uint64_t probes() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return probes_;
   }
   std::uint64_t bloom_negatives() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return bloom_negatives_;
   }
   DemotionConfig::Directory kind() const { return kind_; }
@@ -161,7 +161,7 @@ class TierDirectory {
   /// Grow the bloom filter by rescanning the store's keys (the filter
   /// has no remove/resize; saturation would erode the negative-probe
   /// fast path to useless).
-  void rebuild_bloom_locked() {
+  void rebuild_bloom_locked() GBX_REQUIRES(mu_) {
     while (entries_ > bloom_capacity_) bloom_capacity_ *= 2;
     bloom_ = store::BloomFilter(bloom_capacity_, bloom_fp_rate_);
     auto add = [this](const store::Key& k, store::Value) {
@@ -171,16 +171,19 @@ class TierDirectory {
     else lsm_->scan(add);
   }
 
-  mutable std::mutex mu_;
-  DemotionConfig::Directory kind_;
-  double bloom_fp_rate_;
-  std::size_t bloom_capacity_;
-  store::BloomFilter bloom_;
-  std::unique_ptr<store::BTreeStore> btree_;
-  std::unique_ptr<store::LsmStore> lsm_;
-  std::uint64_t entries_ = 0;
-  mutable std::uint64_t probes_ = 0;
-  mutable std::uint64_t bloom_negatives_ = 0;
+  mutable gbx::Mutex mu_;
+  DemotionConfig::Directory kind_;  ///< immutable after construction
+  double bloom_fp_rate_;            ///< immutable after construction
+  std::size_t bloom_capacity_ GBX_GUARDED_BY(mu_);
+  store::BloomFilter bloom_ GBX_GUARDED_BY(mu_);
+  // The pointers are set once in the constructor; the stores they point
+  // at are only ever touched with mu_ held (LSM mutates bloom-skip stats
+  // even on const probes).
+  std::unique_ptr<store::BTreeStore> btree_ GBX_PT_GUARDED_BY(mu_);
+  std::unique_ptr<store::LsmStore> lsm_ GBX_PT_GUARDED_BY(mu_);
+  std::uint64_t entries_ GBX_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t probes_ GBX_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t bloom_negatives_ GBX_GUARDED_BY(mu_) = 0;
 };
 
 /// One immutable demoted run: the serialized image of the bottom level
@@ -415,12 +418,12 @@ class DemotedTier {
   }
 
   std::shared_ptr<const TierImage> image() const {
-    std::lock_guard<std::mutex> lk(img_mu_);
+    gbx::ScopedLock lk(img_mu_);
     return image_;
   }
 
   void publish(std::shared_ptr<const TierImage> img) {
-    std::lock_guard<std::mutex> lk(img_mu_);
+    gbx::ScopedLock lk(img_mu_);
     image_ = std::move(img);
   }
 
@@ -465,8 +468,8 @@ class DemotedTier {
   DemotionConfig cfg_;
   gbx::Index nrows_;
   gbx::Index ncols_;
-  mutable std::mutex img_mu_;
-  std::shared_ptr<const TierImage> image_;
+  mutable gbx::Mutex img_mu_;  ///< orders image swaps against view()
+  std::shared_ptr<const TierImage> image_ GBX_GUARDED_BY(img_mu_);
   std::shared_ptr<TierDirectory> dir_;  ///< directory of the CURRENT image
   std::uint64_t next_run_id_ = 1;
   TierStats stats_;

@@ -76,6 +76,7 @@
 
 #include "analytics/incremental.hpp"
 #include "gbx/coo.hpp"
+#include "gbx/thread_annotations.hpp"
 #include "gbx/error.hpp"
 #include "hier/memory_governor.hpp"
 #include "hier/parallel_stream.hpp"
@@ -186,7 +187,12 @@ class IngestServer {
     stop_.store(true, std::memory_order_relaxed);
     wake_->wake();
     thread_.join();
-    sessions_.clear();
+    {
+      // The loop thread is gone; join() hands its role to this thread
+      // for the teardown.
+      gbx::ScopedThreadRole role(loop_role_);
+      sessions_.clear();
+    }
     loop_.reset();
     wake_.reset();
     listen_.reset();
@@ -223,6 +229,10 @@ class IngestServer {
   };
 
   void run() {
+    // The event-loop thread's entry point claims the role; every
+    // loop-only method below REQUIRES it, so calling one from another
+    // thread is a compile error under the thread-safety analysis.
+    gbx::ScopedThreadRole role(loop_role_);
     while (!stop_.load(std::memory_order_relaxed)) {
       // Parked batches and pending flushes have no wake event of their
       // own (lanes drain on worker threads); poll them briskly.
@@ -246,7 +256,7 @@ class IngestServer {
     }
   }
 
-  void accept_all() {
+  void accept_all() GBX_REQUIRES(loop_role_) {
     for (;;) {
       Fd c(::accept4(listen_.get(), nullptr, nullptr,
                      SOCK_NONBLOCK | SOCK_CLOEXEC));
@@ -266,7 +276,7 @@ class IngestServer {
 
   /// Pull bytes until EAGAIN / EOF / park / corruption, decoding as we
   /// go. Level-triggered epoll re-fires for anything left unread.
-  void read_session(Session& s) {
+  void read_session(Session& s) GBX_REQUIRES(loop_role_) {
     char buf[1u << 16];
     while (s.reading && !s.closing && !s.dead) {
       const auto n = ::recv(s.fd.get(), buf, sizeof buf, 0);
@@ -295,7 +305,7 @@ class IngestServer {
   /// Decode and dispatch every complete frame buffered on the session.
   /// Returns false when processing must pause (lane full -> parked, or
   /// the session started closing).
-  bool process_frames(Session& s) {
+  bool process_frames(Session& s) GBX_REQUIRES(loop_role_) {
     store::LogRecord rec;
     for (;;) {
       switch (s.dec.next(rec)) {
@@ -319,7 +329,8 @@ class IngestServer {
 
   /// Dispatch one frame. Returns false to pause processing (parked /
   /// closing); the decoder keeps any backlog for later.
-  bool handle_frame(Session& s, store::LogRecord& rec) {
+  bool handle_frame(Session& s, store::LogRecord& rec)
+      GBX_REQUIRES(loop_role_) {
     const MsgType type = tag_type(rec.epoch);
     const std::uint64_t arg = tag_arg(rec.epoch);
     switch (type) {
@@ -407,7 +418,8 @@ class IngestServer {
     }
   }
 
-  bool handle_insert(Session& s, std::uint64_t arg, store::LogRecord& rec) {
+  bool handle_insert(Session& s, std::uint64_t arg, store::LogRecord& rec)
+      GBX_REQUIRES(loop_role_) {
     std::size_t lane = s.home_lane;
     if (arg != kAnyLane) {
       if (arg >= stream_->instances()) {
@@ -451,7 +463,7 @@ class IngestServer {
 
   /// try_submit with park-on-full: the back-pressure pivot.
   bool submit_or_park(Session& s, std::size_t lane,
-                      gbx::Tuples<double>& batch) {
+                      gbx::Tuples<double>& batch) GBX_REQUIRES(loop_role_) {
     const std::size_t n = batch.size();
     switch (stream_->try_submit(lane, batch)) {
       case hier::SubmitResult::kAccepted:
@@ -478,7 +490,7 @@ class IngestServer {
 
   /// Per-pass housekeeping: retry parks, settle flush barriers, reap
   /// finished sessions.
-  void progress_pass() {
+  void progress_pass() GBX_REQUIRES(loop_role_) {
     have_parked_ = false;
     have_flush_ = false;
     std::vector<int> reap;
@@ -532,7 +544,7 @@ class IngestServer {
 
   /// Flush barrier: everything this session submitted has been applied.
   /// Every flush received before the barrier cleared gets its own ack.
-  void check_flush(Session& s) {
+  void check_flush(Session& s) GBX_REQUIRES(loop_role_) {
     if (s.parked) return;
     for (std::size_t p = 0; p < s.used_lanes.size(); ++p)
       if (s.used_lanes[p] && !stream_->lane_idle(p)) return;
@@ -543,14 +555,15 @@ class IngestServer {
   }
 
   void reply_ok(Session& s, MsgType request, const void* payload,
-                std::size_t size) {
+                std::size_t size) GBX_REQUIRES(loop_role_) {
     append_frame(s.out, MsgType::kReplyOk,
                  static_cast<std::uint64_t>(request), payload, size);
     flush_out(s);
     throttle_if_backlogged(s);
   }
 
-  void reply_error(Session& s, MsgType request, const std::string& what) {
+  void reply_error(Session& s, MsgType request, const std::string& what)
+      GBX_REQUIRES(loop_role_) {
     append_frame(s.out, MsgType::kReplyError,
                  static_cast<std::uint64_t>(request), what.data(),
                  what.size());
@@ -562,7 +575,7 @@ class IngestServer {
   /// reading replies stops being read once its unsent backlog passes the
   /// cap, so `out` can never grow without bound. progress_pass resumes
   /// the session when the backlog halves.
-  void throttle_if_backlogged(Session& s) {
+  void throttle_if_backlogged(Session& s) GBX_REQUIRES(loop_role_) {
     if (s.dead || s.out_throttled ||
         s.out_pending() <= opt_.max_outbound_bytes)
       return;
@@ -573,7 +586,7 @@ class IngestServer {
   }
 
   /// Opportunistic nonblocking send; arms EPOLLOUT only on partials.
-  void flush_out(Session& s) {
+  void flush_out(Session& s) GBX_REQUIRES(loop_role_) {
     while (s.out_off < s.out.size()) {
       const auto n = ::send(s.fd.get(), s.out.data() + s.out_off,
                             s.out.size() - s.out_off, MSG_NOSIGNAL);
@@ -592,7 +605,7 @@ class IngestServer {
     update_interest(s);
   }
 
-  void update_interest(Session& s) {
+  void update_interest(Session& s) GBX_REQUIRES(loop_role_) {
     if (s.dead) return;
     const bool want_write = s.out_off < s.out.size();
     std::uint32_t ev = EPOLLRDHUP;
@@ -602,7 +615,7 @@ class IngestServer {
     s.want_write = want_write;
   }
 
-  void destroy(int fd) {
+  void destroy(int fd) GBX_REQUIRES(loop_role_) {
     auto it = sessions_.find(fd);
     if (it == sessions_.end()) return;
     loop_->del(fd);
@@ -613,7 +626,12 @@ class IngestServer {
   Stream* stream_;
   Governor* governor_;
   Options opt_;
-  Analytics analytics_;
+  /// Single-thread discipline of the event loop, checked at compile
+  /// time: run() claims the role, loop-only methods REQUIRE it, and the
+  /// members below marked GBX_GUARDED_BY(loop_role_) are loop-thread
+  /// state (stop() re-claims the role after join() for the teardown).
+  gbx::ThreadRole loop_role_;
+  Analytics analytics_ GBX_GUARDED_BY(loop_role_);
   gbx::Index nrows_;  ///< matrix dims, cached for insert validation
   gbx::Index ncols_;
   ServerStats stats_;
@@ -625,10 +643,11 @@ class IngestServer {
   std::atomic<bool> stop_{false};
   bool running_ = false;
   std::uint16_t port_ = 0;
-  std::size_t next_lane_ = 0;  ///< round-robin home-lane assignment
-  bool have_parked_ = false;   ///< loop-thread hints for the poll timeout
-  bool have_flush_ = false;
-  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+  std::size_t next_lane_ GBX_GUARDED_BY(loop_role_) = 0;  ///< round-robin
+  bool have_parked_ GBX_GUARDED_BY(loop_role_) = false;  ///< poll-timeout
+  bool have_flush_ GBX_GUARDED_BY(loop_role_) = false;   ///< hints
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_
+      GBX_GUARDED_BY(loop_role_);
 };
 
 }  // namespace net

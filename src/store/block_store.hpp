@@ -36,7 +36,6 @@
 #include <fstream>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -44,6 +43,7 @@
 #include <vector>
 
 #include "gbx/error.hpp"
+#include "gbx/thread_annotations.hpp"
 #include "store/wal.hpp"
 
 namespace store {
@@ -306,7 +306,7 @@ class BlockStore {
 
   /// Reserve a fresh block id (never reused within this store's life).
   BlockId allocate() {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return next_id_++;
   }
 
@@ -317,7 +317,7 @@ class BlockStore {
   /// nothing is recorded in that case and the id stays unknown.
   void put(BlockId id, std::string_view bytes) {
     GBX_CHECK_VALUE(!bytes.empty(), "block store: empty block payload");
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     backend_->write(id, bytes.data(), bytes.size());
     sums_[id] = detail::fnv1a(bytes.data(), bytes.size());
     sizes_[id] = bytes.size();
@@ -327,7 +327,7 @@ class BlockStore {
   }
 
   bool contains(BlockId id) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return sizes_.find(id) != sizes_.end();
   }
 
@@ -335,7 +335,7 @@ class BlockStore {
   /// backend read fails, or the payload fails its put-time checksum —
   /// never returns wrong bytes.
   std::shared_ptr<const std::string> get(BlockId id) {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     ++stats_.gets;
     if (auto it = cache_.find(id); it != cache_.end()) {
       ++stats_.cache_hits;
@@ -366,7 +366,7 @@ class BlockStore {
   /// Drop a block (idempotent). Cached bytes already handed out stay
   /// valid through their shared_ptr.
   void erase(BlockId id) {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     if (sizes_.erase(id) == 0) return;
     sums_.erase(id);
     backend_->erase(id);
@@ -379,25 +379,25 @@ class BlockStore {
   }
 
   std::size_t blocks() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return sizes_.size();
   }
 
   /// Payload bytes of all live blocks (the tier's on-"disk" footprint).
   std::uint64_t bytes_stored() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     std::uint64_t n = 0;
     for (const auto& [id, size] : sizes_) n += size;
     return n;
   }
 
   std::size_t cache_bytes() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return cache_bytes_;
   }
 
   BlockStoreStats stats() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    gbx::ScopedLock lk(mu_);
     return stats_;
   }
 
@@ -405,8 +405,10 @@ class BlockStore {
 
   /// The backend, for maintenance entry points (FileBackend::vacuum) and
   /// test failpoint control. Same external-synchronization rule as any
-  /// direct backend access: do not race it against store operations.
-  BlockBackend& backend() { return *backend_; }
+  /// direct backend access: do not race it against store operations —
+  /// which is exactly why the analysis is waived here: the caller takes
+  /// over the serialization duty mu_ normally provides.
+  BlockBackend& backend() GBX_NO_THREAD_SAFETY_ANALYSIS { return *backend_; }
 
  private:
   struct CacheEntry {
@@ -417,7 +419,8 @@ class BlockStore {
   /// Insert under the LRU byte budget; evicts from the cold end. A block
   /// larger than the whole budget is not retained at all (the caller
   /// already holds its shared_ptr).
-  void cache_insert(BlockId id, std::shared_ptr<const std::string> bytes) {
+  void cache_insert(BlockId id, std::shared_ptr<const std::string> bytes)
+      GBX_REQUIRES(mu_) {
     if (cfg_.cache_budget_bytes == 0) return;
     if (auto it = cache_.find(id); it != cache_.end()) {
       cache_bytes_ -= it->second.bytes->size();
@@ -438,16 +441,20 @@ class BlockStore {
     }
   }
 
-  mutable std::mutex mu_;
-  std::unique_ptr<BlockBackend> backend_;
-  BlockStoreConfig cfg_;
-  BlockId next_id_ = 1;
-  std::unordered_map<BlockId, std::uint64_t> sums_;   ///< put-time checksums
-  std::unordered_map<BlockId, std::size_t> sizes_;    ///< live block sizes
-  std::list<BlockId> lru_;                            ///< front = hottest
-  std::unordered_map<BlockId, CacheEntry> cache_;
-  std::size_t cache_bytes_ = 0;
-  mutable BlockStoreStats stats_;
+  mutable gbx::Mutex mu_;
+  // Set once in the constructor; the backend itself is only ever called
+  // with mu_ held (see backend() for the one audited exception).
+  std::unique_ptr<BlockBackend> backend_ GBX_PT_GUARDED_BY(mu_);
+  BlockStoreConfig cfg_;  ///< immutable after construction
+  BlockId next_id_ GBX_GUARDED_BY(mu_) = 1;
+  std::unordered_map<BlockId, std::uint64_t> sums_
+      GBX_GUARDED_BY(mu_);  ///< put-time checksums
+  std::unordered_map<BlockId, std::size_t> sizes_
+      GBX_GUARDED_BY(mu_);  ///< live block sizes
+  std::list<BlockId> lru_ GBX_GUARDED_BY(mu_);  ///< front = hottest
+  std::unordered_map<BlockId, CacheEntry> cache_ GBX_GUARDED_BY(mu_);
+  std::size_t cache_bytes_ GBX_GUARDED_BY(mu_) = 0;
+  mutable BlockStoreStats stats_ GBX_GUARDED_BY(mu_);
 };
 
 /// Convenience factories for the two stock configurations.

@@ -1,0 +1,29 @@
+// Violation: acquiring the same mutex twice in one scope (self-deadlock
+// for a non-recursive mutex). MUST fail to compile under
+// -Werror=thread-safety.
+#include <cstdint>
+
+#include "gbx/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add() {
+    gbx::ScopedLock lk1(mu_);
+    gbx::ScopedLock lk2(mu_);  // deadlock: mu_ already held
+    ++value_;
+  }
+
+ private:
+  gbx::Mutex mu_;
+  std::uint64_t value_ GBX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Violation: touching a GBX_GUARDED_BY member without holding its
+// mutex. MUST fail to compile under -Werror=thread-safety.
+#include <cstdint>
+
+#include "gbx/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(std::uint64_t d) {
+    value_ += d;  // racy: mu_ not held
+  }
+
+ private:
+  gbx::Mutex mu_;
+  std::uint64_t value_ GBX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

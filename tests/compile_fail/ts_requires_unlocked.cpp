@@ -1,0 +1,28 @@
+// Violation: calling a GBX_REQUIRES(mu_) helper without holding mu_.
+// MUST fail to compile under -Werror=thread-safety.
+#include <cstdint>
+
+#include "gbx/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add() {
+    bump_locked();  // contract break: caller does not hold mu_
+  }
+
+ private:
+  void bump_locked() GBX_REQUIRES(mu_) { ++value_; }
+
+  gbx::Mutex mu_;
+  std::uint64_t value_ GBX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Violation: writing a guarded member while holding only the SHARED
+// side of its gbx::SharedMutex (readers may run concurrently). MUST
+// fail to compile under -Werror=thread-safety.
+#include <cstdint>
+
+#include "gbx/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add() {
+    gbx::ScopedReadLock lk(mu_);  // shared hold only
+    ++value_;                     // write needs the exclusive side
+  }
+
+ private:
+  mutable gbx::SharedMutex mu_;
+  std::uint64_t value_ GBX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add();
+  return 0;
+}

@@ -52,8 +52,10 @@ TEST(Sharded, ConcurrentWritersProduceExactTotal) {
   ShardedHier<double> m(16, 1u << 20, 1u << 20,
                         CutPolicy::geometric(3, 512, 8));
 
+  GBX_OMP_CAPTURE_HANDOFF;
 #pragma omp parallel num_threads(threads)
   {
+    gbx::OmpRegionGuard tsan_region;
     const int tid = omp_get_thread_num();
     std::mt19937_64 rng(static_cast<std::uint64_t>(tid) + 1);
     std::uniform_int_distribution<Index> coord(0, 1023);
@@ -86,8 +88,13 @@ TEST(Sharded, ConcurrentBatchesMatchSerialReplay) {
     for (int b = 0; b < batches; ++b) all.push_back(g.batch<double>(1000));
   }
 
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (std::size_t k = 0; k < all.size(); ++k) concurrent.update(all[k]);
+  GBX_OMP_CAPTURE_HANDOFF;
+#pragma omp parallel num_threads(threads)
+  {
+    gbx::OmpRegionGuard tsan_region;
+#pragma omp for schedule(static)
+    for (std::size_t k = 0; k < all.size(); ++k) concurrent.update(all[k]);
+  }
   for (const auto& b : all) serial.update(b);
 
   EXPECT_TRUE(gbx::equal(concurrent.snapshot(), serial.snapshot()));

@@ -30,6 +30,27 @@
 #include "hier/memory_governor.hpp"
 #include "net/net.hpp"
 
+// The two saturation tests assert that a fast producer OUTRUNS the
+// server (lane queue fills, reply backlog hits its cap). Under TSan
+// the ~10x slowdown plus OpenMP-region barriers shift those relative
+// speeds unpredictably, so the race-to-saturate premise itself is
+// unsound there; the paths stay exercised by the normal and ASan CI
+// legs.
+#if defined(__SANITIZE_THREAD__)
+#define GBX_SKIP_SATURATION_TIMING() \
+  GTEST_SKIP() << "saturation timing is not meaningful under TSan"
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GBX_SKIP_SATURATION_TIMING() \
+  GTEST_SKIP() << "saturation timing is not meaningful under TSan"
+#endif
+#endif
+#ifndef GBX_SKIP_SATURATION_TIMING
+#define GBX_SKIP_SATURATION_TIMING() \
+  do {                               \
+  } while (0)
+#endif
+
 namespace {
 
 using gbx::Index;
@@ -291,6 +312,7 @@ TEST(NetServer, PipelinedFlushesEachGetTheirOwnAck) {
 }
 
 TEST(NetServer, ReplyBacklogIsBoundedAndEveryPipelinedQueryAnswered) {
+  GBX_SKIP_SATURATION_TIMING();
   net::IngestServer::Options sopt;
   sopt.max_outbound_bytes = 64u << 10;  // small cap: throttle engages
   ServerHarness h(1, {}, sopt);
@@ -337,6 +359,7 @@ TEST(NetServer, ReplyBacklogIsBoundedAndEveryPipelinedQueryAnswered) {
 }
 
 TEST(NetServer, BackPressureThrottlesOnlyTheSaturatedLane) {
+  GBX_SKIP_SATURATION_TIMING();
   hier::ParallelStream<double>::Options popt;
   popt.queue_capacity = 1;  // park at the first busy overlap
   ServerHarness h(2, popt);

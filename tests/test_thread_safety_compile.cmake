@@ -1,0 +1,48 @@
+# Negative-compile driver for the thread-safety annotations: compile one
+# tests/compile_fail/ source with Clang's analysis promoted to errors and
+# assert the expected outcome.
+#
+#   cmake -DCLANGXX=<clang++> -DSRC=<file> -DINCLUDE_DIR=<repo>/src
+#         -DEXPECT=PASS|FAIL -P test_thread_safety_compile.cmake
+#
+# EXPECT=FAIL sources each seed one lock-discipline bug (guarded member
+# without the lock, REQUIRES contract break, double acquire, shared-hold
+# write); the test passes only when the compiler REJECTS the file. The
+# EXPECT=PASS control proves the toolchain accepts correct code, so the
+# FAIL results are meaningful.
+foreach(var CLANGXX SRC INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "test_thread_safety_compile.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CLANGXX} -std=c++20 -fsyntax-only
+          -Wthread-safety -Wthread-safety-beta
+          -Werror=thread-safety -Werror=thread-safety-beta
+          -I${INCLUDE_DIR} ${SRC}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "seeded thread-safety violation was NOT rejected: ${SRC}\n"
+      "The analysis would let this race/deadlock ship.")
+  endif()
+  string(FIND "${err}" "thread-safety" has_ts)
+  if(has_ts EQUAL -1)
+    message(FATAL_ERROR
+      "${SRC} failed to compile, but not from a thread-safety "
+      "diagnostic — the violation test is broken:\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "positive control rejected — the suite cannot distinguish real "
+      "violations: ${SRC}\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be PASS or FAIL (got '${EXPECT}')")
+endif()
