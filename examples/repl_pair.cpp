@@ -1,0 +1,236 @@
+// repl_pair — the failover smoke: a primary/replica pair across two
+// REAL processes, with the primary SIGKILLed mid-stream.
+//
+// The parent forks FIRST (before any thread exists — forking a
+// threaded process risks inheriting a locked allocator), then:
+//
+//   child    builds the full primary stack (InstanceArray →
+//            ParallelStream → MemoryGovernor → PrimaryReplicator →
+//            IngestServer), reports its ingest port over a pipe, and
+//            waits to be killed;
+//   parent   runs the ReplicaServer plus one repl::FailoverSender per
+//            lane, SIGKILLs the child at a random point in the stream,
+//            and waits for the drivers to fail over and finish against
+//            the self-promoted replica.
+//
+// The exactness claim this smoke enforces end-to-end: every driver
+// streams its FULL batch plan exactly once (acked batches are never
+// lost, shipped-but-unacked batches are never double-applied), so the
+// promoted replica's per-lane state must be bit-identical — Σ Ai and
+// nvals — to a direct in-process apply of the same plan. Any drift,
+// hang, or lost batch exits non-zero, which is what makes this a CI
+// gate rather than a demo.
+#include <cstdio>
+
+#ifdef __linux__
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gbx/coo.hpp"
+#include "hier/hier.hpp"
+#include "net/net.hpp"
+#include "repl/repl.hpp"
+
+namespace {
+
+constexpr std::size_t kLanes = 2;
+constexpr std::size_t kBatches = 32;   // per lane
+constexpr std::size_t kBatchSize = 2048;
+constexpr gbx::Index kDim = 512;
+
+hier::CutPolicy cuts() { return hier::CutPolicy::geometric(3, 2048, 8); }
+
+std::string tmp_path(const char* stem) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string(stem) + "_" + std::to_string(::getpid()) + ".bin"))
+      .string();
+}
+
+/// One lane's deterministic batch plan (value 1..8 integers: exact in
+/// double, so Σ Ai comparisons are bit-identical, not approximate).
+std::vector<gbx::Tuples<double>> make_plan(std::size_t lane) {
+  std::mt19937_64 rng(0xC0FFEEu + lane);
+  std::uniform_int_distribution<gbx::Index> coord(0, kDim - 1);
+  std::uniform_int_distribution<int> val(1, 8);
+  std::vector<gbx::Tuples<double>> plan(kBatches);
+  for (auto& b : plan)
+    for (std::size_t i = 0; i < kBatchSize; ++i)
+      b.push_back(coord(rng), coord(rng), static_cast<double>(val(rng)));
+  return plan;
+}
+
+bool read_u16(int fd, std::uint16_t& v) {
+  return ::read(fd, &v, sizeof v) == static_cast<ssize_t>(sizeof v);
+}
+
+void write_u16(int fd, std::uint16_t v) {
+  if (::write(fd, &v, sizeof v) != static_cast<ssize_t>(sizeof v)) _exit(3);
+}
+
+/// The child: run a primary until SIGKILL does its thing.
+[[noreturn]] void primary_process(int port_in, int port_out,
+                                  const std::string& wal) {
+  std::uint16_t replica_port = 0;
+  if (!read_u16(port_in, replica_port)) _exit(3);
+
+  hier::InstanceArray<double> array(kLanes, kDim, kDim, cuts());
+  hier::ParallelStream<double> stream(array);
+  stream.start();
+  hier::MemoryGovernor<hier::ParallelStream<double>> governor(stream);
+
+  repl::ShipperOptions shop;
+  shop.port = replica_port;
+  shop.wal_path = wal;
+  shop.heartbeat_ms = 10;
+  repl::PrimaryReplicator replicator(stream, shop);
+  replicator.start();
+
+  net::IngestServer::Options sopt;
+  sopt.replication = &replicator;
+  net::IngestServer server(stream, governor, sopt);
+  server.start();
+  write_u16(port_out, server.port());
+
+  for (;;) ::pause();  // the parent's SIGKILL is the only exit
+}
+
+}  // namespace
+
+int main() {
+  const std::string primary_wal = tmp_path("repl_pair_primary");
+  const std::string replica_wal = tmp_path("repl_pair_replica");
+  std::filesystem::remove(replica_wal);
+
+  int to_child[2], to_parent[2];
+  if (::pipe(to_child) != 0 || ::pipe(to_parent) != 0) {
+    std::perror("pipe");
+    return 2;
+  }
+
+  // Fork while still single-threaded; everything heavy happens after.
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 2;
+  }
+  if (pid == 0) {
+    ::close(to_child[1]);
+    ::close(to_parent[0]);
+    primary_process(to_child[0], to_parent[1], primary_wal);
+  }
+  ::close(to_child[0]);
+  ::close(to_parent[1]);
+
+  repl::ReplicaOptions ropt;
+  ropt.wal_path = replica_wal;
+  ropt.lanes = kLanes;
+  ropt.nrows = kDim;
+  ropt.ncols = kDim;
+  ropt.cuts = cuts();
+  ropt.lease_ms = 250;
+  repl::ReplicaServer replica(ropt);
+  replica.start();
+  write_u16(to_child[1], replica.port());
+
+  std::uint16_t primary_port = 0;
+  if (!read_u16(to_parent[0], primary_port)) {
+    std::fprintf(stderr, "repl_pair: primary child never came up\n");
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return 2;
+  }
+  std::printf("primary pid %d on port %u, replica on port %u\n",
+              static_cast<int>(pid), primary_port, replica.port());
+
+  std::vector<std::vector<gbx::Tuples<double>>> plans(kLanes);
+  for (std::size_t p = 0; p < kLanes; ++p) plans[p] = make_plan(p);
+
+  // Kill the primary at a random point while the paced stream is still
+  // in flight (the drivers take >= kBatches * pace to finish).
+  std::mt19937_64 rng(static_cast<std::uint64_t>(::getpid()) * 2654435761u +
+                      static_cast<std::uint64_t>(
+                          std::chrono::steady_clock::now()
+                              .time_since_epoch()
+                              .count()));
+  const int kill_after_ms =
+      static_cast<int>(10 + rng() % 60);  // 10..69ms into the stream
+
+  std::vector<repl::FailoverReport> reports(kLanes);
+  std::vector<std::thread> drivers;
+  for (std::size_t p = 0; p < kLanes; ++p) {
+    drivers.emplace_back([&, p] {
+      repl::FailoverOptions fopt;
+      fopt.primary_port = primary_port;
+      fopt.replica_port = replica.port();
+      fopt.lane = p;
+      fopt.recv_timeout_ms = 2000;
+      fopt.flush_every = 4;
+      fopt.pace_us = 2000;
+      reports[p] = repl::FailoverSender(fopt).run(plans[p]);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  std::printf("primary SIGKILLed after %dms\n", kill_after_ms);
+  for (auto& d : drivers) d.join();
+
+  // Every driver finished; the promoted replica must now hold exactly
+  // one application of every batch in every plan.
+  replica.stop();
+  bool ok = replica.promoted();
+  if (!ok) std::fprintf(stderr, "repl_pair: replica never promoted\n");
+  std::size_t failed_over = 0;
+  for (std::size_t p = 0; p < kLanes; ++p) {
+    if (reports[p].failed_over) ++failed_over;
+    const auto counts = replica.lane_batches();
+    if (counts[p] != kBatches) {
+      std::fprintf(stderr, "repl_pair: lane %zu applied %llu/%zu batches\n",
+                   p, static_cast<unsigned long long>(counts[p]), kBatches);
+      ok = false;
+    }
+    hier::HierMatrix<double> oracle(kDim, kDim, cuts());
+    for (const auto& b : plans[p]) {
+      auto copy = b;
+      oracle.update(copy);
+    }
+    const auto rsnap = replica.array().instance(p).freeze();
+    const auto osnap = oracle.freeze();
+    if (rsnap.reduce() != osnap.reduce() || rsnap.nvals() != osnap.nvals()) {
+      std::fprintf(stderr,
+                   "repl_pair: lane %zu DIVERGED (Σ %.17g vs %.17g, "
+                   "nvals %llu vs %llu)\n",
+                   p, rsnap.reduce(), osnap.reduce(),
+                   static_cast<unsigned long long>(rsnap.nvals()),
+                   static_cast<unsigned long long>(osnap.nvals()));
+      ok = false;
+    }
+  }
+
+  std::printf("result: %s (%zu/%zu drivers failed over; promoted Σ Ai "
+              "bit-identical to the full plan on every lane)\n",
+              ok ? "PASS" : "FAIL", failed_over, kLanes);
+  std::filesystem::remove(primary_wal);
+  std::filesystem::remove(replica_wal);
+  return ok ? 0 : 1;
+}
+
+#else  // !__linux__
+
+int main() {
+  std::printf("repl_pair: the replication stack is Linux-only\n");
+  return 0;
+}
+
+#endif

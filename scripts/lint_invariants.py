@@ -28,13 +28,10 @@ SRC = REPO / "src"
 # in a comment at the use site).
 NAKED_NEW_ALLOWLIST = {
     "src/gbx/scratch.hpp",
-    # Intrusive B-tree with raw child pointers and a recursive destroy();
-    # converting to unique_ptr is tracked in ROADMAP.md (follow-ons).
-    "src/store/btree_store.cpp",
 }
 
 # Subsystems whose locking must go through gbx/thread_annotations.hpp.
-ANNOTATED_SUBSYSTEMS = ("src/hier", "src/store", "src/net")
+ANNOTATED_SUBSYSTEMS = ("src/hier", "src/store", "src/net", "src/repl")
 RAW_PRIMITIVE_ALLOWLIST = {
     "src/gbx/thread_annotations.hpp",  # the wrapper itself
 }

@@ -53,6 +53,17 @@
 #                           non-zero otherwise); aggregate insert_rate
 #                           feeds the perf trajectory. NET_CLIENTS /
 #                           NET_SETS / NET_SET_SIZE shrink for CI.
+#   bench_replication     — WAL shipping to a live replica: ingest rate
+#                           with the replication chain armed vs off,
+#                           with Σ Ai checked exactly on BOTH ends.
+#                           rate_ratio must stay ≥ REPL_MIN_RATE_RATIO
+#                           (default 0.85) on hosts with ≥ 4 hardware
+#                           threads; below that the chain has nothing
+#                           to pipeline on and the floor falls back to
+#                           REPL_MIN_RATE_RATIO_SERIAL (default 0.30,
+#                           still failing stalls and ack starvation).
+#                           REPL_CLIENTS / REPL_SETS / REPL_SET_SIZE
+#                           shrink the workload for CI.
 #
 # Usage: scripts/run_benches.sh [build-dir] [output-dir]
 set -u
@@ -68,6 +79,10 @@ export BENCH_DELTA_MIN_SPEEDUP="${BENCH_DELTA_MIN_SPEEDUP:-5.0}"
 export BENCH_INGEST_MIN_SPEEDUP="${BENCH_INGEST_MIN_SPEEDUP:-1.5}"
 # Rate floor for bench_outofcore (ISSUE acceptance: 0.8x in-memory).
 export OUTOFCORE_MIN_RATE_RATIO="${OUTOFCORE_MIN_RATE_RATIO:-0.8}"
+# Rate floors for bench_replication (ISSUE acceptance: 0.85x with cores
+# to pipeline the shipping chain on; serial hosts measure work ratio).
+export REPL_MIN_RATE_RATIO="${REPL_MIN_RATE_RATIO:-0.85}"
+export REPL_MIN_RATE_RATIO_SERIAL="${REPL_MIN_RATE_RATIO_SERIAL:-0.30}"
 # Space-separated bench names to skip (e.g. a gate already run by a
 # dedicated CI step — avoids paying for the same bench twice).
 BENCH_SKIP="${BENCH_SKIP:-}"

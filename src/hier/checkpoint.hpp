@@ -22,6 +22,8 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "gbx/serialize.hpp"
@@ -179,6 +181,47 @@ class BatchWal {
   store::RecordLogWriter writer_;
 };
 
+/// Epoch-contiguity guard over a replayed WAL suffix — the shared
+/// admission rule of recover() and the replication replica
+/// (repl::ReplicaServer): records must arrive with strictly increasing
+/// epochs, records at or below the base epoch are skipped (already in
+/// the checkpoint / already applied), and the applied suffix must be
+/// contiguous from base+1. Violations throw gbx::Error with the
+/// caller's context prefixed, so a gapped replica stream and a gapped
+/// crash log report through one code path.
+class ReplayCursor {
+ public:
+  explicit ReplayCursor(std::uint64_t base_epoch, std::string context = "replay")
+      : base_(base_epoch), applied_(base_epoch), ctx_(std::move(context)) {}
+
+  /// Classify one record. True ⇒ apply it (then call mark_applied);
+  /// false ⇒ skip (epoch covered by the base). Throws on overlap / gap.
+  bool admit(std::uint64_t epoch) {
+    GBX_CHECK(!any_seen_ || epoch > last_seen_,
+              ctx_ + ": overlapping WAL suffix (record epochs must be "
+                     "strictly increasing)");
+    any_seen_ = true;
+    last_seen_ = epoch;
+    if (epoch <= base_) return false;
+    GBX_CHECK(epoch == applied_ + 1,
+              ctx_ + ": gapped WAL suffix (missing update records between "
+                     "epoch " + std::to_string(applied_) + " and " +
+                     std::to_string(epoch) + ")");
+    return true;
+  }
+
+  void mark_applied(std::uint64_t epoch) { applied_ = epoch; }
+  std::uint64_t applied() const { return applied_; }
+  std::uint64_t base() const { return base_; }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t applied_;
+  std::uint64_t last_seen_ = 0;
+  bool any_seen_ = false;
+  std::string ctx_;
+};
+
 /// What recover() found and did.
 struct RecoveryReport {
   std::uint64_t checkpoint_epoch = 0;  ///< E, read from the checkpoint
@@ -205,22 +248,12 @@ HierMatrix<T, M> recover(std::istream& ckpt, std::istream& wal,
   rep.checkpoint_epoch = ckpt_epoch;
 
   store::RecordLogReader reader(wal);
-  std::uint64_t last_seen = 0;   // last record epoch, for overlap checks
-  bool any_seen = false;
-  std::uint64_t last_applied = ckpt_epoch;
+  ReplayCursor cursor(ckpt_epoch, "recover");
   while (auto rec = reader.next()) {
-    GBX_CHECK(!any_seen || rec->epoch > last_seen,
-              "recover: overlapping WAL suffix (record epochs must be "
-              "strictly increasing)");
-    any_seen = true;
-    last_seen = rec->epoch;
-    if (rec->epoch <= ckpt_epoch) {
+    if (!cursor.admit(rec->epoch)) {
       ++rep.skipped_records;
       continue;
     }
-    GBX_CHECK(rec->epoch == last_applied + 1,
-              "recover: gapped WAL suffix (missing update records between "
-              "the checkpoint epoch and the log)");
     GBX_CHECK(rec->payload.size() % sizeof(gbx::Entry<T>) == 0,
               "recover: WAL record payload is not a whole entry array");
     const std::size_t n = rec->payload.size() / sizeof(gbx::Entry<T>);
@@ -233,7 +266,7 @@ HierMatrix<T, M> recover(std::istream& ckpt, std::istream& wal,
     rep.replayed_entries += batch.size();
     h.update(batch);
     ++rep.replayed_records;
-    last_applied = rec->epoch;
+    cursor.mark_applied(rec->epoch);
   }
   if (report != nullptr) *report = rep;
   return h;

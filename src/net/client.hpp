@@ -14,16 +14,21 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gbx/coo.hpp"
 #include "gbx/error.hpp"
+#include "gbx/failpoint.hpp"
 #include "net/event_loop.hpp"
 #include "net/protocol.hpp"
 
@@ -31,22 +36,54 @@ namespace net {
 
 class Client {
  public:
-  Client() = default;
+  struct Options {
+    /// Reply-read timeout, milliseconds; a blocked recv past this
+    /// throws a clean gbx::Error instead of hanging on a dead or
+    /// partitioned server — the failover-detection primitive. Negative
+    /// means block forever (the historical behaviour).
+    int recv_timeout_ms = -1;
+    /// connect() attempts before giving up (reconnect-with-retry).
+    int connect_attempts = 1;
+    /// Backoff before the second attempt, milliseconds; doubled per
+    /// retry up to connect_max_backoff_ms.
+    int connect_backoff_ms = 20;
+    int connect_max_backoff_ms = 500;
+  };
 
-  /// Connect to a server (dotted-quad host, e.g. "127.0.0.1").
+  // No `opt = {}` default argument: GCC parses default arguments before
+  // nested-class member initializers (same workaround as IngestServer).
+  Client() = default;
+  explicit Client(Options opt) : opt_(opt) {}
+
+  /// Connect to a server (dotted-quad host, e.g. "127.0.0.1"), retrying
+  /// with exponential backoff per Options::connect_attempts — so a
+  /// failover client can dial a replica that is still promoting.
   void connect(const std::string& host, std::uint16_t port) {
-    fd_ = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
-    GBX_CHECK(fd_.valid(), "client socket() failed");
     ::sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     GBX_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
               "client: bad host address");
-    GBX_CHECK(::connect(fd_.get(), reinterpret_cast<::sockaddr*>(&addr),
-                        sizeof addr) == 0,
-              "client connect() failed");
-    const int one = 1;
-    ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    int backoff = opt_.connect_backoff_ms;
+    const int attempts = opt_.connect_attempts > 0 ? opt_.connect_attempts : 1;
+    for (int a = 0; a < attempts; ++a) {
+      if (a > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min(backoff * 2, opt_.connect_max_backoff_ms);
+      }
+      fd_ = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+      GBX_CHECK(fd_.valid(), "client socket() failed");
+      if (::connect(fd_.get(), reinterpret_cast<::sockaddr*>(&addr),
+                    sizeof addr) == 0) {
+        const int one = 1;
+        ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        dec_ = store::RecordFrameDecoder(kDecoderCap);  // fresh session
+        return;
+      }
+      fd_.reset();
+    }
+    GBX_CHECK(false, "client connect() failed after " +
+                         std::to_string(attempts) + " attempt(s)");
   }
 
   bool connected() const { return fd_.valid(); }
@@ -133,9 +170,35 @@ class Client {
   store::LogRecord read_reply() { return next_frame(); }
 
  private:
+  static constexpr std::size_t kDecoderCap = 64u << 20;
+
   void send_all(const void* data, std::size_t n) {
     GBX_CHECK(fd_.valid(), "client not connected");
     const char* p = static_cast<const char*>(data);
+    if (gbx::failpoints().armed()) {
+      if (auto fp = gbx::failpoints().hit("net.client.send")) {
+        if (fp->action == gbx::FailAction::kPartial) {
+          // Transmit a prefix, then fail as if the peer reset us — the
+          // server sees a torn frame, the caller sees a send error.
+          std::size_t part = static_cast<std::size_t>(
+              static_cast<double>(n) * fp->fraction);
+          send_bytes(p, part);
+          fd_.reset();
+          GBX_CHECK(false, "client: connection lost during send (failpoint)");
+        }
+        if (fp->action == gbx::FailAction::kError) {
+          fd_.reset();
+          GBX_CHECK(false, "client: connection lost during send (failpoint)");
+        }
+        if (fp->action == gbx::FailAction::kDelay ||
+            fp->action == gbx::FailAction::kStall)
+          std::this_thread::sleep_for(std::chrono::milliseconds(fp->delay_ms));
+      }
+    }
+    send_bytes(p, n);
+  }
+
+  void send_bytes(const char* p, std::size_t n) {
     while (n > 0) {
       const auto w = ::send(fd_.get(), p, n, MSG_NOSIGNAL);
       if (w < 0 && errno == EINTR) continue;
@@ -156,6 +219,28 @@ class Client {
           break;
         case store::RecordFrameDecoder::Status::kNeedMore:
           break;
+      }
+      if (gbx::failpoints().armed()) {
+        if (auto fp = gbx::failpoints().hit("net.client.recv")) {
+          if (fp->action == gbx::FailAction::kError) {
+            fd_.reset();
+            GBX_CHECK(false, "client: connection closed by server (failpoint)");
+          }
+          if (fp->action == gbx::FailAction::kDelay ||
+              fp->action == gbx::FailAction::kStall)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fp->delay_ms));
+        }
+      }
+      if (opt_.recv_timeout_ms >= 0) {
+        ::pollfd pfd{fd_.get(), POLLIN, 0};
+        int r;
+        do {
+          r = ::poll(&pfd, 1, opt_.recv_timeout_ms);
+        } while (r < 0 && errno == EINTR);
+        GBX_CHECK(r >= 0, "client: poll() failed");
+        GBX_CHECK(r > 0, "client: recv timed out after " +
+                             std::to_string(opt_.recv_timeout_ms) + " ms");
       }
       char buf[1u << 16];
       const auto n = ::recv(fd_.get(), buf, sizeof buf, 0);
@@ -181,8 +266,9 @@ class Client {
     return rec;
   }
 
+  Options opt_{};
   Fd fd_;
-  store::RecordFrameDecoder dec_{64u << 20};
+  store::RecordFrameDecoder dec_{kDecoderCap};
 };
 
 }  // namespace net

@@ -49,8 +49,16 @@ enum class MsgType : std::uint16_t {
   kQuerySummary = 5,  ///< reply payload: SummaryReply
   kQueryRefresh = 6,  ///< reply payload: RefreshReply
   kBye = 7,           ///< orderly close
+  kQueryLaneEpochs = 8,  ///< reply payload: u64[lanes] applied batch counts
   kReplyOk = 32,      ///< arg echoes the request MsgType
   kReplyError = 33,   ///< payload: UTF-8 diagnostic; arg echoes request
+  // --- replication (src/repl/): primary→replica WAL shipping. Same
+  // frame layout, distinct type numbers; payload PODs live in
+  // repl/protocol.hpp so the core protocol stays dependency-free.
+  kShipHello = 16,  ///< payload: ShipHello; reply payload: ShipHelloReply
+  kShipBatch = 17,  ///< arg: WAL seq (48-bit); payload: lane u64 + entries
+  kShipAck = 18,    ///< arg: cumulative durably-applied seq (replica→primary)
+  kHeartbeat = 19,  ///< primary lease refresh, one-way
 };
 
 /// Lane-hint sentinel: let the server pick (the session's home lane).
@@ -119,7 +127,7 @@ inline void append_frame(std::string& out, MsgType type, std::uint64_t arg48,
       size > 0 ? static_cast<const char*>(payload) : "";
   const std::uint64_t tag = make_tag(type, arg48);
   const std::uint64_t size64 = size;
-  const std::uint64_t sum = store::detail::fnv1a(body, size);
+  const std::uint64_t sum = store::detail::frame_sum(tag, size64, body);
   const auto put = [&out](const void* p, std::size_t n) {
     out.append(static_cast<const char*>(p), n);
   };

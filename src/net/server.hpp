@@ -97,6 +97,24 @@ struct ServerStats {
   std::atomic<std::uint64_t> rejected_frames{0}; ///< corrupt/malformed/torn
 };
 
+/// Observer of every insert batch the server accepts, in acceptance
+/// order — the primary half of WAL shipping (repl::PrimaryReplicator
+/// implements it; the interface lives here so net never depends on
+/// repl). Both methods run on the event-loop thread:
+///   * on_batch() fires immediately after a lane accepts the batch, in
+///     the single loop thread's total order — the sink's log order IS
+///     the per-lane apply order, which is what makes a replica's replay
+///     bit-exact.
+///   * all_durable() gates the flush barrier: kFlush is only acked once
+///     every batch the sink has seen is durably replicated, so an acked
+///     batch can never be lost by a primary crash (acked ⊆ replicated).
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+  virtual void on_batch(std::size_t lane, gbx::Tuples<double> batch) = 0;
+  virtual bool all_durable() = 0;
+};
+
 class IngestServer {
  public:
   using Stream = hier::ParallelStream<double>;
@@ -117,6 +135,11 @@ class IngestServer {
     /// and PageRank are opt-in: they are superlinear in the snapshot
     /// and would stall the event loop on big graphs.
     analytics::IncrementalOptions analytics = default_analytics();
+    /// Optional replication sink (primary-side WAL shipping). When set,
+    /// every accepted insert batch is handed to the sink in acceptance
+    /// order and flush acks additionally wait for all_durable(). Must
+    /// outlive the server.
+    ReplicationSink* replication = nullptr;
 
     static analytics::IncrementalOptions default_analytics() {
       analytics::IncrementalOptions a;
@@ -465,8 +488,17 @@ class IngestServer {
   bool submit_or_park(Session& s, std::size_t lane,
                       gbx::Tuples<double>& batch) GBX_REQUIRES(loop_role_) {
     const std::size_t n = batch.size();
+    // try_submit consumes the batch on acceptance, but the replication
+    // sink must only see batches that were actually accepted (a parked
+    // batch dropped by a dying session must never reach the replica) —
+    // so copy first, hand over after. The copy is only paid when
+    // replication is on; the no-replication path is untouched.
+    gbx::Tuples<double> shipped;
+    if (opt_.replication != nullptr) shipped = batch;
     switch (stream_->try_submit(lane, batch)) {
       case hier::SubmitResult::kAccepted:
+        if (opt_.replication != nullptr)
+          opt_.replication->on_batch(lane, std::move(shipped));
         s.used_lanes[lane] = true;
         stats_.insert_frames.fetch_add(1, std::memory_order_relaxed);
         stats_.entries_ingested.fetch_add(n, std::memory_order_relaxed);
@@ -498,8 +530,12 @@ class IngestServer {
       Session& s = *sp;
       if (s.parked && !s.dead) {
         const std::size_t n = s.parked_batch.size();
+        gbx::Tuples<double> shipped;  // see submit_or_park
+        if (opt_.replication != nullptr) shipped = s.parked_batch;
         switch (stream_->try_submit(s.parked_lane, s.parked_batch)) {
           case hier::SubmitResult::kAccepted:
+            if (opt_.replication != nullptr)
+              opt_.replication->on_batch(s.parked_lane, std::move(shipped));
             s.used_lanes[s.parked_lane] = true;
             stats_.insert_frames.fetch_add(1, std::memory_order_relaxed);
             stats_.entries_ingested.fetch_add(n, std::memory_order_relaxed);
@@ -548,6 +584,13 @@ class IngestServer {
     if (s.parked) return;
     for (std::size_t p = 0; p < s.used_lanes.size(); ++p)
       if (s.used_lanes[p] && !stream_->lane_idle(p)) return;
+    // Replication barrier (conservative, global): a flush ack promises
+    // the batches survive a primary crash, so it must also wait for the
+    // replica's cumulative durable ack to catch up with everything
+    // shipped. The loop polls at 1ms while flushes are pending.
+    if (opt_.replication != nullptr && s.pending_flushes > 0 &&
+        !opt_.replication->all_durable())
+      return;
     while (s.pending_flushes > 0) {
       --s.pending_flushes;
       reply_ok(s, MsgType::kFlush, "", 0);

@@ -1,0 +1,83 @@
+// repl/protocol.hpp — payload PODs and codecs of the WAL-shipping
+// protocol (message types kShipHello/kShipBatch/kShipAck/kHeartbeat in
+// net/protocol.hpp; this header only defines what rides inside them).
+//
+// Shipping model: the primary's IngestServer hands every accepted
+// insert batch to a repl::PrimaryReplicator in acceptance order; the
+// replicator stamps it with the next sequence number (1, 2, 3, ... —
+// a single event-loop thread accepts, so the order is total) and
+// appends it to a replication WAL whose record epoch IS the sequence
+// number. A shipper thread tails that WAL and streams each record to
+// the replica as a kShipBatch frame (arg48 = seq, payload = the WAL
+// record payload verbatim), windowed by the replica's cumulative
+// kShipAck. The per-lane subsequences of the total order are exactly
+// the per-lane apply orders, so a replica replaying in sequence order
+// reproduces every lane's matrix bit-for-bit.
+//
+// Batch payload layout (both the replication WAL record and the
+// kShipBatch frame): [lane u64][gbx::Entry<double> array].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gbx/coo.hpp"
+#include "net/protocol.hpp"
+
+namespace repl {
+
+/// kShipHello payload: the primary introduces itself and its topology.
+/// The replica rejects a mismatched shape loudly (replicating lane 3 of
+/// a 2-lane primary is configuration error, not data).
+struct ShipHello {
+  std::uint64_t lanes = 0;
+  std::uint64_t nrows = 0;
+  std::uint64_t ncols = 0;
+  /// Primary incarnation; a promoted replica fences EVERY hello
+  /// regardless, so this is diagnostic, not protocol.
+  std::uint64_t generation = 0;
+};
+
+/// kReplyOk(kShipHello) payload: where to resume shipping.
+struct ShipHelloReply {
+  /// First sequence number the replica has NOT durably applied — the
+  /// shipper skips everything below it (crash-resume without
+  /// double-applying).
+  std::uint64_t next_seq = 1;
+};
+
+/// Serialize one accepted batch as a shipping payload.
+inline std::string encode_batch_payload(std::size_t lane,
+                                        const gbx::Tuples<double>& batch) {
+  std::string out;
+  const auto& es = batch.entries();
+  const std::uint64_t lane64 = lane;
+  out.reserve(sizeof lane64 + es.size() * sizeof(es[0]));
+  out.append(reinterpret_cast<const char*>(&lane64), sizeof lane64);
+  if (!es.empty())
+    out.append(reinterpret_cast<const char*>(es.data()),
+               es.size() * sizeof(es[0]));
+  return out;
+}
+
+/// Decode a shipping payload. False when malformed (short header or a
+/// fractional entry array) — the receiver treats that as a rejected
+/// frame, never a partial apply.
+inline bool decode_batch_payload(const std::vector<std::byte>& payload,
+                                 std::uint64_t& lane,
+                                 gbx::Tuples<double>& batch) {
+  if (payload.size() < sizeof(std::uint64_t)) return false;
+  std::memcpy(&lane, payload.data(), sizeof lane);
+  const std::size_t body = payload.size() - sizeof lane;
+  if (body % sizeof(gbx::Entry<double>) != 0) return false;
+  std::vector<gbx::Entry<double>> entries(body / sizeof(gbx::Entry<double>));
+  if (body > 0)
+    std::memcpy(entries.data(), payload.data() + sizeof lane, body);
+  batch = gbx::Tuples<double>(std::move(entries));
+  return true;
+}
+
+}  // namespace repl

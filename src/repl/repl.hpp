@@ -1,0 +1,10 @@
+// repl/repl.hpp — umbrella for the replication layer: primary-side WAL
+// shipping (PrimaryReplicator), the replica server with lease-based
+// self-promotion (ReplicaServer), and the failover-aware ingest client
+// (FailoverSender). See repl/protocol.hpp for the shipping model.
+#pragma once
+
+#include "repl/failover.hpp"
+#include "repl/protocol.hpp"
+#include "repl/replica.hpp"
+#include "repl/wal_shipper.hpp"

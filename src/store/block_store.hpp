@@ -118,8 +118,9 @@ class MemBackend final : public BlockBackend {
 };
 
 /// Single-file append-only backend. Every mutation is one RecordLog
-/// frame `[magic][block id][size][payload][fnv1a]`; a zero-size payload
-/// is a tombstone. open() replays the frames into an offset catalog and
+/// frame `[magic][block id][size][payload][fnv1a of id|size|payload]`
+/// (the WAL's frame_sum, so a decoder replay and a vacuum rewrite agree
+/// with a direct append); a zero-size payload is a tombstone. open() replays the frames into an offset catalog and
 /// truncates the file at the first torn or corrupt frame — the crash-
 /// recovery rule of the WAL, applied to block storage: whatever a crash
 /// tore off simply reverts to "unknown block", never to wrong bytes.
@@ -150,8 +151,7 @@ class FileBackend final : public BlockBackend {
     std::memcpy(&sum, frame.data() + kHeaderBytes + e.size, 8);
     GBX_CHECK(magic == detail::kRecordMagic && fid == id && fsize == e.size,
               "block file: frame header mismatch (corrupt block file)");
-    GBX_CHECK(sum == detail::fnv1a(frame.data() + kHeaderBytes,
-                                   static_cast<std::size_t>(e.size)),
+    GBX_CHECK(sum == detail::frame_sum(fid, fsize, frame.data() + kHeaderBytes),
               "block file: block checksum mismatch (corrupt block file)");
     out.assign(frame.data() + kHeaderBytes, static_cast<std::size_t>(e.size));
     return true;
@@ -263,7 +263,7 @@ class FileBackend final : public BlockBackend {
     end_before_last_ = end_;
     const std::uint64_t magic = detail::kRecordMagic;
     const std::uint64_t sz = size;
-    const std::uint64_t sum = detail::fnv1a(data, size);
+    const std::uint64_t sum = detail::frame_sum(id, sz, data);
     file_.write(reinterpret_cast<const char*>(&magic), 8);
     file_.write(reinterpret_cast<const char*>(&id), 8);
     file_.write(reinterpret_cast<const char*>(&sz), 8);

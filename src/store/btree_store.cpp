@@ -3,19 +3,24 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <utility>
 
 #include "gbx/error.hpp"
 
 namespace store {
 
 // ---------------------------------------------------------------------------
-// Node layout
+// Node layout — owned via unique_ptr: an inner node owns its children,
+// the store owns the root, and teardown is the ownership graph itself
+// (recursion depth = tree height, same as the old hand-rolled destroy).
+// The leaf chain stays raw: `next` is a non-owning sibling link.
 // ---------------------------------------------------------------------------
 
 struct BTreeStore::Node {
   bool leaf;
   std::uint16_t count = 0;
   explicit Node(bool is_leaf) : leaf(is_leaf) {}
+  virtual ~Node() = default;  // deleted through Node* by unique_ptr
 };
 
 struct BTreeStore::Leaf : BTreeStore::Node {
@@ -28,55 +33,35 @@ struct BTreeStore::Leaf : BTreeStore::Node {
 struct BTreeStore::Inner : BTreeStore::Node {
   // children[i] holds keys < keys[i]; children[count] holds the rest.
   std::array<Key, kFanout> keys;
-  std::array<Node*, kFanout + 1> children{};
+  std::array<std::unique_ptr<Node>, kFanout + 1> children;
   Inner() : Node(false) {}
 };
-
-namespace {
-
-using Node = BTreeStore::Node;
-
-void destroy(Node* n) {
-  if (n == nullptr) return;
-  if (!n->leaf) {
-    auto* in = static_cast<BTreeStore::Inner*>(n);
-    for (std::uint16_t i = 0; i <= in->count; ++i) destroy(in->children[i]);
-    delete in;
-  } else {
-    delete static_cast<BTreeStore::Leaf*>(n);
-  }
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Lifecycle
 // ---------------------------------------------------------------------------
 
 BTreeStore::BTreeStore(bool enable_wal)
-    : wal_enabled_(enable_wal), root_(new Leaf()) {}
+    : wal_enabled_(enable_wal), root_(std::make_unique<Leaf>()) {}
 
-BTreeStore::~BTreeStore() { destroy(root_); }
+BTreeStore::~BTreeStore() = default;
 
 BTreeStore::BTreeStore(BTreeStore&& o) noexcept
     : wal_enabled_(o.wal_enabled_),
       wal_(std::move(o.wal_)),
-      root_(o.root_),
+      root_(std::move(o.root_)),
       size_(o.size_),
       stats_(o.stats_) {
-  o.root_ = nullptr;
   o.size_ = 0;
 }
 
 BTreeStore& BTreeStore::operator=(BTreeStore&& o) noexcept {
   if (this != &o) {
-    destroy(root_);
     wal_enabled_ = o.wal_enabled_;
     wal_ = std::move(o.wal_);
-    root_ = o.root_;
+    root_ = std::move(o.root_);
     size_ = o.size_;
     stats_ = o.stats_;
-    o.root_ = nullptr;
     o.size_ = 0;
   }
   return *this;
@@ -93,7 +78,7 @@ void BTreeStore::insert(Key k, Value v) {
   // Descend, remembering the path for splits.
   std::vector<Inner*> path;
   std::vector<std::uint16_t> slot;
-  Node* n = root_;
+  Node* n = root_.get();
   while (!n->leaf) {
     auto* in = static_cast<Inner*>(n);
     const auto* first = in->keys.data();
@@ -102,7 +87,7 @@ void BTreeStore::insert(Key k, Value v) {
         std::upper_bound(first, last, k) - first);
     path.push_back(in);
     slot.push_back(i);
-    n = in->children[i];
+    n = in->children[i].get();
   }
   auto* leaf = static_cast<Leaf*>(n);
 
@@ -130,7 +115,7 @@ void BTreeStore::insert(Key k, Value v) {
   if (leaf->count < kFanout) return;
 
   // Split the leaf: right half moves to a new node.
-  auto* right = new Leaf();
+  auto right = std::make_unique<Leaf>();
   const std::uint16_t half = kFanout / 2;
   right->count = static_cast<std::uint16_t>(leaf->count - half);
   std::copy(leaf->keys.begin() + half, leaf->keys.begin() + leaf->count,
@@ -139,11 +124,11 @@ void BTreeStore::insert(Key k, Value v) {
             right->vals.begin());
   leaf->count = half;
   right->next = leaf->next;
-  leaf->next = right;
+  leaf->next = right.get();
   ++stats_.leaf_splits;
 
   Key sep = right->keys[0];
-  Node* rchild = right;
+  std::unique_ptr<Node> rchild = std::move(right);
 
   // Propagate the separator upward.
   while (!path.empty()) {
@@ -154,34 +139,34 @@ void BTreeStore::insert(Key k, Value v) {
 
     for (std::uint16_t i = in->count; i > at; --i) {
       in->keys[i] = in->keys[i - 1];
-      in->children[i + 1] = in->children[i];
+      in->children[i + 1] = std::move(in->children[i]);
     }
     in->keys[at] = sep;
-    in->children[at + 1] = rchild;
+    in->children[at + 1] = std::move(rchild);
     ++in->count;
     if (in->count < kFanout) return;
 
     // Split the inner node; middle key moves up.
-    auto* rin = new Inner();
+    auto rin = std::make_unique<Inner>();
     const std::uint16_t mid = kFanout / 2;
     sep = in->keys[mid];
     rin->count = static_cast<std::uint16_t>(in->count - mid - 1);
     std::copy(in->keys.begin() + mid + 1, in->keys.begin() + in->count,
               rin->keys.begin());
-    std::copy(in->children.begin() + mid + 1,
+    std::move(in->children.begin() + mid + 1,
               in->children.begin() + in->count + 1, rin->children.begin());
     in->count = mid;
-    rchild = rin;
+    rchild = std::move(rin);
     ++stats_.inner_splits;
   }
 
   // Root split: grow the tree by one level.
-  auto* nroot = new Inner();
+  auto nroot = std::make_unique<Inner>();
   nroot->count = 1;
   nroot->keys[0] = sep;
-  nroot->children[0] = root_;
-  nroot->children[1] = rchild;
-  root_ = nroot;
+  nroot->children[0] = std::move(root_);
+  nroot->children[1] = std::move(rchild);
+  root_ = std::move(nroot);
   ++stats_.height;
 }
 
@@ -190,13 +175,13 @@ void BTreeStore::insert(Key k, Value v) {
 // ---------------------------------------------------------------------------
 
 std::optional<Value> BTreeStore::get(Key k) const {
-  const Node* n = root_;
+  const Node* n = root_.get();
   while (!n->leaf) {
     const auto* in = static_cast<const Inner*>(n);
     const auto* first = in->keys.data();
     const auto i = static_cast<std::uint16_t>(
         std::upper_bound(first, first + in->count, k) - first);
-    n = in->children[i];
+    n = in->children[i].get();
   }
   const auto* leaf = static_cast<const Leaf*>(n);
   const auto* first = leaf->keys.data();
@@ -208,8 +193,8 @@ std::optional<Value> BTreeStore::get(Key k) const {
 
 const BTreeStore::Leaf* BTreeStore::first_leaf() const {
   if (root_ == nullptr) return nullptr;
-  const Node* n = root_;
-  while (!n->leaf) n = static_cast<const Inner*>(n)->children[0];
+  const Node* n = root_.get();
+  while (!n->leaf) n = static_cast<const Inner*>(n)->children[0].get();
   return static_cast<const Leaf*>(n);
 }
 
@@ -224,6 +209,8 @@ std::pair<Key, Value> BTreeStore::leaf_entry(const Leaf* l, std::size_t i) {
 // ---------------------------------------------------------------------------
 
 namespace {
+
+using Node = BTreeStore::Node;
 
 struct DepthCheck {
   int leaf_depth = -1;
@@ -260,7 +247,7 @@ void check(const Node* n, int depth, const Key* lo, const Key* hi,
   for (std::uint16_t i = 0; i <= in->count; ++i) {
     const Key* clo = (i == 0) ? lo : &in->keys[i - 1];
     const Key* chi = (i == in->count) ? hi : &in->keys[i];
-    check(in->children[i], depth + 1, clo, chi, dc);
+    check(in->children[i].get(), depth + 1, clo, chi, dc);
   }
 }
 
@@ -269,7 +256,7 @@ void check(const Node* n, int depth, const Key* lo, const Key* hi,
 bool BTreeStore::validate() const {
   if (root_ == nullptr) return false;
   DepthCheck dc;
-  check(root_, 0, nullptr, nullptr, dc);
+  check(root_.get(), 0, nullptr, nullptr, dc);
   if (!dc.ok) return false;
   // Linked-leaf order must match tree order and cover exactly size_ keys.
   std::size_t n = 0;

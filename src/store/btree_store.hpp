@@ -78,7 +78,7 @@ class BTreeStore {
 
   bool wal_enabled_;
   WriteAheadLog wal_;
-  Node* root_ = nullptr;
+  std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
   BTreeStats stats_;
 };

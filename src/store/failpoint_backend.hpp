@@ -1,0 +1,133 @@
+// store/failpoint_backend.hpp — fault-injection BlockBackend over the
+// process-wide gbx::failpoints() registry.
+//
+// Wraps any real backend and consults two named failpoints on every
+// block I/O:
+//
+//   "store.block.write"  kError ⇒ throw (ENOSPC); kTorn ⇒ persist only
+//                        a `fraction` prefix and report success (torn
+//                        write)
+//   "store.block.read"   kError ⇒ throw (EIO); kTorn ⇒ silently return
+//                        a `fraction` prefix (short read)
+//
+// This is the PR 7 test-local FailpointBackend generalized: the legacy
+// fire-once arming API (fail_write_at etc., absolute 1-based operation
+// counts) is kept verbatim so the out-of-core fault suite reads the
+// same, but the triggers now live in the shared registry — the same
+// machinery that injects EPIPE into net::Client and delayed/stalled
+// acks into the replication path, so one failover matrix drives every
+// subsystem.
+//
+// The wrapper also keeps its own absolute writes()/reads() counters
+// (the registry counts per-arming, not per-lifetime), which is what the
+// "fail N ops from now" arming idiom needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gbx/error.hpp"
+#include "gbx/failpoint.hpp"
+#include "store/block_store.hpp"
+
+namespace store {
+
+class FailpointBackend final : public BlockBackend {
+ public:
+  explicit FailpointBackend(std::unique_ptr<BlockBackend> inner)
+      : inner_(std::move(inner)) {}
+
+  ~FailpointBackend() override {
+    // The names are process-global; don't leak triggers past this rig.
+    gbx::failpoints().disarm(kWrite);
+    gbx::failpoints().disarm(kRead);
+  }
+
+  // --- legacy fire-once arming (absolute op counts, 1-based) ---------------
+  void fail_write_at(std::uint64_t n) {
+    arm(kWrite, gbx::FailAction::kError, n - writes_);
+  }
+  void torn_write_at(std::uint64_t n) {
+    arm(kWrite, gbx::FailAction::kTorn, n - writes_);
+  }
+  void fail_read_at(std::uint64_t n) {
+    arm(kRead, gbx::FailAction::kError, n - reads_);
+  }
+  void short_read_at(std::uint64_t n) {
+    arm(kRead, gbx::FailAction::kTorn, n - reads_);
+  }
+
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t reads() const { return reads_; }
+  BlockBackend& inner() { return *inner_; }
+
+  // --- BlockBackend --------------------------------------------------------
+  void write(BlockId id, const void* data, std::size_t size) override {
+    ++writes_;
+    if (gbx::failpoints().armed()) {
+      if (auto fp = gbx::failpoints().hit(kWrite)) {
+        if (fp->action == gbx::FailAction::kError)
+          GBX_CHECK(false, "injected write failure (ENOSPC)");
+        if (fp->action == gbx::FailAction::kTorn) {
+          inner_->write(id, data,
+                        static_cast<std::size_t>(static_cast<double>(size) *
+                                                 fp->fraction));
+          return;  // tear: keep a prefix, report ok
+        }
+      }
+    }
+    inner_->write(id, data, size);
+  }
+
+  bool read(BlockId id, std::string& out) override {
+    ++reads_;
+    gbx::FailAction action{};
+    double fraction = 0;
+    bool fired = false;
+    if (gbx::failpoints().armed()) {
+      if (auto fp = gbx::failpoints().hit(kRead)) {
+        action = fp->action;
+        fraction = fp->fraction;
+        fired = true;
+      }
+    }
+    if (fired && action == gbx::FailAction::kError)
+      GBX_CHECK(false, "injected read failure (EIO)");
+    if (!inner_->read(id, out)) return false;
+    if (fired && action == gbx::FailAction::kTorn)
+      out.resize(
+          static_cast<std::size_t>(static_cast<double>(out.size()) * fraction));
+    return true;
+  }
+
+  void erase(BlockId id) override { inner_->erase(id); }
+
+  std::vector<std::pair<BlockId, std::uint64_t>> entries() const override {
+    return inner_->entries();
+  }
+
+ private:
+  static constexpr const char* kWrite = "store.block.write";
+  static constexpr const char* kRead = "store.block.read";
+
+  void arm(const char* name, gbx::FailAction action, std::uint64_t in_ops) {
+    // n < current count would wrap the subtraction to a huge value.
+    GBX_CHECK(in_ops > 0 && in_ops < (std::uint64_t{1} << 62),
+              "failpoint arming must target a future operation");
+    gbx::FailpointSpec spec;
+    spec.action = action;
+    spec.at_op = in_ops;  // registry op counts reset on arm
+    spec.fraction = 0.5;
+    spec.max_fires = 1;
+    gbx::failpoints().arm(name, spec);
+  }
+
+  std::unique_ptr<BlockBackend> inner_;
+  std::uint64_t writes_ = 0, reads_ = 0;
+};
+
+}  // namespace store

@@ -9,10 +9,12 @@
 //
 // RecordLogWriter/RecordLogReader: a durable, *replayable* framed log
 // for crash recovery (hier::recover). Each record is
-//   [magic u64][epoch u64][size u64][payload bytes][fnv1a-64 of payload]
+//   [magic u64][epoch u64][size u64][payload bytes][fnv1a-64 of
+//   epoch|size|payload]
 // so a reader can (a) skip records by epoch without deserializing the
 // payload, (b) detect a torn tail — a crash mid-append leaves a frame
-// the checksum/size cannot complete — and (c) reject bit corruption.
+// the checksum/size cannot complete — and (c) reject bit corruption
+// anywhere past the magic word, header fields included.
 // Epoch semantics (which records may follow which) belong to the
 // replayer, not the container.
 #pragma once
@@ -69,14 +71,30 @@ namespace detail {
 
 inline constexpr std::uint64_t kRecordMagic = 0x48485741'4C303031ull;  // "HHWAL001"
 
-inline std::uint64_t fnv1a(const void* data, std::size_t n) {
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+
+/// Chainable fnv1a-64: pass the previous return as `h` to continue the
+/// hash across discontiguous regions (header words, then the payload).
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t h = kFnvOffset) {
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xCBF29CE484222325ull;
   for (std::size_t i = 0; i < n; ++i) {
     h ^= p[i];
     h *= 0x00000100000001B3ull;
   }
   return h;
+}
+
+/// The frame checksum: fnv1a over epoch | size | payload. Covering the
+/// header words (not just the payload) means a bit flip in the epoch or
+/// size field of an otherwise-valid frame is classified as corruption
+/// instead of silently decoding as a frame that was never written — the
+/// "no phantom frames" property the corruption suite asserts.
+inline std::uint64_t frame_sum(std::uint64_t epoch, std::uint64_t size,
+                               const void* payload) {
+  std::uint64_t h = fnv1a(&epoch, sizeof epoch);
+  h = fnv1a(&size, sizeof size, h);
+  return fnv1a(payload, static_cast<std::size_t>(size), h);
 }
 
 }  // namespace detail
@@ -94,7 +112,7 @@ class RecordLogWriter {
     write_pod(static_cast<std::uint64_t>(size));
     os_->write(static_cast<const char*>(data),
                static_cast<std::streamsize>(size));
-    write_pod(detail::fnv1a(data, size));
+    write_pod(detail::frame_sum(epoch, size, data));
     GBX_CHECK(os_->good(), "record log: write failure");
     ++records_;
     bytes_ += 4 * sizeof(std::uint64_t) + size;
@@ -176,8 +194,12 @@ class RecordFrameDecoder {
 
     const std::byte* payload = buf_.data() + off_ + kHeaderBytes;
     const std::uint64_t sum = peek_u64(kHeaderBytes + size);
-    if (sum != detail::fnv1a(payload, static_cast<std::size_t>(size)))
-      return fail("record log: payload checksum mismatch");
+    // The checksummed region (epoch | size | payload) is contiguous in
+    // the buffer, starting right after the magic word.
+    if (sum != detail::fnv1a(buf_.data() + off_ + sizeof(std::uint64_t),
+                             kHeaderBytes - sizeof(std::uint64_t) +
+                                 static_cast<std::size_t>(size)))
+      return fail("record log: frame checksum mismatch (header or payload)");
     out.epoch = peek_u64(sizeof(std::uint64_t));
     out.payload.assign(payload, payload + size);
     off_ += static_cast<std::size_t>(total);
@@ -256,6 +278,53 @@ class RecordLogReader {
       GBX_CHECK(false, "record log: torn record (stream ended mid-frame)");
     }
   }
+
+ private:
+  std::istream* is_;
+  RecordFrameDecoder dec_;
+};
+
+/// Tailing reader over a *growing* RecordLog stream (the replication
+/// shipper follows the primary's live WAL file with one of these).
+/// Unlike RecordLogReader, end-of-input is never a verdict: a partial
+/// frame at the current end just means the writer has not finished
+/// appending it yet, so next() returns nullopt ("caught up, poll
+/// again") and a later call resumes from the same byte. The stream's
+/// eofbit is cleared between polls so an ifstream keeps picking up
+/// bytes appended after a previous read hit EOF. Corruption still
+/// throws — a bad frame in a live WAL is a real fault, not a race.
+class RecordLogTailer {
+ public:
+  explicit RecordLogTailer(std::istream& is,
+                           std::uint64_t max_payload_bytes =
+                               RecordFrameDecoder::kNoLimit)
+      : is_(&is), dec_(max_payload_bytes) {}
+
+  /// The next complete frame, or nullopt when the readable bytes stop
+  /// mid-frame (or exactly at a boundary) — i.e. the tail is caught up.
+  std::optional<LogRecord> next() {
+    for (;;) {
+      LogRecord rec;
+      switch (dec_.next(rec)) {
+        case RecordFrameDecoder::Status::kFrame:
+          return rec;
+        case RecordFrameDecoder::Status::kCorrupt:
+          GBX_CHECK(false, dec_.error());
+          break;
+        case RecordFrameDecoder::Status::kNeedMore:
+          break;
+      }
+      if (is_->eof()) is_->clear();  // the file may have grown since
+      char chunk[1u << 16];
+      is_->read(chunk, sizeof chunk);
+      const auto got = static_cast<std::size_t>(is_->gcount());
+      if (got == 0) return std::nullopt;  // caught up (for now)
+      dec_.feed(chunk, got);
+    }
+  }
+
+  /// Bytes buffered past the last complete frame (a partial tail).
+  std::size_t buffered() const { return dec_.buffered(); }
 
  private:
   std::istream* is_;

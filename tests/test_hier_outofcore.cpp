@@ -12,6 +12,7 @@
 // doubles and checks the SELF-consistency contract instead: all read
 // paths of the demoted matrix agree bit-for-bit with each other.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -383,7 +384,9 @@ TEST(OutOfCore, ShardedHierDemotionMatchesSingleMatrix) {
 // ---------------------------------------------------------------------------
 
 TEST(OutOfCore, FileBackedTierSurvivesCacheChurnAndVacuum) {
-  const std::string path = testing::TempDir() + "hhgbx_outofcore_blocks.bin";
+  // pid-unique: the 3-seed reruns of this suite may run concurrently.
+  const std::string path = testing::TempDir() + "hhgbx_outofcore_blocks_" +
+                           std::to_string(::getpid()) + ".bin";
   std::remove(path.c_str());
   {
     store::BlockStoreConfig scfg;

@@ -9,6 +9,7 @@
 // parameterized over injection points so the failure lands in different
 // phases (first segment, mid-run, directory already partially filled).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -22,6 +23,7 @@
 #include "gbx/gbx.hpp"
 #include "hier/hier.hpp"
 #include "prop_util.hpp"
+#include "store/failpoint_backend.hpp"
 
 namespace {
 
@@ -30,68 +32,12 @@ using hier::CutPolicy;
 using hier::DemotionConfig;
 using hier::HierMatrix;
 
-// ---------------------------------------------------------------------------
-// FailpointBackend: wraps any BlockBackend; each fault arms once at the
-// Nth matching operation (1-based) and disarms after firing.
-// ---------------------------------------------------------------------------
-
-class FailpointBackend final : public store::BlockBackend {
- public:
-  explicit FailpointBackend(std::unique_ptr<store::BlockBackend> inner)
-      : inner_(std::move(inner)) {}
-
-  // --- arming -------------------------------------------------------------
-  void fail_write_at(std::uint64_t n) { fail_write_ = n; }   // throws (ENOSPC)
-  void torn_write_at(std::uint64_t n) { torn_write_ = n; }   // silent prefix
-  void fail_read_at(std::uint64_t n) { fail_read_ = n; }     // throws (EIO)
-  void short_read_at(std::uint64_t n) { short_read_ = n; }   // silent prefix
-
-  std::uint64_t writes() const { return writes_; }
-  std::uint64_t reads() const { return reads_; }
-  store::BlockBackend& inner() { return *inner_; }
-
-  // --- BlockBackend -------------------------------------------------------
-  void write(store::BlockId id, const void* data, std::size_t size) override {
-    ++writes_;
-    if (writes_ == fail_write_) {
-      fail_write_ = 0;
-      GBX_CHECK(false, "injected write failure (ENOSPC)");
-    }
-    if (writes_ == torn_write_) {
-      torn_write_ = 0;
-      inner_->write(id, data, size / 2);  // tear: keep a prefix, report ok
-      return;
-    }
-    inner_->write(id, data, size);
-  }
-
-  bool read(store::BlockId id, std::string& out) override {
-    ++reads_;
-    if (reads_ == fail_read_) {
-      fail_read_ = 0;
-      GBX_CHECK(false, "injected read failure (EIO)");
-    }
-    if (!inner_->read(id, out)) return false;
-    if (reads_ == short_read_) {
-      short_read_ = 0;
-      out.resize(out.size() / 2);  // short read, silently truncated
-    }
-    return true;
-  }
-
-  void erase(store::BlockId id) override { inner_->erase(id); }
-
-  std::vector<std::pair<store::BlockId, std::uint64_t>> entries()
-      const override {
-    return inner_->entries();
-  }
-
- private:
-  std::unique_ptr<store::BlockBackend> inner_;
-  std::uint64_t writes_ = 0, reads_ = 0;
-  std::uint64_t fail_write_ = 0, torn_write_ = 0;
-  std::uint64_t fail_read_ = 0, short_read_ = 0;
-};
+// The fault injector is the shared store::FailpointBackend (this suite
+// is where it was born, PR 7 — now generalized over gbx::failpoints()
+// so the same registry drives net/repl fault matrices). The legacy
+// arming API (fail_write_at & co., absolute 1-based op counts, fire
+// once) is unchanged.
+using store::FailpointBackend;
 
 struct Rig {
   store::BlockStore* store = nullptr;
@@ -322,8 +268,9 @@ TEST(CompactionFaults, FailedCompactionKeepsOldImage) {
 
 struct TempFile {
   std::string path;
+  // pid-unique: the seed reruns of this suite may run concurrently.
   explicit TempFile(const std::string& name)
-      : path(testing::TempDir() + name) {
+      : path(testing::TempDir() + std::to_string(::getpid()) + "_" + name) {
     std::remove(path.c_str());
   }
   ~TempFile() { std::remove(path.c_str()); }

@@ -1,0 +1,352 @@
+// Replication failover torture (the PR 9 tentpole gate): a primary
+// IngestServer with WAL shipping enabled is killed at a random point
+// under concurrent client load; the replica self-promotes; the clients
+// fail over and finish their planned streams. End state, per lane:
+// the promoted replica's matrix must be BIT-IDENTICAL to an oracle
+// that applied the client's batch list directly in order — acked work
+// is never lost, shipped-but-unacked work is never double-applied.
+//
+// Why bit-exactness is attainable with doubles: each lane has exactly
+// one writer, so the replica's per-lane apply order (shipped prefix in
+// sequence order + the client's post-failover resend from the
+// replica's applied count) is precisely the client's send order — the
+// same floating-point fold the oracle performs.
+//
+// Modes (same invariant, different failure geometry):
+//   * kill mid-stream            — the base case
+//   * kill mid-ack               — "repl.replica.ack" kDelay failpoint
+//     keeps acks slow, so the kill lands with a wide shipped-unacked gap
+//   * kill mid-promotion         — short lease, kill early: clients
+//     race the promotion itself
+//   * partition (primary alive)  — "repl.shipper.heartbeat" kStall
+//     silences the shipper long enough for the lease to lapse; the
+//     replica promotes and FENCES the live primary's shipper
+//
+// Runs under the 3-seed property matrix (HHGBX_SEED) and the TSan/ASan
+// concurrency legs.
+#include <gtest/gtest.h>
+
+#ifdef __linux__
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "gbx/error.hpp"
+#include "gbx/failpoint.hpp"
+#include "hier/hier.hpp"
+#include "hier/memory_governor.hpp"
+#include "net/net.hpp"
+#include "prop_util.hpp"
+#include "repl/repl.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Tuples;
+using hier::CutPolicy;
+using hier::InstanceArray;
+using hier::MemoryGovernor;
+using hier::ParallelStream;
+
+constexpr Index kDim = 512;
+constexpr std::size_t kLanes = 4;
+constexpr std::size_t kBatches = 48;     // per client
+constexpr std::size_t kBatchSize = 64;   // entries per batch
+constexpr std::uint64_t kPinnedSeed = 0x9E11'AB4F'22C7'D031ull;
+
+CutPolicy cuts() { return CutPolicy::geometric(3, 2048, 8); }
+
+std::string tmp_path(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() /
+          (stem + "_" + std::to_string(::getpid()) + ".bin"))
+      .string();
+}
+
+/// Pre-generate each lane-owner's batch list (random coordinates,
+/// random small-integer values — exact in double under any fold).
+std::vector<std::vector<Tuples<double>>> make_work(std::mt19937_64& rng) {
+  std::uniform_int_distribution<Index> coord(0, kDim - 1);
+  std::uniform_int_distribution<int> val(1, 8);
+  std::vector<std::vector<Tuples<double>>> work(kLanes);
+  for (std::size_t c = 0; c < kLanes; ++c)
+    for (std::size_t b = 0; b < kBatches; ++b) {
+      Tuples<double> t;
+      for (std::size_t i = 0; i < kBatchSize; ++i)
+        t.push_back(coord(rng), coord(rng), static_cast<double>(val(rng)));
+      work[c].push_back(std::move(t));
+    }
+  return work;
+}
+
+/// The primary rig: lanes + governor + replicator + server.
+struct PrimaryRig {
+  PrimaryRig(std::uint16_t replica_port, const std::string& wal)
+      : array(kLanes, kDim, kDim, cuts()), stream(array), governor(stream) {
+    stream.start();
+    repl::ShipperOptions ropt;
+    ropt.port = replica_port;
+    ropt.wal_path = wal;
+    ropt.heartbeat_ms = 10;
+    replicator.emplace(stream, ropt);
+    replicator->start();
+    net::IngestServer::Options sopt;
+    sopt.replication = &*replicator;
+    server.emplace(stream, governor, sopt);
+    server->start();
+  }
+
+  ~PrimaryRig() { kill_now(); }
+
+  /// The crash: server torn down abruptly, shipper abandoned mid-frame.
+  void kill_now() {
+    if (server && server->running()) server->stop();
+    if (replicator) replicator->kill();
+    if (stream.running()) stream.stop();
+  }
+
+  InstanceArray<double> array;
+  ParallelStream<double> stream;
+  MemoryGovernor<ParallelStream<double>> governor;
+  std::optional<repl::PrimaryReplicator> replicator;
+  std::optional<net::IngestServer> server;
+};
+
+struct TortureResult {
+  std::vector<repl::FailoverReport> reports;
+  std::size_t failed_over = 0;
+};
+
+/// Run one full torture round: stream under load, kill (or partition)
+/// at `kill_after_ms`, let clients finish against whoever survives,
+/// then verify the replica bit-exactly against per-lane oracles.
+/// Void-returning (with an out-param) so ASSERT_* can fail fast.
+void torture_round(std::mt19937_64& rng, int kill_after_ms, bool partition,
+                   const std::string& tag, TortureResult& result) {
+  gbx::failpoints().clear();
+  const std::string primary_wal = tmp_path("repl_primary_wal_" + tag);
+  const std::string replica_wal = tmp_path("repl_replica_wal_" + tag);
+  std::filesystem::remove(primary_wal);
+  std::filesystem::remove(replica_wal);
+
+  const auto work = make_work(rng);
+
+  repl::ReplicaOptions ropt;
+  ropt.wal_path = replica_wal;
+  ropt.lanes = kLanes;
+  ropt.nrows = kDim;
+  ropt.ncols = kDim;
+  ropt.cuts = cuts();
+  ropt.lease_ms = 250;
+  repl::ReplicaServer replica(ropt);
+  replica.start();
+
+  auto rig = std::make_unique<PrimaryRig>(replica.port(), primary_wal);
+
+  if (partition) {
+    // Stall heartbeats well past the lease: the replica promotes while
+    // the primary is still alive, then fences it.
+    gbx::FailpointSpec spec;
+    spec.action = gbx::FailAction::kStall;
+    spec.delay_ms = ropt.lease_ms * 3;
+    spec.at_op = 1;
+    spec.max_fires = 1;
+    gbx::failpoints().arm("repl.shipper.heartbeat", spec);
+  }
+
+  result.reports.resize(kLanes);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kLanes; ++c) {
+    clients.emplace_back([&, c] {
+      repl::FailoverOptions fopt;
+      fopt.primary_port = rig->server->port();
+      fopt.replica_port = replica.port();
+      fopt.lane = c;
+      fopt.recv_timeout_ms = 4000;
+      fopt.flush_every = 6;
+      fopt.pace_us = 2500;
+      repl::FailoverSender sender(fopt);
+      result.reports[c] = sender.run(work[c]);
+    });
+  }
+
+  if (!partition) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kill_after_ms));
+    rig->kill_now();
+  }
+  for (auto& t : clients) t.join();
+  if (partition) {
+    // The promotion must have FENCED the still-alive primary: its
+    // shipper reconnects after the stall, gets its hello rejected, and
+    // permanently retires.
+    for (int a = 0; a < 400 && !rig->replicator->fenced(); ++a)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(rig->replicator->fenced())
+        << "live primary was never fenced after the replica promoted";
+    rig->kill_now();
+  }
+  rig.reset();
+  replica.stop();
+  gbx::failpoints().clear();
+
+  // --- verification: replica lane p == oracle of client p's batches.
+  auto& arr = replica.array();
+  const auto counts = replica.lane_batches();
+  for (std::size_t p = 0; p < kLanes; ++p) {
+    ASSERT_EQ(counts[p], kBatches)
+        << "lane " << p << ": replica applied " << counts[p] << " of "
+        << kBatches << " batches (lost or doubled)";
+    hier::HierMatrix<double> oracle(kDim, kDim, cuts());
+    for (const auto& b : work[p]) oracle.update(b);
+    auto osnap = oracle.freeze();
+    auto rsnap = arr.instance(p).freeze();
+    ASSERT_EQ(rsnap.reduce(), osnap.reduce()) << "lane " << p << " sum";
+    ASSERT_EQ(rsnap.nvals(), osnap.nvals()) << "lane " << p << " nvals";
+    // Probe a sample of exact coordinates.
+    std::uniform_int_distribution<std::size_t> pick(0, work[p].size() - 1);
+    for (int probe = 0; probe < 64; ++probe) {
+      const auto& batch = work[p][pick(rng)];
+      const auto& e = batch.entries()[probe % batch.size()];
+      auto ov = osnap.extract_element(e.row, e.col);
+      auto rv = rsnap.extract_element(e.row, e.col);
+      ASSERT_TRUE(ov.has_value() && rv.has_value());
+      ASSERT_EQ(*rv, *ov) << "lane " << p << " (" << e.row << "," << e.col
+                          << ")";
+    }
+  }
+  for (const auto& r : result.reports) {
+    if (r.failed_over) {
+      ++result.failed_over;
+      EXPECT_GE(r.resumed_from, r.watermark_at_failover)
+          << "acked batches lost across failover";
+    }
+  }
+
+  std::filesystem::remove(primary_wal);
+  std::filesystem::remove(replica_wal);
+}
+
+class ReplFailover : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    seed_ = proptest::seed_or_env(kPinnedSeed);
+    std::cout << proptest::seed_banner(seed_, kPinnedSeed) << "\n";
+    rng_.seed(seed_);
+  }
+  void TearDown() override { gbx::failpoints().clear(); }
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 rng_;
+};
+
+TEST_F(ReplFailover, KillMidStream) {
+  std::uniform_int_distribution<int> when(10, 100);
+  TortureResult r;
+  torture_round(rng_, when(rng_), /*partition=*/false, "midstream", r);
+  EXPECT_GE(r.failed_over, 1u) << "kill landed after all clients finished — "
+                                  "shrink kill_after_ms";
+}
+
+TEST_F(ReplFailover, KillMidAckWithDelayedAcks) {
+  gbx::FailpointSpec spec;
+  spec.action = gbx::FailAction::kDelay;
+  spec.probability = 0.25;
+  spec.seed = rng_();
+  spec.delay_ms = 3;
+  spec.max_fires = 100000;
+  gbx::failpoints().arm("repl.replica.ack", spec);
+  std::uniform_int_distribution<int> when(20, 100);
+  TortureResult r;
+  torture_round(rng_, when(rng_), /*partition=*/false, "midack", r);
+  EXPECT_GE(r.failed_over, 1u);
+}
+
+TEST_F(ReplFailover, KillMidPromotion) {
+  // Kill very early: promotion and the first failover dials overlap.
+  std::uniform_int_distribution<int> when(1, 25);
+  TortureResult r;
+  torture_round(rng_, when(rng_), /*partition=*/false, "midpromo", r);
+  // exactness assertions inside torture_round are the gate
+}
+
+TEST_F(ReplFailover, PartitionFencesLivePrimary) {
+  TortureResult r;
+  torture_round(rng_, 0, /*partition=*/true, "partition", r);
+  EXPECT_GE(r.failed_over, 1u)
+      << "partition never forced a failover — stall window too short?";
+}
+
+// Cold-restart of the replica: its own WAL replays to the exact state.
+TEST_F(ReplFailover, ReplicaColdRestartReplaysItsWal) {
+  const std::string wal = tmp_path("repl_cold_wal");
+  std::filesystem::remove(wal);
+  const auto work = make_work(rng_);
+
+  repl::ReplicaOptions ropt;
+  ropt.wal_path = wal;
+  ropt.lanes = kLanes;
+  ropt.nrows = kDim;
+  ropt.ncols = kDim;
+  ropt.cuts = cuts();
+  ropt.auto_promote = false;
+
+  double sum_before = 0;
+  {
+    repl::ReplicaServer replica(ropt);
+    replica.start();
+    net::Client::Options copt;
+    copt.recv_timeout_ms = 5000;
+    net::Client cli(copt);
+    cli.connect("127.0.0.1", replica.port());
+    repl::ShipHello hello;
+    hello.lanes = kLanes;
+    hello.nrows = kDim;
+    hello.ncols = kDim;
+    std::string frame;
+    net::append_frame(frame, net::MsgType::kShipHello, 0, &hello,
+                      sizeof hello);
+    cli.send_raw(frame.data(), frame.size());
+    auto hr = cli.read_reply();
+    ASSERT_EQ(net::tag_type(hr.epoch), net::MsgType::kReplyOk);
+    std::uint64_t seq = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::string payload =
+          repl::encode_batch_payload(b % kLanes, work[0][b]);
+      std::string f;
+      net::append_frame(f, net::MsgType::kShipBatch, ++seq, payload.data(),
+                        payload.size());
+      cli.send_raw(f.data(), f.size());
+      auto ack = cli.read_reply();
+      ASSERT_EQ(net::tag_type(ack.epoch), net::MsgType::kShipAck);
+    }
+    replica.stop();
+    double s = 0;
+    for (std::size_t p = 0; p < kLanes; ++p)
+      s += replica.array().instance(p).freeze().reduce();
+    sum_before = s;
+  }
+
+  // Restart over the same WAL: identical state, sequence continues.
+  repl::ReplicaServer reborn(ropt);
+  ASSERT_EQ(reborn.applied_seq(), 8u);
+  reborn.start();
+  reborn.stop();
+  double s = 0;
+  for (std::size_t p = 0; p < kLanes; ++p)
+    s += reborn.array().instance(p).freeze().reduce();
+  EXPECT_EQ(s, sum_before);
+  std::filesystem::remove(wal);
+}
+
+}  // namespace
+
+#else
+TEST(ReplFailover, LinuxOnly) { GTEST_SKIP() << "epoll server is Linux-only"; }
+#endif  // __linux__
