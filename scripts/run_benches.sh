@@ -64,6 +64,20 @@
 #                           still failing stalls and ack starvation).
 #                           REPL_CLIENTS / REPL_SETS / REPL_SET_SIZE
 #                           shrink the workload for CI.
+#   bench_cluster_ingest  — multi-process sharding: P forked worker
+#                           processes behind cluster::Router, P clients
+#                           streaming through it. The epoch-stitched
+#                           Σ Ai must equal the streamed entry count
+#                           exactly at every P (exits non-zero
+#                           otherwise); scaling_ratio = rate(maxP)/
+#                           rate(1) must stay ≥ CLUSTER_MIN_SCALING
+#                           (default 1.0, monotone) on hosts with ≥ 2x
+#                           the worker count in hardware threads, else
+#                           ≥ CLUSTER_MIN_SCALING_SERIAL (default 0.25,
+#                           still failing livelocks and per-worker
+#                           serialization). CLUSTER_MAX_WORKERS /
+#                           CLUSTER_SETS / CLUSTER_SET_SIZE shrink the
+#                           workload for CI.
 #
 # Usage: scripts/run_benches.sh [build-dir] [output-dir]
 set -u
@@ -83,6 +97,10 @@ export OUTOFCORE_MIN_RATE_RATIO="${OUTOFCORE_MIN_RATE_RATIO:-0.8}"
 # to pipeline the shipping chain on; serial hosts measure work ratio).
 export REPL_MIN_RATE_RATIO="${REPL_MIN_RATE_RATIO:-0.85}"
 export REPL_MIN_RATE_RATIO_SERIAL="${REPL_MIN_RATE_RATIO_SERIAL:-0.30}"
+# Scaling floors for bench_cluster_ingest (ISSUE acceptance: monotone
+# aggregate rate with enough hardware threads for the whole topology).
+export CLUSTER_MIN_SCALING="${CLUSTER_MIN_SCALING:-1.0}"
+export CLUSTER_MIN_SCALING_SERIAL="${CLUSTER_MIN_SCALING_SERIAL:-0.25}"
 # Space-separated bench names to skip (e.g. a gate already run by a
 # dedicated CI step — avoids paying for the same bench twice).
 BENCH_SKIP="${BENCH_SKIP:-}"

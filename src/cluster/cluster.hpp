@@ -1,6 +1,18 @@
-// cluster/cluster.hpp — umbrella header for the scaling substrate.
+// cluster/cluster.hpp — umbrella header for the scaling substrate and
+// the multi-process sharding layer.
+//
+// partition_map.hpp is portable; the router, its client, and the worker
+// pool ride on the Linux-only net stack (each is #ifdef __linux__
+// internally, mirroring net/net.hpp).
 #pragma once
 
+#include "cluster/partition_map.hpp"
 #include "cluster/scaling_harness.hpp"
 #include "cluster/scaling_model.hpp"
 #include "cluster/workload.hpp"
+
+#ifdef __linux__
+#include "cluster/router.hpp"
+#include "cluster/router_client.hpp"
+#include "cluster/worker_pool.hpp"
+#endif

@@ -10,7 +10,9 @@
 #include "hier/memory_governor.hpp"
 #include "hier/merge.hpp"
 #include "hier/parallel_stream.hpp"
+#include "hier/partition.hpp"
 #include "hier/sharded_hier.hpp"
 #include "hier/snapshot.hpp"
+#include "hier/snapshot_source.hpp"
 #include "hier/stats.hpp"
 #include "hier/tier.hpp"

@@ -1,0 +1,28 @@
+// hier/partition.hpp — THE row-hash partition function.
+//
+// One definition, two deployments: `ShardedHier::shard_of` (threads in
+// one process) and `cluster::PartitionMap::part_of` (worker processes
+// behind the router) both call row_partition, so a row lands on the
+// same part index no matter how the parts are hosted. That agreement is
+// what makes the router's stitched snapshot comparable — part-major,
+// bit-for-bit — with a single-process `ShardedHier` fed the same
+// batches, and it is pinned by a randomized equivalence test
+// (tests/test_cluster_router.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gbx/types.hpp"
+#include "gen/rng.hpp"
+
+namespace hier {
+
+/// Part index owning `row` out of `parts` row-hash partitions. Hashing
+/// (splitmix64 finalizer) spreads dense row ranges evenly — a row-block
+/// partition would put one hot subnet entirely on one part.
+inline std::size_t row_partition(gbx::Index row, std::size_t parts) {
+  return static_cast<std::size_t>(gen::mix64(row) % parts);
+}
+
+}  // namespace hier

@@ -30,8 +30,8 @@
 #include <vector>
 
 #include "gbx/thread_annotations.hpp"
-#include "gen/rng.hpp"
 #include "hier/hier_matrix.hpp"
+#include "hier/partition.hpp"
 #include "hier/snapshot.hpp"
 
 namespace hier {
@@ -360,9 +360,11 @@ class ShardedHier {
   }
 
   std::size_t shard_of(gbx::Index row) const {
-    // Hash so that dense row ranges spread evenly (row-block partitions
-    // would put one hot subnet entirely on one shard).
-    return static_cast<std::size_t>(gen::mix64(row) % shards_.size());
+    // The shared row-hash partition (hier/partition.hpp): the cluster
+    // router places rows on worker processes with the SAME function, so
+    // in-process and multi-process layouts agree coordinate-for-
+    // coordinate on part ownership.
+    return row_partition(row, shards_.size());
   }
 
   gbx::Index nrows_;

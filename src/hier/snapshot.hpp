@@ -35,6 +35,7 @@
 #include "gbx/monoid.hpp"
 #include "gbx/reduce.hpp"
 #include "gbx/view.hpp"
+#include "hier/snapshot_source.hpp"
 #include "hier/stats.hpp"
 #include "hier/tier.hpp"
 
@@ -554,9 +555,14 @@ class SnapshotEngine {
 
   explicit SnapshotEngine(Source& source) : source_(&source) {}
 
-  /// Take a fresh consistent snapshot and record its epoch.
+  /// Take a fresh consistent snapshot and record its epoch. Routed
+  /// through the unified SnapshotSource entry point (unqualified, so a
+  /// source's own ADL overload wins — see hier/snapshot_source.hpp).
   auto acquire() {
-    auto snap = source_->freeze();
+    static_assert(is_snapshot_source_v<Source>,
+                  "SnapshotEngine requires a SnapshotSource "
+                  "(see hier/snapshot_source.hpp)");
+    auto snap = acquire_snapshot(*source_);
     snapshots_.fetch_add(1, std::memory_order_relaxed);
     // CAS-max: with concurrent readers, a slower thread's older epoch
     // must not overwrite a newer one — last_epoch() never goes back.

@@ -1,0 +1,79 @@
+// hier/snapshot_source.hpp — ONE way to spell "give me a consistent
+// epoch image".
+//
+// Before this header the repo had four: `HierMatrix::freeze()`,
+// `ShardedHier::freeze()`, `ParallelStream::snapshot()` (with a
+// `freeze()` alias), and `MemoryGovernor::acquire()` (ditto). They all
+// mean the same thing, so generic code (SnapshotEngine, the governor,
+// the ingest server, benches) now goes through a single free function:
+//
+//   auto snap = hier::acquire_snapshot(source);
+//
+// SnapshotSource — the named requirements on `source`:
+//   * `source.freeze()` returns a consistent point-in-time image by
+//     value (every existing source already provides this spelling; the
+//     generic overload below simply forwards to it), OR an
+//     `acquire_snapshot(source)` overload is visible via ADL in the
+//     source's own namespace — the same customization style as
+//     `try_snapshot_diff`. cluster::RouterClient customizes this way:
+//     its image is a stitched, cross-process epoch vector rather than a
+//     local freeze.
+//   * the returned image provides `epoch()`, `reduce()`, and `nvals()`
+//     (the read surface every snapshot consumer in the repo relies on).
+//
+// Call sites keep the call unqualified after `using
+// hier::acquire_snapshot;` so ADL can pick a source's own overload —
+// exactly the std::swap two-step.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace hier {
+
+/// Generic acquisition: every in-process source spells it `freeze()`.
+/// Sources with a different acquisition story (a remote stitched
+/// snapshot, say) overload `acquire_snapshot` in their own namespace
+/// instead, and ADL prefers that overload at unqualified call sites.
+template <class Source>
+auto acquire_snapshot(Source& source) -> decltype(source.freeze()) {
+  return source.freeze();
+}
+
+namespace detail_snapshot_source {
+
+using hier::acquire_snapshot;  // the std::swap two-step, frozen here
+
+template <class Source, class = void>
+struct detected : std::false_type {};
+
+template <class Source>
+struct detected<Source, std::void_t<decltype(acquire_snapshot(
+                            std::declval<Source&>()))>> : std::true_type {};
+
+template <class Source, class = void>
+struct image_reads_check : std::false_type {};
+
+/// The acquired image must expose the snapshot read surface.
+template <class Source>
+struct image_reads_check<
+    Source,
+    std::void_t<decltype(acquire_snapshot(std::declval<Source&>()).epoch()),
+                decltype(acquire_snapshot(std::declval<Source&>()).reduce()),
+                decltype(acquire_snapshot(std::declval<Source&>()).nvals())>>
+    : std::true_type {};
+
+}  // namespace detail_snapshot_source
+
+/// Trait form of the SnapshotSource named requirements (used in
+/// static_asserts by SnapshotEngine and the tests).
+template <class Source>
+struct is_snapshot_source
+    : std::bool_constant<
+          detail_snapshot_source::detected<Source>::value &&
+          detail_snapshot_source::image_reads_check<Source>::value> {};
+
+template <class Source>
+inline constexpr bool is_snapshot_source_v = is_snapshot_source<Source>::value;
+
+}  // namespace hier

@@ -31,10 +31,11 @@
 #include "gbx/failpoint.hpp"
 #include "net/event_loop.hpp"
 #include "net/protocol.hpp"
+#include "net/query.hpp"
 
 namespace net {
 
-class Client {
+class Client : public QueryInterface {
  public:
   struct Options {
     /// Reply-read timeout, milliseconds; a blocked recv past this
@@ -108,23 +109,30 @@ class Client {
     expect_ok(MsgType::kFlush);
   }
 
-  SumReply query_sum() {
+  // The QueryInterface surface. Passing a non-null ReplyProvenance
+  // requests the revision-2 provenance trailer (kWantProvenance arg
+  // bit); nullptr keeps the revision-1 wire shape byte-for-byte.
+  using QueryInterface::query_sum;
+  using QueryInterface::query_elements;
+  using QueryInterface::query_summary;
+
+  SumReply query_sum(ReplyProvenance* prov) override {
     std::string frame;
-    append_frame(frame, MsgType::kQuerySum);
+    append_frame(frame, MsgType::kQuerySum, prov ? kWantProvenance : 0);
     send_all(frame.data(), frame.size());
-    auto rec = expect_ok(MsgType::kQuerySum);
+    auto rec = expect_ok(MsgType::kQuerySum, prov);
     SumReply r;
     GBX_CHECK(payload_as(rec.payload, r), "client: malformed sum reply");
     return r;
   }
 
-  std::vector<ElementReply> query_elements(
-      const std::vector<ElementQuery>& qs) {
+  std::vector<ElementReply> query_elements(const std::vector<ElementQuery>& qs,
+                                           ReplyProvenance* prov) override {
     std::string frame;
-    append_frame(frame, MsgType::kQueryElements, 0, qs.data(),
-                 qs.size() * sizeof(ElementQuery));
+    append_frame(frame, MsgType::kQueryElements, prov ? kWantProvenance : 0,
+                 qs.data(), qs.size() * sizeof(ElementQuery));
     send_all(frame.data(), frame.size());
-    auto rec = expect_ok(MsgType::kQueryElements);
+    auto rec = expect_ok(MsgType::kQueryElements, prov);
     std::vector<ElementReply> rs;
     GBX_CHECK(payload_as(rec.payload, rs),
               "client: malformed element reply");
@@ -132,23 +140,47 @@ class Client {
     return rs;
   }
 
-  SummaryReply query_summary() {
+  SummaryReply query_summary(ReplyProvenance* prov) override {
     std::string frame;
-    append_frame(frame, MsgType::kQuerySummary);
+    append_frame(frame, MsgType::kQuerySummary, prov ? kWantProvenance : 0);
     send_all(frame.data(), frame.size());
-    auto rec = expect_ok(MsgType::kQuerySummary);
+    auto rec = expect_ok(MsgType::kQuerySummary, prov);
     SummaryReply r;
     GBX_CHECK(payload_as(rec.payload, r), "client: malformed summary reply");
     return r;
   }
 
-  RefreshReply query_refresh() {
+  RefreshReply query_refresh() override {
     std::string frame;
     append_frame(frame, MsgType::kQueryRefresh);
     send_all(frame.data(), frame.size());
     auto rec = expect_ok(MsgType::kQueryRefresh);
     RefreshReply r;
     GBX_CHECK(payload_as(rec.payload, r), "client: malformed refresh reply");
+    return r;
+  }
+
+  /// Sorted distinct column ids of Σ Ai (the destination set; the
+  /// router's summary stitch unions these across workers).
+  std::vector<std::uint64_t> query_columns(ReplyProvenance* prov = nullptr) {
+    std::string frame;
+    append_frame(frame, MsgType::kQueryColumns, prov ? kWantProvenance : 0);
+    send_all(frame.data(), frame.size());
+    auto rec = expect_ok(MsgType::kQueryColumns, prov);
+    std::vector<std::uint64_t> cols;
+    GBX_CHECK(payload_as(rec.payload, cols),
+              "client: malformed columns reply");
+    return cols;
+  }
+
+  /// Partition-map metadata (version 0 from a standalone server).
+  MapReply query_map() {
+    std::string frame;
+    append_frame(frame, MsgType::kQueryMap);
+    send_all(frame.data(), frame.size());
+    auto rec = expect_ok(MsgType::kQueryMap);
+    MapReply r;
+    GBX_CHECK(payload_as(rec.payload, r), "client: malformed map reply");
     return r;
   }
 
@@ -251,8 +283,10 @@ class Client {
   }
 
   /// Read one reply; kReplyOk echoing `request` returns the record,
-  /// kReplyError throws with the server's diagnostic.
-  store::LogRecord expect_ok(MsgType request) {
+  /// kReplyError throws with the server's diagnostic. When `prov` is
+  /// non-null the request asked for provenance; the echoed arg carries
+  /// kWantProvenance back and the trailer is split off the payload.
+  store::LogRecord expect_ok(MsgType request, ReplyProvenance* prov = nullptr) {
     auto rec = next_frame();
     const MsgType type = tag_type(rec.epoch);
     if (type == MsgType::kReplyError) {
@@ -260,9 +294,13 @@ class Client {
                        rec.payload.size());
       GBX_CHECK(false, "server error: " + what);
     }
-    GBX_CHECK(type == MsgType::kReplyOk &&
-                  tag_arg(rec.epoch) == static_cast<std::uint64_t>(request),
+    const std::uint64_t want = static_cast<std::uint64_t>(request) |
+                               (prov != nullptr ? kWantProvenance : 0);
+    GBX_CHECK(type == MsgType::kReplyOk && tag_arg(rec.epoch) == want,
               "client: out-of-order reply");
+    if (prov != nullptr)
+      GBX_CHECK(split_provenance(rec.payload, *prov),
+                "client: malformed provenance trailer");
     return rec;
   }
 

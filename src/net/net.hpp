@@ -6,6 +6,7 @@
 #pragma once
 
 #include "net/protocol.hpp"
+#include "net/query.hpp"
 
 #ifdef __linux__
 #include "net/client.hpp"

@@ -50,6 +50,8 @@ enum class MsgType : std::uint16_t {
   kQueryRefresh = 6,  ///< reply payload: RefreshReply
   kBye = 7,           ///< orderly close
   kQueryLaneEpochs = 8,  ///< reply payload: u64[lanes] applied batch counts
+  kQueryColumns = 9,  ///< reply payload: u64[] sorted distinct columns of Σ Ai
+  kQueryMap = 10,     ///< reply payload: MapReply (partition-map metadata)
   kReplyOk = 32,      ///< arg echoes the request MsgType
   kReplyError = 33,   ///< payload: UTF-8 diagnostic; arg echoes request
   // --- replication (src/repl/): primary→replica WAL shipping. Same
@@ -63,6 +65,52 @@ enum class MsgType : std::uint16_t {
 
 /// Lane-hint sentinel: let the server pick (the session's home lane).
 inline constexpr std::uint64_t kAnyLane = (std::uint64_t{1} << 48) - 1;
+
+// --- protocol revision 2: versioned reply provenance.
+//
+// Revision 1 replies carried one `epoch`. Revision 2 lets a client ask
+// (by setting kWantProvenance in the query's 48-bit arg) for a
+// provenance TRAILER after the reply payload: the per-part epoch vector
+// behind the answer — per-lane epochs from a single IngestServer,
+// per-WORKER epochs from a stitched cluster::Router reply — plus the
+// partition-map version, so a stitched answer is auditable down to the
+// exact cut it was computed at. Compatibility is negotiated per query:
+// a revision-1 client never sets the flag, the server never attaches
+// the trailer, and the reply bytes are exactly the revision-1 shape —
+// old clients keep decoding against new servers, and new clients
+// against old servers simply get kReplyError-free plain replies (they
+// only set the flag when they can parse the result).
+inline constexpr std::uint32_t kProtocolRevision = 2;
+
+/// Query-arg flag bit: "attach a provenance trailer to the reply". The
+/// reply's arg echoes the flag so the client knows the trailer is
+/// there. Bit 40 keeps the low 40 arg bits free (lane hints use the
+/// full 48-bit space only via the kAnyLane sentinel, which has this bit
+/// set too — inserts carry data, not provenance, so no ambiguity).
+inline constexpr std::uint64_t kWantProvenance = std::uint64_t{1} << 40;
+
+/// Fixed-size tail of a provenance trailer. The wire layout of a
+/// provenance-carrying reply payload is
+///
+///   [reply POD(s)] [u64 part_epochs[parts]] [ProvenanceTail]
+///
+/// — tail LAST so a decoder can find it at a fixed offset from the end
+/// whatever the body length (element replies are arrays).
+struct ProvenanceTail {
+  std::uint64_t snapshot_epoch = 0;  ///< source-wide epoch of the image
+  std::uint32_t revision = kProtocolRevision;
+  std::uint32_t parts = 0;        ///< length of the epoch vector
+  std::uint32_t map_version = 0;  ///< partition-map version (0 = unmapped)
+  std::uint32_t reserved = 0;
+};
+
+/// Decoded provenance trailer (host form).
+struct ReplyProvenance {
+  std::uint32_t revision = 0;
+  std::uint32_t map_version = 0;
+  std::uint64_t snapshot_epoch = 0;
+  std::vector<std::uint64_t> part_epochs;
+};
 
 inline constexpr std::uint64_t make_tag(MsgType t, std::uint64_t arg48) {
   return (static_cast<std::uint64_t>(t) << 48) | (arg48 & kAnyLane);
@@ -103,6 +151,19 @@ struct SummaryReply {
   std::uint64_t destinations = 0;
   double max_link = 0;
   double mean_link = 0;
+};
+
+/// kQueryMap reply: partition-map metadata. A plain IngestServer
+/// reports version 0 (standalone — placement never changes) with
+/// parts = its lane count; a cluster::Router reports its map version
+/// and worker count. A client holding a stale map (its pinned
+/// placement hint no longer matches) gets kReplyError from the router
+/// and re-fetches this before reconnecting — the redirect primitive.
+struct MapReply {
+  std::uint64_t version = 0;
+  std::uint64_t parts = 0;
+  std::uint64_t nrows = 0;
+  std::uint64_t ncols = 0;
 };
 
 /// analytics::IncrementalEngine::refresh() outcome.
@@ -159,6 +220,49 @@ bool payload_as(const std::vector<std::byte>& payload, Pod& out) {
   static_assert(std::is_trivially_copyable_v<Pod>);
   if (payload.size() != sizeof(Pod)) return false;
   std::memcpy(&out, payload.data(), sizeof(Pod));
+  return true;
+}
+
+/// Append a provenance trailer (epoch vector + tail) to reply payload
+/// bytes under construction. The caller has already appended the reply
+/// POD body to `payload`.
+inline void append_provenance(std::string& payload,
+                              const std::vector<std::uint64_t>& part_epochs,
+                              std::uint64_t snapshot_epoch,
+                              std::uint32_t map_version) {
+  if (!part_epochs.empty())
+    payload.append(reinterpret_cast<const char*>(part_epochs.data()),
+                   part_epochs.size() * sizeof(std::uint64_t));
+  ProvenanceTail tail;
+  tail.snapshot_epoch = snapshot_epoch;
+  tail.parts = static_cast<std::uint32_t>(part_epochs.size());
+  tail.map_version = map_version;
+  payload.append(reinterpret_cast<const char*>(&tail), sizeof tail);
+}
+
+/// Split a provenance trailer off a reply payload: fills `prov` and
+/// shrinks `payload` back to the reply body. Only call when the reply
+/// arg carried kWantProvenance. Returns false on a malformed trailer
+/// (truncated, or an epoch vector that cannot fit) — the caller treats
+/// that like any other malformed reply.
+inline bool split_provenance(std::vector<std::byte>& payload,
+                             ReplyProvenance& prov) {
+  if (payload.size() < sizeof(ProvenanceTail)) return false;
+  ProvenanceTail tail;
+  std::memcpy(&tail, payload.data() + payload.size() - sizeof tail,
+              sizeof tail);
+  const std::size_t epochs_bytes =
+      static_cast<std::size_t>(tail.parts) * sizeof(std::uint64_t);
+  if (payload.size() < sizeof tail + epochs_bytes) return false;
+  prov.revision = tail.revision;
+  prov.map_version = tail.map_version;
+  prov.snapshot_epoch = tail.snapshot_epoch;
+  prov.part_epochs.resize(tail.parts);
+  if (tail.parts > 0)
+    std::memcpy(prov.part_epochs.data(),
+                payload.data() + payload.size() - sizeof tail - epochs_bytes,
+                epochs_bytes);
+  payload.resize(payload.size() - sizeof tail - epochs_bytes);
   return true;
 }
 

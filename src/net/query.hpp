@@ -1,0 +1,51 @@
+// net/query.hpp — the transport-agnostic query surface.
+//
+// `net::Client` (one TCP connection to one IngestServer) and
+// `cluster::RouterClient` (one connection to a router stitching N
+// worker processes) answer the same four questions; examples, benches,
+// and tests that only ask questions take a `QueryInterface&` and stop
+// caring which deployment is behind it.
+//
+// Every query has two spellings: the plain revision-1 form, and an
+// overload taking a `ReplyProvenance*` out-parameter that requests the
+// revision-2 provenance trailer (per-part epoch vector + map version —
+// see net/protocol.hpp). Passing nullptr is exactly the plain form, so
+// implementations only override the pointer-taking virtuals.
+#pragma once
+
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace net {
+
+class QueryInterface {
+ public:
+  virtual ~QueryInterface() = default;
+
+  /// Σ Ai scalar reduce + nvals at one consistent snapshot.
+  virtual SumReply query_sum(ReplyProvenance* prov) = 0;
+
+  /// Batched element probes of the logical Σ Ai; one reply per probe,
+  /// in probe order.
+  virtual std::vector<ElementReply> query_elements(
+      const std::vector<ElementQuery>& qs, ReplyProvenance* prov) = 0;
+
+  /// analytics::TrafficSummary of Σ Ai.
+  virtual SummaryReply query_summary(ReplyProvenance* prov) = 0;
+
+  /// Incremental-analytics refresh outcome.
+  virtual RefreshReply query_refresh() = 0;
+
+  // Plain revision-1 conveniences (implementations inherit these; add a
+  // `using QueryInterface::query_sum;` etc. next to each override so
+  // they are not name-hidden).
+  SumReply query_sum() { return query_sum(nullptr); }
+  std::vector<ElementReply> query_elements(
+      const std::vector<ElementQuery>& qs) {
+    return query_elements(qs, nullptr);
+  }
+  SummaryReply query_summary() { return query_summary(nullptr); }
+};
+
+}  // namespace net

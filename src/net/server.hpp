@@ -76,10 +76,12 @@
 
 #include "analytics/incremental.hpp"
 #include "gbx/coo.hpp"
+#include "gbx/reduce.hpp"
 #include "gbx/thread_annotations.hpp"
 #include "gbx/error.hpp"
 #include "hier/memory_governor.hpp"
 #include "hier/parallel_stream.hpp"
+#include "hier/snapshot_source.hpp"
 #include "net/event_loop.hpp"
 #include "net/protocol.hpp"
 
@@ -368,13 +370,19 @@ class IngestServer {
         return !s.closing;
       case MsgType::kQuerySum: {
         stats_.queries.fetch_add(1, std::memory_order_relaxed);
-        auto handle = governor_->acquire();
+        // The unified snapshot-acquisition entry point (the governed
+        // handle is "just another source" — hier/snapshot_source.hpp).
+        auto handle = hier::acquire_snapshot(*governor_);
         auto img = handle.pin();
         SumReply r;
         r.sum = img.reduce();
         r.epoch = handle.epoch();
         r.nvals = img.nvals();
-        reply_ok(s, type, &r, sizeof r);
+        if (arg & kWantProvenance)
+          reply_ok_prov(s, type, &r, sizeof r, part_epochs(img),
+                        handle.epoch());
+        else
+          reply_ok(s, type, &r, sizeof r);
         return !s.closing;
       }
       case MsgType::kQueryElements: {
@@ -388,7 +396,8 @@ class IngestServer {
           s.closing = true;
           return false;
         }
-        auto img = governor_->acquire().pin();  // one pin, batched probes
+        auto handle = hier::acquire_snapshot(*governor_);
+        auto img = handle.pin();  // one pin, batched probes
         std::vector<ElementReply> rs(qs.size());
         for (std::size_t i = 0; i < qs.size(); ++i) {
           if (auto v = img.extract_element(qs[i].row, qs[i].col)) {
@@ -396,7 +405,41 @@ class IngestServer {
             rs[i].value = *v;
           }
         }
-        reply_ok(s, type, rs.data(), rs.size() * sizeof(ElementReply));
+        if (arg & kWantProvenance)
+          reply_ok_prov(s, type, rs.data(), rs.size() * sizeof(ElementReply),
+                        part_epochs(img), handle.epoch());
+        else
+          reply_ok(s, type, rs.data(), rs.size() * sizeof(ElementReply));
+        return !s.closing;
+      }
+      case MsgType::kQueryColumns: {
+        stats_.queries.fetch_add(1, std::memory_order_relaxed);
+        // Sorted distinct columns of Σ Ai: the destination set. Heavy
+        // (materializes the snapshot) — exists so a router can stitch
+        // exact destination counts across row-disjoint workers.
+        auto handle = hier::acquire_snapshot(*governor_);
+        auto img = handle.pin();
+        const auto m = img.to_matrix();
+        const auto colv = gbx::reduce_cols<gbx::PlusMonoid<double>>(m.view());
+        const auto idx = colv.indices();
+        static_assert(sizeof(gbx::Index) == sizeof(std::uint64_t));
+        if (arg & kWantProvenance)
+          reply_ok_prov(s, type, idx.data(),
+                        idx.size() * sizeof(std::uint64_t), part_epochs(img),
+                        handle.epoch());
+        else
+          reply_ok(s, type, idx.data(), idx.size() * sizeof(std::uint64_t));
+        return !s.closing;
+      }
+      case MsgType::kQueryMap: {
+        // Standalone server: version 0 (placement never changes),
+        // parts = lane count.
+        MapReply r;
+        r.version = 0;
+        r.parts = stream_->instances();
+        r.nrows = nrows_;
+        r.ncols = ncols_;
+        reply_ok(s, type, &r, sizeof r);
         return !s.closing;
       }
       case MsgType::kQuerySummary: {
@@ -411,7 +454,12 @@ class IngestServer {
         r.destinations = sum.destinations;
         r.max_link = sum.max_link;
         r.mean_link = sum.mean_link;
-        reply_ok(s, type, &r, sizeof r);
+        if (arg & kWantProvenance)
+          // The analytics engine answers from its own maintained image;
+          // no per-part vector to report, just the epoch it describes.
+          reply_ok_prov(s, type, &r, sizeof r, {}, r.epoch);
+        else
+          reply_ok(s, type, &r, sizeof r);
         return !s.closing;
       }
       case MsgType::kQueryRefresh: {
@@ -424,7 +472,10 @@ class IngestServer {
         r.changed = rep.changed;
         r.triangles = analytics_.triangles();
         r.sum = gbx::reduce_scalar<gbx::PlusMonoid<double>>(analytics_.sum());
-        reply_ok(s, type, &r, sizeof r);
+        if (arg & kWantProvenance)
+          reply_ok_prov(s, type, &r, sizeof r, {}, r.epoch);
+        else
+          reply_ok(s, type, &r, sizeof r);
         return !s.closing;
       }
       case MsgType::kBye:
@@ -603,6 +654,29 @@ class IngestServer {
                  static_cast<std::uint64_t>(request), payload, size);
     flush_out(s);
     throttle_if_backlogged(s);
+  }
+
+  /// Revision-2 reply: body + provenance trailer, with kWantProvenance
+  /// echoed in the arg so the client knows to split the trailer.
+  void reply_ok_prov(Session& s, MsgType request, const void* payload,
+                     std::size_t size,
+                     const std::vector<std::uint64_t>& epochs,
+                     std::uint64_t snapshot_epoch) GBX_REQUIRES(loop_role_) {
+    std::string body(size > 0 ? static_cast<const char*>(payload) : "", size);
+    append_provenance(body, epochs, snapshot_epoch, /*map_version=*/0);
+    append_frame(s.out, MsgType::kReplyOk,
+                 static_cast<std::uint64_t>(request) | kWantProvenance,
+                 body.data(), body.size());
+    flush_out(s);
+    throttle_if_backlogged(s);
+  }
+
+  /// Per-lane epoch vector of a pinned stream snapshot (provenance).
+  template <class Img>
+  static std::vector<std::uint64_t> part_epochs(const Img& img) {
+    std::vector<std::uint64_t> es(img.size());
+    for (std::size_t p = 0; p < es.size(); ++p) es[p] = img.part(p).epoch();
+    return es;
   }
 
   void reply_error(Session& s, MsgType request, const std::string& what)

@@ -1,0 +1,361 @@
+// Tests for the N-primary cluster router (cluster/router.hpp). The
+// central oracle is the tentpole claim itself: batches streamed by
+// concurrent clients through the router into N worker servers must
+// produce epoch-stitched reads IDENTICAL to a single-process
+// hier::ShardedHier with the same part count fed the same batches —
+// same Σ Ai (bit-identical for a deterministic single client, exactly
+// equal for concurrent integer-valued clients), same nvals, same
+// per-coordinate element probes, same stitched traffic summary. On top
+// of that: placement must agree with ShardedHier::shard_of coordinate-
+// for-coordinate, stitched snapshots must never observe a torn client
+// batch, a dead worker must surface as a loud kReplyError (never a
+// silent partial sum), and a stale placement hint must be redirected.
+//
+// Workers here are in-process LocalWorkers (real sockets, same code
+// path as forked processes — examples/cluster_demo.cpp covers the
+// fork topology; this suite keeps everything where TSan can see it).
+#include <gtest/gtest.h>
+
+#ifdef __linux__
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "gbx/error.hpp"
+#include "hier/hier.hpp"
+#include "net/net.hpp"
+#include "prop_util.hpp"
+
+namespace {
+
+using gbx::Index;
+using gbx::Tuples;
+using hier::CutPolicy;
+
+constexpr Index kDim = 512;
+
+CutPolicy cuts() { return CutPolicy::geometric(2, 1024, 6); }
+
+/// Router + N in-process workers, started and torn down in order.
+struct ClusterHarness {
+  explicit ClusterHarness(std::size_t workers)
+      : pool(workers, config()), router(pool.map(), router_options()) {
+    router.start();
+  }
+
+  ~ClusterHarness() { router.stop(); }
+
+  static cluster::WorkerConfig config() {
+    cluster::WorkerConfig c;
+    c.nrows = kDim;
+    c.ncols = kDim;
+    c.cuts = cuts();
+    return c;
+  }
+
+  static cluster::Router::Options router_options() {
+    cluster::Router::Options o;
+    o.nrows = kDim;
+    o.ncols = kDim;
+    o.worker_recv_timeout_ms = 5000;
+    return o;
+  }
+
+  cluster::RouterClient client() {
+    cluster::RouterClient cli;
+    cli.connect("127.0.0.1", router.port());
+    return cli;
+  }
+
+  cluster::LocalWorkerPool pool;
+  cluster::Router router;
+};
+
+std::vector<Tuples<double>> integer_batches(std::uint64_t seed,
+                                            std::size_t batches,
+                                            std::size_t batch_size) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> coord(0, kDim - 1);
+  std::uniform_int_distribution<int> val(1, 9);
+  std::vector<Tuples<double>> plan(batches);
+  for (auto& b : plan)
+    for (std::size_t i = 0; i < batch_size; ++i)
+      b.push_back(coord(rng), coord(rng), static_cast<double>(val(rng)));
+  return plan;
+}
+
+// --- placement: the cluster map IS the in-process shard map.
+
+TEST(ClusterRouter, PartitionAgreesWithShardedHierPlacement) {
+  const std::uint64_t kPinned = 0x9a17ed5eed5ULL;
+  const std::uint64_t seed = proptest::seed_or_env(kPinned);
+  std::cout << proptest::seed_banner(seed, kPinned) << "\n";
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> row(0, Index{1} << 48);
+
+  for (std::size_t parts : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    std::vector<cluster::WorkerEndpoint> eps(parts);
+    cluster::PartitionMap map(eps);
+    hier::ShardedHier<double> sharded(parts, kDim, kDim, cuts());
+    for (int i = 0; i < 2000; ++i) {
+      const Index r = row(rng);
+      EXPECT_EQ(map.part_of(r), hier::row_partition(r, parts));
+    }
+    // And against actual shard placement: a single-row batch must land
+    // in the shard the map names (observed via per-part nvals).
+    const Index r = row(rng) % kDim;
+    sharded.update(r, 0, 1.0);
+    auto snap = sharded.freeze();
+    for (std::size_t p = 0; p < parts; ++p)
+      EXPECT_EQ(snap.part(p).nvals(), p == map.part_of(r) ? 1u : 0u);
+  }
+}
+
+// --- the tentpole: stitched reads == single-process oracle.
+
+TEST(ClusterRouter, ConcurrentClientsMatchShardedOracleExactly) {
+  const std::size_t workers = 3, clients = 4, batches = 8, batch_size = 1500;
+  ClusterHarness h(workers);
+
+  std::vector<std::thread> senders;
+  for (std::size_t c = 0; c < clients; ++c) {
+    senders.emplace_back([&h, c] {
+      auto plan = integer_batches(0xBEEF + c, 8, 1500);
+      auto cli = h.client();
+      for (const auto& b : plan) cli.insert(b);
+      cli.flush();
+      cli.bye();
+    });
+  }
+  for (auto& t : senders) t.join();
+
+  // The oracle sees the same batches; integer values make Σ exact
+  // under any interleaving (the repo's standing convention).
+  hier::ShardedHier<double> oracle(workers, kDim, kDim, cuts());
+  for (std::size_t c = 0; c < clients; ++c)
+    for (const auto& b : integer_batches(0xBEEF + c, batches, batch_size))
+      oracle.update(b);
+  auto truth = oracle.freeze();
+
+  auto cli = h.client();
+  net::ReplyProvenance prov;
+  const auto sum = cli.query_sum(&prov);
+  EXPECT_EQ(sum.sum, truth.reduce());
+  EXPECT_EQ(sum.nvals, truth.nvals());
+  ASSERT_EQ(prov.part_epochs.size(), workers);
+  EXPECT_EQ(prov.map_version, 1u);
+
+  // Element probes route to single owners and fold identically.
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<Index> coord(0, kDim - 1);
+  std::vector<net::ElementQuery> qs(128);
+  for (auto& q : qs) q = net::ElementQuery{coord(rng), coord(rng)};
+  const auto rs = cli.query_elements(qs);
+  ASSERT_EQ(rs.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = truth.extract_element(qs[i].row, qs[i].col);
+    EXPECT_EQ(rs[i].present != 0, want.has_value());
+    if (want) {
+      EXPECT_EQ(rs[i].value, *want);
+    }
+  }
+
+  // The stitched summary: additive fields, max over workers, and the
+  // destination count from the column-set union.
+  const auto summary = cli.query_summary();
+  EXPECT_EQ(summary.packets, truth.reduce());
+  EXPECT_EQ(summary.links, truth.nvals());
+  auto m = truth.to_matrix();
+  EXPECT_EQ(summary.destinations,
+            gbx::reduce_cols<gbx::PlusMonoid<double>>(m.view()).nvals());
+  double max_link = 0;
+  m.for_each([&](Index, Index, double v) {
+    if (v > max_link) max_link = v;
+  });
+  EXPECT_EQ(summary.max_link, max_link);
+  cli.bye();
+}
+
+TEST(ClusterRouter, SingleClientStitchIsBitIdenticalOnArbitraryDoubles) {
+  // One client, sequential batches: the router's forwarding order is
+  // fully deterministic, so even non-associative double values must
+  // fold BIT-identically to the oracle — the strongest form of the
+  // stitched-read claim.
+  const std::uint64_t kPinned = 0x0DDC0FFEEULL;
+  const std::uint64_t seed = proptest::seed_or_env(kPinned);
+  std::cout << proptest::seed_banner(seed, kPinned) << "\n";
+
+  const std::size_t workers = 4, batches = 10, batch_size = 2000;
+  ClusterHarness h(workers);
+
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> coord(0, kDim - 1);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::vector<Tuples<double>> plan(batches);
+  for (auto& b : plan)
+    for (std::size_t i = 0; i < batch_size; ++i)
+      b.push_back(coord(rng), coord(rng), val(rng));
+
+  auto cli = h.client();
+  for (const auto& b : plan) cli.insert(b);
+  cli.flush();
+
+  hier::ShardedHier<double> oracle(workers, kDim, kDim, cuts());
+  for (const auto& b : plan) oracle.update(b);
+  auto truth = oracle.freeze();
+
+  const auto snap = cli.freeze();  // = hier::acquire_snapshot(cli)
+  EXPECT_EQ(snap.reduce(), truth.reduce());  // bitwise: == on doubles
+  EXPECT_EQ(snap.nvals(), truth.nvals());
+
+  std::vector<net::ElementQuery> qs(256);
+  for (auto& q : qs) q = net::ElementQuery{coord(rng), coord(rng)};
+  const auto rs = cli.query_elements(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto want = truth.extract_element(qs[i].row, qs[i].col);
+    EXPECT_EQ(rs[i].present != 0, want.has_value());
+    if (want) {
+      EXPECT_EQ(rs[i].value, *want);  // bit-identical fold
+    }
+  }
+  cli.bye();
+}
+
+// --- stitched snapshots under fire: whole batches, monotone epochs.
+
+TEST(ClusterRouter, StitchNeverObservesATornClientBatch) {
+  // Every batch sums to exactly kBatchSum, so ANY stitched Σ must be a
+  // multiple of it — a half-forwarded batch would break divisibility.
+  // Queries hammer the router concurrently with the writers.
+  const std::size_t workers = 2, writers = 3, batches = 30;
+  const std::size_t batch_size = 400;
+  ClusterHarness h(workers);
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < writers; ++c) {
+    threads.emplace_back([&h, c] {
+      std::mt19937_64 rng(77 + c);
+      std::uniform_int_distribution<Index> coord(0, kDim - 1);
+      auto cli = h.client();
+      for (std::size_t b = 0; b < 30; ++b) {
+        Tuples<double> batch;
+        for (std::size_t i = 0; i < 400; ++i)
+          batch.push_back(coord(rng), coord(rng), 1.0);
+        cli.insert(batch);
+      }
+      cli.flush();
+      cli.bye();
+    });
+  }
+
+  std::uint64_t last_epoch = 0;
+  auto reader = h.client();
+  for (int i = 0; i < 25; ++i) {
+    const auto snap = reader.freeze();
+    // Value-1 entries: the sum is an integer count of entries, and
+    // whole-batch atomicity makes it a multiple of the batch size.
+    EXPECT_EQ(static_cast<std::uint64_t>(snap.reduce()) % batch_size, 0u)
+        << "stitched sum " << snap.reduce() << " is not a whole number of "
+        << "batches - a torn batch leaked into the cut";
+    EXPECT_GE(snap.epoch(), last_epoch) << "stitched epochs went backwards";
+    last_epoch = snap.epoch();
+  }
+  reader.bye();
+  for (auto& t : threads) t.join();
+
+  const auto final_snap = h.client().freeze();
+  EXPECT_EQ(final_snap.reduce(),
+            static_cast<double>(writers * batches * batch_size));
+}
+
+// --- failure semantics: loud, never silently partial.
+
+TEST(ClusterRouter, DeadWorkerFailsStitchedQueriesLoudly) {
+  const std::size_t workers = 3;
+  ClusterHarness h(workers);
+
+  auto cli = h.client();
+  auto plan = integer_batches(0xDEAD, 4, 1000);
+  for (const auto& b : plan) cli.insert(b);
+  cli.flush();
+  const double before = cli.query_sum().sum;
+  EXPECT_GT(before, 0.0);
+
+  // Kill one worker server out from under the router (in-process stand-
+  // in for SIGKILL: sockets close, the router's next RPC sees EOF).
+  h.pool.worker(1).server().stop();
+
+  // Every stitched query must now fail loudly — a silent partial sum
+  // from the two survivors is exactly the bug this pins.
+  auto probe = h.client();
+  EXPECT_THROW(probe.query_sum(), gbx::Error);
+
+  // And the failure is sticky: the worker is marked dead, so later
+  // queries on fresh sessions fail too (no flapping half-answers).
+  auto probe2 = h.client();
+  EXPECT_THROW(probe2.query_summary(), gbx::Error);
+  EXPECT_THROW(h.client().query_refresh(), gbx::Error);
+}
+
+TEST(ClusterRouter, StaleHintIsRedirectedLoudly) {
+  const std::size_t workers = 3;
+  ClusterHarness h(workers);
+
+  auto cli = h.client();
+  const auto& map = cli.map();  // kQueryMap round trip
+  EXPECT_EQ(map.parts, workers);
+  EXPECT_EQ(map.version, 1u);
+  EXPECT_EQ(map.nrows, kDim);
+
+  // A correct explicit hint is accepted (flush proves it applied).
+  const Index row = 123;
+  const std::uint64_t owner = cli.worker_of(row);
+  Tuples<double> good;
+  good.push_back(row, 7, 2.0);
+  cli.insert(good, owner);
+  cli.flush();
+  EXPECT_EQ(cli.query_sum().sum, 2.0);
+
+  // A WRONG hint — what a client with a stale map would assert — must
+  // bounce with a diagnostic naming the redirect protocol, and must
+  // not be silently rerouted (the batch is NOT applied).
+  auto stale = h.client();
+  Tuples<double> bad;
+  bad.push_back(row, 8, 5.0);
+  stale.insert(bad, (owner + 1) % workers);
+  const auto reply = stale.read_reply();
+  EXPECT_EQ(net::tag_type(reply.epoch), net::MsgType::kReplyError);
+  const std::string what(reinterpret_cast<const char*>(reply.payload.data()),
+                         reply.payload.size());
+  EXPECT_NE(what.find("stale partition map"), std::string::npos) << what;
+  EXPECT_EQ(cli.query_sum().sum, 2.0);  // the bad batch never landed
+  cli.bye();
+}
+
+TEST(ClusterRouter, OutOfRangeInsertIsRejectedAtTheRouter) {
+  ClusterHarness h(2);
+  auto cli = h.client();
+  Tuples<double> bad;
+  bad.push_back(kDim + 5, 0, 1.0);  // beyond the cluster's nrows
+  cli.insert(bad);
+  const auto reply = cli.read_reply();
+  EXPECT_EQ(net::tag_type(reply.epoch), net::MsgType::kReplyError);
+  // The bad coordinate never reached a worker: the cluster stays empty.
+  EXPECT_EQ(h.client().query_sum().sum, 0.0);
+}
+
+}  // namespace
+
+#else  // !__linux__
+
+TEST(ClusterRouter, LinuxOnly) {
+  GTEST_SKIP() << "the cluster router is Linux-only";
+}
+
+#endif
